@@ -1,0 +1,140 @@
+package xpath2sql
+
+import (
+	"fmt"
+	"testing"
+
+	"xpath2sql/internal/bench"
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// toggles one mechanism of the translation or engine and measures the same
+// query, so the contribution of every §5.2 optimization is visible in
+// isolation.
+
+func ablate(b *testing.B, query string, opts core.Options, lazy bool) {
+	b.Helper()
+	ds, err := bench.BuildDataset("cross", workload.Cross(), 14, 4, 42, 8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := xpath.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Translate(q, ds.DTD, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := rdb.NewExec(ds.DB)
+		ex.Lazy = lazy
+		if _, err := ex.Run(res.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPushSelections: §5.2's push optimization (which also
+// gates single-use inlining, root-selection sinking and CSE) on vs. off.
+func BenchmarkAblationPushSelections(b *testing.B) {
+	for _, push := range []bool{true, false} {
+		b.Run(fmt.Sprintf("push=%v", push), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.SQL.PushSelections = push
+			ablate(b, "a/b//c/d", opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationRecForm: the flat per-component closure of Example 3.5
+// vs. the raw nested CycleEX equation system of Fig 7.
+func BenchmarkAblationRecForm(b *testing.B) {
+	for _, nested := range []bool{false, true} {
+		name := "flat"
+		if nested {
+			name = "nested"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.NestedRec = nested
+			ablate(b, "a//d", opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationRid: naive ε handling via the full R_id identity
+// relation (§5.1) vs. the optimized symbolic folding (§5.2 "Handling (E)*").
+func BenchmarkAblationRid(b *testing.B) {
+	for _, rid := range []bool{false, true} {
+		name := "folded"
+		if rid {
+			name = "Rid"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.SQL.UseRid = rid
+			ablate(b, "a//d", opts, true)
+		})
+	}
+}
+
+// BenchmarkAblationLazy: the top-down (lazy) statement evaluation of §5.2
+// vs. eager in-order evaluation.
+func BenchmarkAblationLazy(b *testing.B) {
+	for _, lazy := range []bool{true, false} {
+		b.Run(fmt.Sprintf("lazy=%v", lazy), func(b *testing.B) {
+			// A query whose translation includes unused branches benefits
+			// from laziness; push disabled keeps more statements around.
+			opts := core.DefaultOptions()
+			opts.SQL.PushSelections = false
+			ablate(b, "a[not(.//c)]", opts, lazy)
+		})
+	}
+}
+
+// TestAblationsAgree: every ablated configuration computes the same answer.
+func TestAblationsAgree(t *testing.T) {
+	ds, err := bench.BuildDataset("cross", workload.Cross(), 14, 4, 42, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustParse("a/b//c/d")
+	var want []int
+	for _, push := range []bool{true, false} {
+		for _, nested := range []bool{false, true} {
+			for _, rid := range []bool{false, true} {
+				opts := core.DefaultOptions()
+				opts.SQL.PushSelections = push
+				opts.NestedRec = nested
+				opts.SQL.UseRid = rid
+				res, err := core.Translate(q, ds.DTD, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := res.Execute(ds.DB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("push=%v nested=%v rid=%v: %d answers, want %d",
+						push, nested, rid, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("push=%v nested=%v rid=%v: answers differ", push, nested, rid)
+					}
+				}
+			}
+		}
+	}
+}

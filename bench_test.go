@@ -1,0 +1,234 @@
+// Benchmarks regenerating the paper's experiments (§6), one family per
+// table/figure. Dataset sizes default to the "small" scale so the suite
+// completes in seconds; run cmd/benchexp -scale paper for paper-sized
+// inputs. See EXPERIMENTS.md for measured-vs-published shapes.
+package xpath2sql
+
+import (
+	"fmt"
+	"testing"
+
+	"xpath2sql/internal/bench"
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xpath"
+)
+
+const benchTarget = 8000 // elements per benchmark dataset
+
+// benchRun translates once and measures executions.
+func benchRun(b *testing.B, ds *bench.Dataset, query string, s core.Strategy, push bool) {
+	b.Helper()
+	q, err := xpath.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Strategy = s
+	opts.SQL.PushSelections = push
+	res, err := core.Translate(q, ds.DTD, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := res.Execute(ds.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchStrategies = []struct {
+	name string
+	s    core.Strategy
+}{
+	{"R", core.StrategySQLGenR},
+	{"X", core.StrategyCycleEX},
+	{"E", core.StrategyCycleE},
+}
+
+// BenchmarkFig12 reproduces Exp-1: the queries Qa–Qd over the cross-cycle
+// DTD, with tree shape varied via X_L and X_R.
+func BenchmarkFig12(b *testing.B) {
+	for _, qname := range []string{"Qa", "Qb", "Qc", "Qd"} {
+		query := workload.CrossQueries[qname]
+		for _, shape := range []struct {
+			label  string
+			xl, xr int
+		}{
+			{"XL=8,XR=4", 8, 4}, {"XL=16,XR=4", 16, 4}, {"XL=20,XR=4", 20, 4},
+			{"XL=12,XR=4", 12, 4}, {"XL=12,XR=8", 12, 8},
+		} {
+			ds, err := bench.BuildDataset("cross", workload.Cross(), shape.xl, shape.xr, 42, benchTarget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, st := range benchStrategies {
+				b.Run(fmt.Sprintf("%s/%s/%s", qname, shape.label, st.name), func(b *testing.B) {
+					benchRun(b, ds, query, st.s, true)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 reproduces Exp-2: pushing selections into the LFP operator
+// on the selective queries Qe and Qf.
+func BenchmarkFig13(b *testing.B) {
+	d := workload.Cross()
+	for _, tc := range []struct {
+		name, query, markType string
+	}{
+		{"Qe", workload.CrossQueries["Qe"], "a"},
+		{"Qf", workload.CrossQueries["Qf"], "d"},
+	} {
+		for _, selN := range []int{10, 100, 1000} {
+			doc, err := bench.GenerateRetry(d, 12, 8, 7, benchTarget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			marked := xmlgen.MarkValues(doc, tc.markType, selN, "SEL", int64(selN))
+			db, err := shred.Shred(doc, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds := &bench.Dataset{DTD: d, Doc: doc, DB: db}
+			for _, push := range []bool{true, false} {
+				name := fmt.Sprintf("%s/sel=%d/push=%v", tc.name, marked, push)
+				b.Run(name, func(b *testing.B) {
+					benchRun(b, ds, tc.query, core.StrategyCycleEX, push)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14 reproduces Exp-3: scalability of a//d with dataset size.
+func BenchmarkFig14(b *testing.B) {
+	for _, size := range []int{2000, 8000, 32000} {
+		ds, err := bench.BuildDataset("cross", workload.Cross(), 16, 4, 42, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range benchStrategies {
+			b.Run(fmt.Sprintf("n=%d/%s", ds.Doc.Size(), st.name), func(b *testing.B) {
+				benchRun(b, ds, "a//d", st.s, true)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16 reproduces Exp-4's BIOML cases (Table 4): queries over the
+// extracts, executed against one dataset of the full 4-cycle DTD.
+func BenchmarkFig16(b *testing.B) {
+	ds, err := bench.BuildDataset("bioml", workload.BIOML(), 16, 6, 42, 4*benchTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cs := range workload.BIOMLCases {
+		caseDTD := cs.DTD()
+		for _, st := range benchStrategies {
+			b.Run(fmt.Sprintf("%s/%s", cs.Name, st.name), func(b *testing.B) {
+				q := xpath.MustParse(cs.Query)
+				opts := core.DefaultOptions()
+				opts.Strategy = st.s
+				res, err := core.Translate(q, caseDTD, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := res.Execute(ds.DB); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig17 reproduces Exp-4's GedML runs: Even//Data over the 9-cycle
+// extract at varying shapes.
+func BenchmarkFig17(b *testing.B) {
+	for _, shape := range []struct {
+		label  string
+		xl, xr int
+	}{
+		{"XL=13,XR=6", 13, 6}, {"XL=15,XR=6", 15, 6}, {"XL=16,XR=8", 16, 8},
+	} {
+		ds, err := bench.BuildDataset("gedml", workload.GedML(), shape.xl, shape.xr, 42, 2*benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range benchStrategies {
+			b.Run(fmt.Sprintf("%s/%s", shape.label, st.name), func(b *testing.B) {
+				benchRun(b, ds, "Even//Data", st.s, true)
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 measures the rec(A,B) representation computation itself:
+// CycleEX's all-pairs dynamic program plus CycleE per pair (Exp-5's
+// subject).
+func BenchmarkTable5(b *testing.B) {
+	dtds := map[string]*DTD{
+		"cross": workload.Cross(),
+		"bioml": workload.BIOML(),
+		"gedml": workload.GedML(),
+	}
+	for name, d := range dtds {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if pairs := core.AllRecPairs(d); len(pairs) == 0 {
+					b.Fatal("no pairs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTranslate measures translation time alone (Theorem 4.2's
+// polynomial bound in practice) for each strategy over the dept DTD.
+func BenchmarkTranslate(b *testing.B) {
+	d := workload.Dept()
+	q := xpath.MustParse("dept/course[.//prereq/course[cno[text()='cs66']] and not(.//project)]//project")
+	for _, st := range benchStrategies {
+		b.Run(st.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Strategy = st.s
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Translate(q, d, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngine exercises the engine primitives: the single-input LFP
+// with and without a start constraint, and the multi-relation fixpoint.
+func BenchmarkEngine(b *testing.B) {
+	ds, err := bench.BuildDataset("cross", workload.Cross(), 16, 4, 42, benchTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rdb.NewExec(ds.DB)
+	b.Run("Shred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shred.Shred(ds.Doc, ds.DTD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OracleEval", func(b *testing.B) {
+		q := xpath.MustParse("a//d")
+		for i := 0; i < b.N; i++ {
+			xpath.EvalDoc(q, ds.Doc)
+		}
+	})
+}

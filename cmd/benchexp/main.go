@@ -1,0 +1,60 @@
+// Command benchexp regenerates the paper's experimental tables and figures
+// (§6): Exp-1 (Fig 12), Exp-2 (Fig 13), Exp-3 (Fig 14), Exp-4 (Fig 16 /
+// Table 4 and Fig 17) and Exp-5 (Table 5).
+//
+// Usage:
+//
+//	benchexp [-exp all|1|2|3|4|5] [-scale small|medium|paper]
+//
+// Scale selects the dataset sizes: "paper" uses the publication's element
+// counts (120,000 to 5 million; minutes to hours of runtime), the default
+// "small" a ~30× reduction (seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpath2sql/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4 or 5")
+	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: bench.Scale(*scale), Out: os.Stdout}
+	switch bench.Scale(*scale) {
+	case bench.ScaleSmall, bench.ScaleMedium, bench.ScalePaper:
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	var err error
+	switch *exp {
+	case "all":
+		err = bench.RunAll(cfg)
+	case "1":
+		_, err = bench.Exp1(cfg)
+	case "2":
+		_, err = bench.Exp2(cfg)
+	case "3":
+		_, err = bench.Exp3(cfg)
+	case "4":
+		if _, err = bench.Exp4BIOML(cfg); err == nil {
+			_, err = bench.Exp4GedML(cfg)
+		}
+	case "5":
+		_, err = bench.Exp5(cfg)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command xpath2sql translates an XPath query over a (possibly recursive)
+// DTD into a sequence of SQL queries with a simple least-fixpoint operator.
+//
+// Usage:
+//
+//	xpath2sql -dtd dept.dtd -query 'dept//project' [-strategy X|E|R]
+//	          [-dialect db2|oracle] [-show exp,ra,sql]
+//
+// With -show exp the intermediate extended-XPath query is printed, with
+// -show ra the relational-algebra statement sequence, and with -show sql
+// (default) the SQL text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xpath2sql"
+)
+
+func main() {
+	dtdPath := flag.String("dtd", "", "path to the DTD file (required)")
+	query := flag.String("query", "", "XPath query (required)")
+	strategy := flag.String("strategy", "X", "translation strategy: X (CycleEX), E (CycleE), R (SQLGen-R)")
+	dialect := flag.String("dialect", "db2", "SQL dialect for the LFP operator: db2 or oracle")
+	show := flag.String("show", "sql", "comma-separated outputs: exp, ra, sql")
+	noPush := flag.Bool("nopush", false, "disable pushing selections into the LFP operator")
+	flag.Parse()
+
+	if *dtdPath == "" || *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := xpath2sql.ParseDTD(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opts := xpath2sql.DefaultOptions()
+	switch strings.ToUpper(*strategy) {
+	case "X":
+		opts.Strategy = xpath2sql.StrategyCycleEX
+	case "E":
+		opts.Strategy = xpath2sql.StrategyCycleE
+	case "R":
+		opts.Strategy = xpath2sql.StrategySQLGenR
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	opts.SQL.PushSelections = !*noPush
+	tr, err := xpath2sql.TranslateString(*query, d, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, what := range strings.Split(*show, ",") {
+		switch strings.TrimSpace(what) {
+		case "exp":
+			if eq := tr.ExtendedXPath(); eq != nil {
+				fmt.Println("-- extended XPath --")
+				fmt.Print(eq.String())
+			} else {
+				fmt.Println("-- (SQLGen-R bypasses extended XPath) --")
+			}
+		case "ra":
+			fmt.Println("-- relational algebra --")
+			fmt.Print(tr.Program().String())
+		case "sql":
+			dl := xpath2sql.DialectDB2
+			if strings.EqualFold(*dialect, "oracle") {
+				dl = xpath2sql.DialectOracle
+			}
+			fmt.Print(tr.SQL(dl))
+		case "":
+		default:
+			fatal(fmt.Errorf("unknown -show item %q", what))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpath2sql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Bookstore: XML Schema support via specialized DTDs (§8 of the paper).
+// The surface vocabulary has one "section" element, but its production
+// depends on context: top-level sections nest sections and books, while a
+// section inside a book holds only a title. A specialized DTD (Ele', D', g)
+// captures this with two specialized types presenting as "section"; queries
+// over the surface vocabulary translate by expanding each label step
+// through g⁻¹ into a union — the disjunctive-production encoding the paper
+// describes — after which the ordinary pipeline applies.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpath2sql"
+)
+
+const innerDTD = `
+<!-- root: store -->
+<!ELEMENT store (topSection*)>
+<!ELEMENT topSection (topSection*, book*)>
+<!ELEMENT book (title, bookSection*)>
+<!ELEMENT bookSection (title)>
+<!ELEMENT title (#PCDATA)>
+`
+
+const storeXML = `<store>
+  <section>
+    <section>
+      <book><title>The Art of Recursion</title>
+        <section><title>Base cases</title></section>
+        <section><title>Fixpoints</title></section>
+      </book>
+    </section>
+    <book><title>Paths and Cycles</title>
+      <section><title>Simple cycles</title></section>
+    </book>
+  </section>
+</store>`
+
+func main() {
+	inner, err := xpath2sql.ParseDTD(innerDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &xpath2sql.SpecializedDTD{
+		Inner: inner,
+		Map: map[string]string{
+			"topSection":  "section",
+			"bookSection": "section",
+		},
+	}
+	doc, err := xpath2sql.ParseXML(storeXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Validation infers a specialized type per element — and rejects
+	// documents that use an element outside its context.
+	if err := s.Validate(doc); err != nil {
+		log.Fatal(err)
+	}
+	bad, _ := xpath2sql.ParseXML(`<store><section><title>loose title</title></section></store>`)
+	fmt.Printf("context-violating document rejected: %v\n\n", s.Validate(bad) != nil)
+
+	db, err := xpath2sql.ShredSpecialized(doc, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"store//section",                     // both kinds of section
+		"store//book/section",                // chapter sections only
+		"store/section//section[not(title)]", // structural sections only
+		"store//section/title",               // chapter titles
+	}
+	for _, qs := range queries {
+		q, err := xpath2sql.ParseQuery(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := xpath2sql.TranslateSpecialized(q, s, xpath2sql.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, _, err := tr.Execute(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %d answers\n", qs, len(ids))
+		for _, id := range ids {
+			path, _ := xpath2sql.AnswerPath(db, id)
+			n := doc.Node(xpath2sql.NodeID(id))
+			if n.Val != "" {
+				fmt.Printf("    %s = %q\n", path, n.Val)
+			} else {
+				fmt.Printf("    %s\n", path)
+			}
+		}
+	}
+
+	// Reconstruct the chapter sections of the first book as XML (§5.2).
+	q, _ := xpath2sql.ParseQuery("store//book[title[text()='The Art of Recursion']]/section")
+	tr, err := xpath2sql.TranslateSpecialized(q, s, xpath2sql.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, _, err := tr.Execute(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := xpath2sql.Reconstruct(db, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreconstructed chapter sections:\n%s", res.Serialize())
+}

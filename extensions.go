@@ -1,0 +1,156 @@
+package xpath2sql
+
+import (
+	"io"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/cost"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/specialized"
+)
+
+// Narrow aliases keeping the facade's signatures tidy.
+type (
+	ioWriter = io.Writer
+	ioReader = io.Reader
+)
+
+var (
+	rdbRunParallel = rdb.RunParallel
+	rdbLoad        = rdb.Load
+)
+
+// This file exposes the extension features: XML reconstruction of answers
+// (§5.2), multi-query translation, the strategy-advising cost model (§8),
+// and specialized DTDs — the paper's encoding of XML Schema (§8).
+
+// Reconstruct rebuilds the XML subtrees of the given answer nodes from the
+// shredded relations alone, wrapped in a synthetic <result> root (§5.2
+// "XML reconstruction").
+func Reconstruct(db *DB, answers []int) (*Document, error) {
+	return shred.Reconstruct(db, answers)
+}
+
+// AnswerPath returns the root-to-node label path of an answer, recovered
+// from the shredded catalog (the P attribute's purpose in §5.2).
+func AnswerPath(db *DB, id int) (string, error) {
+	return shred.AncestorPath(db, id)
+}
+
+// Batch is a multi-query translation whose common sub-queries are shared
+// across queries.
+type Batch struct {
+	b *core.BatchResult
+}
+
+// TranslateBatch translates several queries over one DTD into a single
+// program with cross-query common-sub-query sharing; Execute runs them all
+// within one session so shared temporaries are computed once.
+func TranslateBatch(queries []Query, d *DTD, opts Options) (*Batch, error) {
+	b, err := core.TranslateBatch(queries, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{b: b}, nil
+}
+
+// TranslateBatchStrings parses and batch-translates the query strings.
+func TranslateBatchStrings(queries []string, d *DTD, opts Options) (*Batch, error) {
+	qs := make([]Query, len(queries))
+	for i, s := range queries {
+		q, err := ParseQuery(s)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return TranslateBatch(qs, d, opts)
+}
+
+// Program returns the merged statement sequence.
+func (b *Batch) Program() *Program { return b.b.Program }
+
+// Execute answers every query of the batch; answers[i] belongs to the i-th
+// input query.
+func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
+	return b.b.Execute(db)
+}
+
+// ExecuteParallel runs the translation with up to workers concurrent
+// statement evaluations (independent statements — per-cycle seeds, batch
+// sections — run concurrently); answers match Execute.
+func (t *Translation) ExecuteParallel(db *DB, workers int) ([]int, *ExecStats, error) {
+	rel, stats, err := rdbRunParallel(db, t.res.Program, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := rel.TIDs()
+	if len(ids) > 0 && ids[0] == 0 {
+		ids = ids[1:]
+	}
+	return ids, stats, nil
+}
+
+// Satisfiable reports whether the query can match on some document of the
+// DTD, decided from the DTD structure alone (§8's satisfiability analysis,
+// structural fragment): unmatchable label steps and structurally false
+// qualifiers collapse the translation to ∅.
+func Satisfiable(q Query, d *DTD) (bool, error) {
+	return core.Satisfiable(q, d)
+}
+
+// SaveDB writes a shredded database in a line-oriented text format;
+// LoadDB restores it, so documents are shredded once and reused.
+func SaveDB(db *DB, w ioWriter) error { return db.Save(w) }
+
+// LoadDB reads a database written by SaveDB.
+func LoadDB(r ioReader) (*DB, error) { return rdbLoad(r) }
+
+// Re-exported cost-model types.
+type (
+	// DBStats summarizes a shredded database for cost estimation.
+	DBStats = cost.DBStats
+	// CostEstimate is an estimated execution cost and result cardinality.
+	CostEstimate = cost.Estimate
+	// StrategyAdvice pairs a strategy with its estimate.
+	StrategyAdvice = cost.Advice
+)
+
+// GatherStats summarizes a database for the cost model.
+func GatherStats(db *DB) DBStats { return cost.Gather(db) }
+
+// EstimateCost estimates the execution cost of a translation on a database
+// with the given statistics.
+func EstimateCost(t *Translation, s DBStats) CostEstimate {
+	return cost.EstimateProgram(t.res.Program, s)
+}
+
+// AdviseStrategy estimates every applicable strategy for the query and
+// returns them best-first (§8's cost-model guidance).
+func AdviseStrategy(q Query, d *DTD, s DBStats) ([]StrategyAdvice, error) {
+	return cost.Choose(q, d, s)
+}
+
+// SpecializedDTD is a specialized DTD (Ele', D', g) — the formal core of
+// XML Schema per §8: the same element name may follow different productions
+// depending on context, via specialized types mapped to surface labels by g.
+type SpecializedDTD = specialized.DTD
+
+// ShredSpecialized shreds a document by inferred specialized type, one
+// relation per specialized type.
+func ShredSpecialized(doc *Document, s *SpecializedDTD) (*DB, error) {
+	return specialized.Shred(doc, s)
+}
+
+// TranslateSpecialized translates a surface-vocabulary query over a
+// specialized DTD: label steps expand through g⁻¹ into unions (the
+// disjunctive-production encoding of §8) and the ordinary pipeline runs
+// over the inner DTD.
+func TranslateSpecialized(q Query, s *SpecializedDTD, opts Options) (*Translation, error) {
+	res, err := specialized.Translate(q, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{res: res}, nil
+}

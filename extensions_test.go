@@ -1,0 +1,190 @@
+package xpath2sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"xpath2sql"
+)
+
+func TestReconstructFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	tr, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := tr.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xpath2sql.Reconstruct(db, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Serialize()
+	if !strings.Contains(out, "<project>") || !strings.Contains(out, "<pno>p1</pno>") {
+		t.Fatalf("reconstruction:\n%s", out)
+	}
+	path, err := xpath2sql.AnswerPath(db, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(path, "dept/course/") || !strings.HasSuffix(path, "/project") {
+		t.Fatalf("answer path = %q", path)
+	}
+}
+
+func TestBatchFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	batch, err := xpath2sql.TranslateBatchStrings(
+		[]string{"dept//project", "dept//course"}, d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, _, err := batch.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 || len(answers[0]) != 1 || len(answers[1]) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	if batch.Program() == nil {
+		t.Fatal("missing program")
+	}
+}
+
+func TestCostFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	stats := xpath2sql.GatherStats(db)
+	if stats.Nodes != doc.Size() {
+		t.Fatalf("stats nodes = %d", stats.Nodes)
+	}
+	tr, _ := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	est := xpath2sql.EstimateCost(tr, stats)
+	if est.Cost <= 0 {
+		t.Fatalf("cost = %f", est.Cost)
+	}
+	q, _ := xpath2sql.ParseQuery("dept//project")
+	advice, err := xpath2sql.AdviseStrategy(q, d, stats)
+	if err != nil || len(advice) == 0 {
+		t.Fatalf("advice: %v %v", advice, err)
+	}
+}
+
+func TestSpecializedFacade(t *testing.T) {
+	inner, err := xpath2sql.ParseDTD(`
+<!-- root: store -->
+<!ELEMENT store (topSection*)>
+<!ELEMENT topSection (topSection*, book*)>
+<!ELEMENT book (title, bookSection*)>
+<!ELEMENT bookSection (title)>
+<!ELEMENT title (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &xpath2sql.SpecializedDTD{
+		Inner: inner,
+		Map:   map[string]string{"topSection": "section", "bookSection": "section"},
+	}
+	doc, err := xpath2sql.ParseXML(`<store><section><book><title>a</title>
+<section><title>ch</title></section></book></section></store>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.ShredSpecialized(doc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := xpath2sql.ParseQuery("store//section")
+	tr, err := xpath2sql.TranslateSpecialized(q, s, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := tr.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xpath2sql.EvalXPath(q, doc)
+	if len(ids) != len(want) || len(ids) != 2 {
+		t.Fatalf("got %v, oracle %v", ids, want)
+	}
+}
+
+func TestParallelExecuteFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	tr, _ := xpath2sql.TranslateString("dept//project | dept//student", d, xpath2sql.DefaultOptions())
+	serial, _, err := tr.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, stats, err := tr.ExecuteParallel(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel %v vs serial %v", par, serial)
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("parallel %v vs serial %v", par, serial)
+		}
+	}
+	if stats.StmtsRun == 0 {
+		t.Fatal("no statements ran")
+	}
+}
+
+func TestSatisfiableFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	cases := map[string]bool{
+		"dept//project":                        true,
+		"dept/project":                         false, // project is not a child of dept
+		"dept/course/course":                   false,
+		"dept/course[takenBy/student]":         true,
+		"dept/course/takenBy/student[project]": false, // students have no projects
+	}
+	for qs, want := range cases {
+		q, err := xpath2sql.ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := xpath2sql.Satisfiable(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Satisfiable(%s) = %v, want %v", qs, got, want)
+		}
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	var sb strings.Builder
+	if err := xpath2sql.SaveDB(db, &sb); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := xpath2sql.LoadDB(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	a, _, _ := tr.Execute(db)
+	b, _, err := tr.Execute(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers differ after reload: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,147 @@
+package xpath2sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"xpath2sql"
+)
+
+const deptDTD = `<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, title, prereq, takenBy, project*)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT takenBy (student*)>
+<!ELEMENT student (sno, name, qualified)>
+<!ELEMENT qualified (course*)>
+<!ELEMENT project (pno, ptitle, required)>
+<!ELEMENT required (course*)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT sno (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT pno (#PCDATA)>
+<!ELEMENT ptitle (#PCDATA)>`
+
+const deptXML = `<dept>
+  <course>
+    <cno>cs11</cno><title>db</title>
+    <prereq>
+      <course><cno>cs66</cno><title>fm</title><prereq/><takenBy/>
+        <project><pno>p1</pno><ptitle>x</ptitle><required/></project>
+      </course>
+    </prereq>
+    <takenBy/>
+  </course>
+</dept>`
+
+func TestEndToEnd(t *testing.T) {
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, stats, err := tr.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("answers = %v", ids)
+	}
+	if stats.StmtsRun == 0 {
+		t.Fatal("no statements ran")
+	}
+	// Oracle agreement.
+	q, _ := xpath2sql.ParseQuery("dept//project")
+	want := xpath2sql.EvalXPath(q, doc)
+	if len(want) != 1 || int(want[0]) != ids[0] {
+		t.Fatalf("oracle %v vs engine %v", want, ids)
+	}
+	// The intermediate form and SQL text exist and mention the fixpoint.
+	if tr.ExtendedXPath() == nil {
+		t.Fatal("missing extended XPath")
+	}
+	sql := tr.SQL(xpath2sql.DialectDB2)
+	if !strings.Contains(sql, "WITH RECURSIVE") {
+		t.Fatalf("DB2 SQL missing recursion:\n%s", sql)
+	}
+	if !strings.Contains(tr.SQL(xpath2sql.DialectOracle), "CONNECT BY") {
+		t.Fatal("Oracle SQL missing CONNECT BY")
+	}
+}
+
+func TestStrategiesAgreeViaFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, _ := xpath2sql.ParseXML(deptXML)
+	db, _ := xpath2sql.Shred(doc, d)
+	for _, q := range []string{"dept//course", "dept/course[not(.//project)]", "//cno"} {
+		var results [][]int
+		for _, s := range []xpath2sql.Strategy{xpath2sql.StrategyCycleEX, xpath2sql.StrategyCycleE, xpath2sql.StrategySQLGenR} {
+			opts := xpath2sql.DefaultOptions()
+			opts.Strategy = s
+			tr, err := xpath2sql.TranslateString(q, d, opts)
+			if err != nil {
+				t.Fatalf("[%v] %s: %v", s, q, err)
+			}
+			ids, _, err := tr.Execute(db)
+			if err != nil {
+				t.Fatalf("[%v] %s: %v", s, q, err)
+			}
+			results = append(results, ids)
+		}
+		for i := 1; i < len(results); i++ {
+			if len(results[i]) != len(results[0]) {
+				t.Fatalf("%s: strategies disagree: %v", q, results)
+			}
+			for j := range results[i] {
+				if results[i][j] != results[0][j] {
+					t.Fatalf("%s: strategies disagree: %v", q, results)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateAndViewFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: 5, XR: 3, Seed: 1, MaxNodes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() == 0 {
+		t.Fatal("empty generated doc")
+	}
+	// View answering: the dept DTD contains itself, so answers equal direct
+	// evaluation.
+	q, _ := xpath2sql.ParseQuery("//course")
+	got, err := xpath2sql.AnswerOnView(q, d, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xpath2sql.EvalXPath(q, doc)
+	if len(got) != len(want) {
+		t.Fatalf("view answer %v vs direct %v", got, want)
+	}
+	eq, err := xpath2sql.RewriteForView(q, d)
+	if err != nil || eq == nil {
+		t.Fatalf("RewriteForView: %v", err)
+	}
+}
+
+func TestInlineSchemaFacade(t *testing.T) {
+	d, _ := xpath2sql.ParseDTD(deptDTD)
+	schemas := xpath2sql.InlineSchema(d)
+	if len(schemas) != 4 {
+		t.Fatalf("dept inlining should yield 4 relations, got %d", len(schemas))
+	}
+}

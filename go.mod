@@ -1,0 +1,3 @@
+module xpath2sql
+
+go 1.22

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/xpath"
+)
+
+// BatchResult is a multi-query translation: one merged program whose shared
+// sub-queries — seed relations, typed edge unions, qualifier witnesses —
+// are computed once across all queries, the multi-query optimization the
+// paper points at ([54] in §5.2/§8).
+type BatchResult struct {
+	Program *ra.Program
+	// ResultNames holds, per input query, the statement whose relation is
+	// its answer.
+	ResultNames []string
+	Strategies  []Strategy
+}
+
+// TranslateBatch translates several queries over one DTD into a single
+// statement sequence with cross-query common-sub-query extraction. Queries
+// share the DTD analysis (one CycleEX / flat-rec run) and, after merging,
+// every structurally identical statement is computed once.
+func TranslateBatch(queries []xpath.Path, d *dtd.DTD, opts Options) (*BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	merged := &ra.Program{}
+	out := &BatchResult{}
+	for i, q := range queries {
+		res, err := Translate(q, d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d (%s): %w", i, q, err)
+		}
+		prefix := fmt.Sprintf("q%d.", i)
+		prog := res.Program
+		renameStmts(prog, prefix)
+		merged.Stmts = append(merged.Stmts, prog.Stmts...)
+		out.ResultNames = append(out.ResultNames, prog.Result)
+		out.Strategies = append(out.Strategies, res.Strategy)
+	}
+	// Cross-query sharing: identical statements collapse onto one
+	// definition; identical sub-plans get shared temps.
+	ExtractCommon(merged)
+	merged.Result = out.ResultNames[len(out.ResultNames)-1]
+	out.Program = merged
+	return out, nil
+}
+
+// renameStmts prefixes every statement name and temp reference of the
+// program, so merged programs cannot collide.
+func renameStmts(p *ra.Program, prefix string) {
+	rename := func(name string) string { return prefix + name }
+	var walk func(pl ra.Plan) ra.Plan
+	walk = func(pl ra.Plan) ra.Plan {
+		if t, ok := pl.(ra.Temp); ok {
+			return ra.Temp{Name: rename(t.Name)}
+		}
+		return rebuild(pl, rewriteKids(pl, walk))
+	}
+	for i := range p.Stmts {
+		p.Stmts[i].Name = rename(p.Stmts[i].Name)
+		p.Stmts[i].Plan = walk(p.Stmts[i].Plan)
+	}
+	p.Result = rename(p.Result)
+}
+
+// Execute runs the batch and returns the answers per query (virtual-root
+// answers stripped, as in Result.Execute). All queries run within one
+// executor, so shared statements are evaluated once.
+func (b *BatchResult) Execute(db *rdb.DB) ([][]int, *rdb.Stats, error) {
+	ex := rdb.NewExec(db)
+	answers := make([][]int, len(b.ResultNames))
+	for i, name := range b.ResultNames {
+		prog := *b.Program
+		prog.Result = name
+		rel, err := ex.RunMore(&prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids := rel.TIDs()
+		if len(ids) > 0 && ids[0] == 0 {
+			ids = ids[1:]
+		}
+		answers[i] = ids
+	}
+	return answers, &ex.Stats, nil
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+	"xpath2sql/internal/xpath"
+)
+
+// randQuery builds a random query from the paper's fragment whose labels are
+// drawn from the DTD's element types.
+func randQuery(r *rand.Rand, types []string, depth int) xpath.Path {
+	pick := func() string { return types[r.Intn(len(types))] }
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return xpath.Wildcard{}
+		case 1:
+			return xpath.Empty{}
+		default:
+			return xpath.Label{Name: pick()}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return xpath.Label{Name: pick()}
+	case 1:
+		return xpath.Seq{L: randQuery(r, types, depth-1), R: randQuery(r, types, depth-1)}
+	case 2:
+		return xpath.Desc{P: randQuery(r, types, depth-1)}
+	case 3:
+		return xpath.Seq{L: randQuery(r, types, depth-1), R: xpath.Desc{P: randQuery(r, types, depth-1)}}
+	case 4:
+		return xpath.Union{L: randQuery(r, types, depth-1), R: randQuery(r, types, depth-1)}
+	case 5, 6:
+		return xpath.Filter{P: randQuery(r, types, depth-1), Q: randQual(r, types, depth-1)}
+	default:
+		return xpath.Wildcard{}
+	}
+}
+
+func randQual(r *rand.Rand, types []string, depth int) xpath.Qual {
+	if depth == 0 {
+		return xpath.QPath{P: xpath.Label{Name: types[r.Intn(len(types))]}}
+	}
+	switch r.Intn(6) {
+	case 0, 1:
+		return xpath.QPath{P: randQuery(r, types, depth-1)}
+	case 2:
+		return xpath.QText{C: fmt.Sprintf("%s-%d", types[r.Intn(len(types))], r.Intn(5))}
+	case 3:
+		return xpath.QNot{Q: randQual(r, types, depth-1)}
+	case 4:
+		return xpath.QAnd{L: randQual(r, types, depth-1), R: randQual(r, types, depth-1)}
+	default:
+		return xpath.QOr{L: randQual(r, types, depth-1), R: randQual(r, types, depth-1)}
+	}
+}
+
+// valueFunc draws values from a small pool so text()=c qualifiers hit.
+func valueFunc(typ string, r *rand.Rand) string {
+	return fmt.Sprintf("%s-%d", typ, r.Intn(5))
+}
+
+// TestDifferentialRandom is the repository's central property test: for
+// random documents of every workload DTD and random queries of the paper's
+// fragment, the three translation strategies, the extended-XPath evaluator
+// and the native XPath oracle must all agree.
+func TestDifferentialRandom(t *testing.T) {
+	dtds := map[string]*dtd.DTD{
+		"dept":  workload.Dept(),
+		"cross": workload.Cross(),
+		"bioml": workload.BIOML(),
+		"gedml": workload.GedML(),
+		"fig3d": workload.Fig3DPrime(),
+	}
+	queriesPerDTD := 40
+	if testing.Short() {
+		queriesPerDTD = 8
+	}
+	for name, d := range dtds {
+		t.Run(name, func(t *testing.T) {
+			types := d.Types()
+			r := rand.New(rand.NewSource(int64(len(name)) * 1237))
+			for docSeed := int64(0); docSeed < 3; docSeed++ {
+				doc, err := xmlgen.Generate(d, xmlgen.Options{
+					XL: 6, XR: 3, Seed: docSeed, MaxNodes: 300, ValueFunc: valueFunc,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := shred.Shred(doc, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < queriesPerDTD; i++ {
+					q := randQuery(r, types, 3)
+					want := oracle(q, doc)
+
+					// Extended-XPath evaluator agreement (CycleEX form).
+					eq, err := core.XPathToEXp(q, d, core.RecCycleEX)
+					if err != nil {
+						t.Fatalf("XPathToEXp(%s): %v", q, err)
+					}
+					rel, err := expath.EvalQuery(eq, doc)
+					if err != nil {
+						t.Fatalf("EvalQuery(%s): %v", q, err)
+					}
+					exGot := ids(expath.ResultAtRoot(rel, doc))
+					if !equalInts(exGot, want) {
+						t.Fatalf("expath eval of %s = %v, want %v\nEQ:\n%s", q, exGot, want, eq)
+					}
+
+					// All strategies against the oracle.
+					for _, s := range allStrategies {
+						got := runStrategy(t, q, d, db, s)
+						if !equalInts(got, want) {
+							t.Fatalf("[%v] doc seed %d, query %s: got %v, want %v", s, docSeed, q, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func ids(set xmltree.NodeSet) []int {
+	raw := set.IDs()
+	out := make([]int, len(raw))
+	for i, id := range raw {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// TestDifferentialOptionMatrix re-runs a query battery under every SQL
+// option combination: naive R_id vs optimized ε handling, pushed vs unpushed
+// selections, lazy vs eager execution.
+func TestDifferentialOptionMatrix(t *testing.T) {
+	d := workload.Dept()
+	doc, err := xmlgen.Generate(d, xmlgen.Options{XL: 6, XR: 3, Seed: 17, MaxNodes: 250, ValueFunc: valueFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(555))
+	types := d.Types()
+	var queries []xpath.Path
+	for i := 0; i < 25; i++ {
+		queries = append(queries, randQuery(r, types, 3))
+	}
+	queries = append(queries,
+		xpath.MustParse("dept//project"),
+		xpath.MustParse("dept/course[.//prereq/course and not(.//project)]"),
+	)
+	for _, q := range queries {
+		want := oracle(q, doc)
+		for _, useRid := range []bool{false, true} {
+			for _, push := range []bool{false, true} {
+				for _, lazy := range []bool{false, true} {
+					opts := core.Options{Strategy: core.StrategyCycleEX, SQL: core.SQLOptions{
+						AtRoot: true, UseRid: useRid, PushSelections: push,
+					}}
+					res, err := core.Translate(q, d, opts)
+					if err != nil {
+						t.Fatalf("Translate(%s): %v", q, err)
+					}
+					ex := rdb.NewExec(db)
+					ex.Lazy = lazy
+					rel, err := ex.Run(res.Program)
+					if err != nil {
+						t.Fatalf("Run(%s rid=%v push=%v lazy=%v): %v", q, useRid, push, lazy, err)
+					}
+					if got := rel.TIDs(); !equalInts(got, want) {
+						t.Fatalf("%s rid=%v push=%v lazy=%v: got %v, want %v\nprogram:\n%s",
+							q, useRid, push, lazy, got, want, res.Program)
+					}
+				}
+			}
+		}
+	}
+}

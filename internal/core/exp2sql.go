@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/shred"
+)
+
+// SQLOptions configures EXpToSQL.
+type SQLOptions struct {
+	// RelName maps an element type to its stored relation; defaults to
+	// shred.RelName.
+	RelName func(string) string
+	// AtRoot appends the final σ_{F='_'} selection (Fig 10 line 26) so the
+	// result holds only answers reachable from the document root. Set by
+	// Translate; disable to obtain the full (context, target) relation.
+	AtRoot bool
+	// UseRid translates ε and the reflexive part of E* via the full R_id
+	// identity relation (the naive scheme of §5.1). Off, the optimized
+	// "Handling (E)*" scheme of §5.2 is used: ε parts are folded into
+	// composition contexts and R_id is materialized only when unavoidable.
+	UseRid bool
+	// PushSelections enables the §5.2 optimization that pushes join
+	// constraints into the LFP operator (see Optimize).
+	PushSelections bool
+}
+
+// DefaultSQLOptions returns the options Translate uses: optimized ε
+// handling, pushed selections, root-anchored result.
+func DefaultSQLOptions() SQLOptions {
+	return SQLOptions{AtRoot: true, PushSelections: true}
+}
+
+// EXpToSQL rewrites an extended-XPath query into an equivalent sequence of
+// relational-algebra statements with the single-input LFP operator (Fig 10).
+// Statement e2s(e) of every equation is emitted once and referenced through
+// its temporary table, so shared sub-queries are computed once; the CycleE
+// strategy produces variable-free queries and therefore no sharing, exactly
+// the contrast measured in Table 5.
+func EXpToSQL(q *expath.Query, opts SQLOptions) (*ra.Program, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RelName == nil {
+		opts.RelName = shred.RelName
+	}
+	tr := &sqlTranslator{opts: opts, varInfo: map[string]tPlan{}}
+	for _, eq := range q.Eqs {
+		p := tr.e2s(eq.E)
+		// Bind the equation to a temporary table; keep its nullability so
+		// later references can fold the ε part into their own context.
+		name := "T_" + eq.X
+		tr.emit(name, p.pos)
+		tr.varInfo[eq.X] = tPlan{pos: ra.Temp{Name: name}, nullable: p.nullable}
+	}
+	res := tr.e2s(q.Result)
+	final := res.pos
+	if opts.AtRoot {
+		final = ra.SelectRoot{Child: final}
+	}
+	tr.emit("result", final)
+	prog := &ra.Program{Stmts: tr.stmts, Result: "result"}
+	if opts.PushSelections {
+		Optimize(prog)
+	}
+	return prog, nil
+}
+
+// tPlan is a translated expression: the plan of its non-ε paths plus a flag
+// recording whether ε is in its language. Keeping ε symbolic implements the
+// "Handling (E)*" optimization: a composition context absorbs the ε part as
+// its own relation instead of joining with R_id.
+type tPlan struct {
+	pos      ra.Plan
+	nullable bool
+}
+
+type sqlTranslator struct {
+	opts    SQLOptions
+	stmts   []ra.Stmt
+	varInfo map[string]tPlan
+	counter int
+}
+
+func (tr *sqlTranslator) emit(name string, p ra.Plan) {
+	tr.stmts = append(tr.stmts, ra.Stmt{Name: name, Plan: p})
+}
+
+// asTemp materializes a plan as a temporary statement when it is about to be
+// referenced more than once, so the engine computes it a single time.
+func (tr *sqlTranslator) asTemp(p ra.Plan) ra.Plan {
+	switch p.(type) {
+	case ra.Temp, ra.Base, ra.Ident:
+		return p
+	}
+	tr.counter++
+	name := fmt.Sprintf("tmp%d", tr.counter)
+	tr.emit(name, p)
+	return ra.Temp{Name: name}
+}
+
+func empty() ra.Plan { return ra.UnionAll{} }
+
+func isEmpty(p ra.Plan) bool {
+	u, ok := p.(ra.UnionAll)
+	return ok && len(u.Kids) == 0
+}
+
+func union(ps ...ra.Plan) ra.Plan {
+	var kids []ra.Plan
+	for _, p := range ps {
+		if isEmpty(p) {
+			continue
+		}
+		if u, ok := p.(ra.UnionAll); ok {
+			kids = append(kids, u.Kids...)
+			continue
+		}
+		kids = append(kids, p)
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return ra.UnionAll{Kids: kids}
+}
+
+func compose(l, r ra.Plan) ra.Plan {
+	if isEmpty(l) || isEmpty(r) {
+		return empty()
+	}
+	return ra.Compose{L: l, R: r}
+}
+
+// e2s translates an expression (Fig 10, cases 1–12).
+func (tr *sqlTranslator) e2s(e expath.Expr) tPlan {
+	switch e := e.(type) {
+	case expath.Zero:
+		return tPlan{pos: empty()}
+	case expath.Eps: // case (1)
+		if tr.opts.UseRid {
+			return tPlan{pos: ra.Ident{}}
+		}
+		return tPlan{pos: empty(), nullable: true}
+	case expath.Label: // case (2)
+		return tPlan{pos: ra.Base{Rel: tr.opts.RelName(e.Name)}}
+	case expath.Edge:
+		// Source-typed step: To-children of From-typed nodes, the typed
+		// edge join of Example 3.5 (e.g. Rs/Rc) as an F-side semijoin.
+		return tPlan{pos: ra.TypeFilter{
+			Child: ra.Base{Rel: tr.opts.RelName(e.To)},
+			Rel:   tr.opts.RelName(e.From),
+			OnF:   true,
+		}}
+	case expath.Var: // case (3)
+		info, ok := tr.varInfo[e.Name]
+		if !ok {
+			panic(fmt.Sprintf("core: unbound variable %s", e.Name))
+		}
+		return info
+	case expath.Cat: // case (4)
+		l := tr.e2s(e.L)
+		r := tr.e2s(e.R)
+		if isEmpty(l.pos) && !l.nullable {
+			return tPlan{pos: empty()}
+		}
+		if isEmpty(r.pos) && !r.nullable {
+			return tPlan{pos: empty()}
+		}
+		// L/R = L⁺/R⁺ ∪ (ε∈L ? R⁺) ∪ (ε∈R ? L⁺), ε ∈ L/R iff both.
+		lp, rp := l.pos, r.pos
+		if l.nullable && !isEmpty(rp) {
+			rp = tr.asTemp(rp)
+		}
+		if r.nullable && !isEmpty(lp) {
+			lp = tr.asTemp(lp)
+		}
+		out := compose(lp, rp)
+		if l.nullable {
+			out = union(out, rp)
+		}
+		if r.nullable {
+			out = union(out, lp)
+		}
+		return tPlan{pos: out, nullable: l.nullable && r.nullable}
+	case expath.Union: // case (5)
+		l := tr.e2s(e.L)
+		r := tr.e2s(e.R)
+		return tPlan{pos: union(l.pos, r.pos), nullable: l.nullable || r.nullable}
+	case expath.Star: // case (6): Φ(R) plus the symbolic (or R_id) ε part.
+		inner := tr.e2s(e.E)
+		seed := inner.pos
+		if isEmpty(seed) {
+			// ∅* = ε.
+			if tr.opts.UseRid {
+				return tPlan{pos: ra.Ident{}}
+			}
+			return tPlan{pos: empty(), nullable: true}
+		}
+		fix := ra.Fix{Seed: tr.asTemp(seed)}
+		if tr.opts.UseRid {
+			return tPlan{pos: union(fix, ra.Ident{})}
+		}
+		return tPlan{pos: fix, nullable: true}
+	case expath.Qualified: // cases (7)–(12)
+		inner := tr.e2s(e.E)
+		pos := tr.applyQual(e.Q, inner.pos)
+		if inner.nullable {
+			// The ε part survives only at context nodes satisfying the
+			// qualifier; materialize it over R_id (rare: requires a
+			// qualified nullable sub-expression such as '.[q]').
+			pos = union(pos, tr.applyQual(e.Q, ra.Ident{}))
+		}
+		return tPlan{pos: pos}
+	}
+	panic(fmt.Sprintf("core: unknown expression %T", e))
+}
+
+// applyQual filters the candidate relation cand to tuples whose T node
+// satisfies q. Path qualifiers become semijoins against the qualifier
+// expression's relation (case 6/7 of Fig 10), negation an antijoin
+// (case 11), text()=c a selection (case 12); ∧ composes filters and ∨
+// unions them, mirroring Example 5.1's decomposition of Q2.
+func (tr *sqlTranslator) applyQual(q expath.Qual, cand ra.Plan) ra.Plan {
+	switch q := q.(type) {
+	case expath.QTrue:
+		return cand
+	case expath.QFalse:
+		return empty()
+	case expath.QExpr:
+		w := tr.e2s(q.E)
+		if w.nullable {
+			// ε ∈ E: every node trivially reaches itself, so [E] holds
+			// everywhere.
+			return cand
+		}
+		if isEmpty(w.pos) {
+			return empty()
+		}
+		return ra.Semijoin{L: cand, R: tr.asTemp(w.pos)}
+	case expath.QText:
+		return ra.SelectVal{Child: cand, Val: q.C}
+	case expath.QNot:
+		// Special-case ¬[E] as an antijoin; general ¬q as cand \ q(cand).
+		if inner, ok := q.Q.(expath.QExpr); ok {
+			w := tr.e2s(inner.E)
+			if w.nullable {
+				return empty()
+			}
+			if isEmpty(w.pos) {
+				return cand
+			}
+			return ra.Antijoin{L: cand, R: tr.asTemp(w.pos)}
+		}
+		c := tr.asTemp(cand)
+		return ra.Diff{L: c, R: tr.applyQual(q.Q, c)}
+	case expath.QAnd:
+		return tr.applyQual(q.R, tr.applyQual(q.L, cand))
+	case expath.QOr:
+		c := tr.asTemp(cand)
+		return union(tr.applyQual(q.L, c), tr.applyQual(q.R, c))
+	}
+	panic(fmt.Sprintf("core: unknown qualifier %T", q))
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+func deptForTest() *dtd.DTD { return workload.Dept() }
+
+func mustParse(t *testing.T, s string) xpath.Path {
+	t.Helper()
+	p, err := xpath.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// miniDB builds a small database: a(1) -> b(2) -> c(3), b(2) -> b(4),
+// a(1) -> c(5); values "v<k>".
+func miniDB() *rdb.DB {
+	db := rdb.NewDB()
+	db.Insert("R_a", 0, 1, "va")
+	db.Insert("R_b", 1, 2, "vb")
+	db.Insert("R_c", 2, 3, "vc")
+	db.Insert("R_b", 2, 4, "vb2")
+	db.Insert("R_c", 1, 5, "vc2")
+	return db
+}
+
+func execQuery(t *testing.T, q *expath.Query, opts SQLOptions, db *rdb.DB) []int {
+	t.Helper()
+	prog, err := EXpToSQL(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := rdb.NewExec(db)
+	rel, err := ex.Run(prog)
+	if err != nil {
+		t.Fatalf("run: %v\nprogram:\n%s", err, prog)
+	}
+	return rel.TIDs()
+}
+
+func optsAtRoot() SQLOptions {
+	o := DefaultSQLOptions()
+	return o
+}
+
+func eqInts(a []int, b ...int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestE2SLabel(t *testing.T) {
+	q := &expath.Query{Result: expath.Label{Name: "a"}}
+	if got := execQuery(t, q, optsAtRoot(), miniDB()); !eqInts(got, 1) {
+		t.Fatalf("a = %v", got)
+	}
+}
+
+func TestE2SCat(t *testing.T) {
+	q := &expath.Query{Result: expath.Cat{L: expath.Label{Name: "a"}, R: expath.Label{Name: "b"}}}
+	if got := execQuery(t, q, optsAtRoot(), miniDB()); !eqInts(got, 2) {
+		t.Fatalf("a/b = %v", got)
+	}
+}
+
+func TestE2SUnion(t *testing.T) {
+	q := &expath.Query{Result: expath.Cat{
+		L: expath.Label{Name: "a"},
+		R: expath.Union{L: expath.Label{Name: "b"}, R: expath.Label{Name: "c"}},
+	}}
+	if got := execQuery(t, q, optsAtRoot(), miniDB()); !eqInts(got, 2, 5) {
+		t.Fatalf("a/(b∪c) = %v", got)
+	}
+}
+
+func TestE2SStarNullable(t *testing.T) {
+	// a/b*: {a itself via ε, plus b-descendants through b*}.
+	q := &expath.Query{Result: expath.Cat{
+		L: expath.Label{Name: "a"},
+		R: expath.Star{E: expath.Label{Name: "b"}},
+	}}
+	for _, useRid := range []bool{false, true} {
+		opts := optsAtRoot()
+		opts.UseRid = useRid
+		if got := execQuery(t, q, opts, miniDB()); !eqInts(got, 1, 2, 4) {
+			t.Fatalf("useRid=%v: a/b* = %v", useRid, got)
+		}
+	}
+}
+
+func TestE2SStandaloneEps(t *testing.T) {
+	// ε anchored at the root: no document nodes (the virtual root is not a
+	// result). TIDs would report node 0, which Execute strips; at the
+	// relation level only tuple (0,0) may appear.
+	q := &expath.Query{Result: expath.Eps{}}
+	for _, useRid := range []bool{false, true} {
+		opts := optsAtRoot()
+		opts.UseRid = useRid
+		got := execQuery(t, q, opts, miniDB())
+		for _, id := range got {
+			if id != 0 {
+				t.Fatalf("useRid=%v: ε at root returned node %d", useRid, id)
+			}
+		}
+	}
+}
+
+func TestE2SQualifiers(t *testing.T) {
+	b := expath.Label{Name: "b"}
+	cases := []struct {
+		name string
+		q    expath.Qual
+		want []int
+	}{
+		{"[c]", expath.QExpr{E: expath.Label{Name: "c"}}, []int{2}},
+		{"[¬c]", expath.QNot{Q: expath.QExpr{E: expath.Label{Name: "c"}}}, []int{4}},
+		{"[text()=vb]", expath.QText{C: "vb"}, []int{2}},
+		{"[c ∧ b]", expath.QAnd{L: expath.QExpr{E: expath.Label{Name: "c"}}, R: expath.QExpr{E: b}}, []int{2}},
+		{"[c ∨ text()=vb2]", expath.QOr{L: expath.QExpr{E: expath.Label{Name: "c"}}, R: expath.QText{C: "vb2"}}, []int{2, 4}},
+		{"[¬(c ∧ text()=vb)]", expath.QNot{Q: expath.QAnd{L: expath.QExpr{E: expath.Label{Name: "c"}}, R: expath.QText{C: "vb"}}}, []int{4}},
+		{"[⊤]", expath.QTrue{}, []int{2, 4}},
+		{"[⊥]", expath.QFalse{}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// a//b-ish candidates: all b elements via a/b ∪ a/b/b.
+			cand := expath.Union{
+				L: expath.Cat{L: expath.Label{Name: "a"}, R: b},
+				R: expath.Cat{L: expath.Label{Name: "a"}, R: expath.Cat{L: b, R: b}},
+			}
+			q := &expath.Query{Result: expath.Qualified{E: cand, Q: tc.q}}
+			got := execQuery(t, q, optsAtRoot(), miniDB())
+			if !eqInts(got, tc.want...) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestE2SEdge(t *testing.T) {
+	// ⟨b→c⟩ from the a context: c-children of b nodes only (not node 5,
+	// whose parent is a).
+	q := &expath.Query{Result: expath.Cat{
+		L: expath.Cat{L: expath.Label{Name: "a"}, R: expath.Label{Name: "b"}},
+		R: expath.Edge{From: "b", To: "c"},
+	}}
+	if got := execQuery(t, q, optsAtRoot(), miniDB()); !eqInts(got, 3) {
+		t.Fatalf("a/b/⟨b→c⟩ = %v", got)
+	}
+}
+
+func TestE2SVariablesShareWork(t *testing.T) {
+	// X = Φ-bearing expression used twice: the program must evaluate its
+	// statement once.
+	q := &expath.Query{
+		Eqs: []expath.Equation{
+			{X: "X", E: expath.Cat{L: expath.Label{Name: "a"}, R: expath.Star{E: expath.Label{Name: "b"}}}},
+		},
+		Result: expath.Union{
+			L: expath.Cat{L: expath.Var{Name: "X"}, R: expath.Label{Name: "c"}},
+			R: expath.Var{Name: "X"},
+		},
+	}
+	opts := optsAtRoot()
+	opts.PushSelections = false // keep the shared temp intact
+	prog, err := EXpToSQL(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := rdb.NewExec(miniDB())
+	rel, err := ex.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.TIDs(); !eqInts(got, 1, 2, 3, 4, 5) {
+		t.Fatalf("result = %v", got)
+	}
+	if ex.Stats.LFPs != 1 {
+		t.Fatalf("shared fixpoint evaluated %d times", ex.Stats.LFPs)
+	}
+}
+
+func TestE2SRejectsInvalidQuery(t *testing.T) {
+	q := &expath.Query{Result: expath.Var{Name: "nope"}}
+	if _, err := EXpToSQL(q, optsAtRoot()); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+}
+
+func TestE2SOpCountsExample51(t *testing.T) {
+	// The translation of dept//project (Example 3.5 / 5.1) must stay small:
+	// one Φ, a handful of joins and unions — "our sql queries use 3 unions
+	// and 5 joins in total" in the paper's simplified-DTD setting; over the
+	// full 14-type DTD the counts are larger but the single-Φ property and
+	// the absence of with…recursive must hold.
+	d := deptForTest()
+	eq, err := XPathToEXp(mustParse(t, "dept//project"), d, RecFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := EXpToSQL(eq, DefaultSQLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Count()
+	if c.LFP != 1 {
+		t.Errorf("LFP = %d, want 1 (single Φ as in Example 3.5)", c.LFP)
+	}
+	if c.RecFix != 0 {
+		t.Errorf("RecFix = %d, want 0", c.RecFix)
+	}
+	if c.All() > 60 {
+		t.Errorf("total ops = %d, suspiciously large", c.All())
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sort"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+)
+
+// RecPairOps reports, for one ordered element-type pair (A, B), the operator
+// counts of the extended-XPath representation of all A→B paths as produced
+// by CycleE and by CycleEX — the quantities aggregated in Table 5 of the
+// paper (LFP = Kleene closures, All = every operator).
+type RecPairOps struct {
+	A, B    string
+	CycleE  expath.OpCounts
+	CycleEX expath.OpCounts
+}
+
+// AllRecPairs enumerates every ordered pair (A, B) of distinct element types
+// with B reachable from A (the pairs of §6.5) and computes both
+// representations' operator counts. CycleEX counts are taken after the
+// pruning of Fig 7 line 15 (unused and trivial equations removed).
+func AllRecPairs(d *dtd.DTD) []RecPairOps {
+	g := d.BuildGraph()
+	tg := newTransGraph(g)
+	rs := CycleEX(tg)
+	nodes := append([]string{}, g.Nodes...)
+	sort.Strings(nodes)
+	var out []RecPairOps
+	for _, a := range nodes {
+		reach := g.Reachable(a)
+		for _, b := range nodes {
+			if a == b || !reach[b] {
+				continue
+			}
+			e := CycleE(tg, a, b)
+			qe := &expath.Query{Result: e}
+			qx := (&expath.Query{Eqs: rs.Eqs, Result: rs.Rec(a, b)}).Prune()
+			out = append(out, RecPairOps{
+				A:       a,
+				B:       b,
+				CycleE:  qe.CountOps(),
+				CycleEX: qx.CountOps(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xpath"
+)
+
+// buildCrossDB generates a mid-size cross-cycle database with some SEL-
+// marked elements.
+func buildCrossDB(t testing.TB, seed int64, size int) *rdb.DB {
+	t.Helper()
+	d := workload.Cross()
+	doc, err := xmlgen.Generate(d, xmlgen.Options{XL: 12, XR: 4, Seed: seed, MaxNodes: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlgen.MarkValues(doc, "a", 1, "SEL", seed)
+	xmlgen.MarkValues(doc, "d", 20, "SEL", seed+1)
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func translateWith(t testing.TB, qs string, push bool) *Result {
+	t.Helper()
+	opts := Options{Strategy: StrategyCycleEX, SQL: SQLOptions{AtRoot: true, PushSelections: push}}
+	res, err := Translate(xpath.MustParse(qs), workload.Cross(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPushSelectionPreservesResults: pushed and unpushed plans agree on
+// every Exp-1/Exp-2 query.
+func TestPushSelectionPreservesResults(t *testing.T) {
+	db := buildCrossDB(t, 3, 2000)
+	for name, qs := range workload.CrossQueries {
+		pushed := translateWith(t, qs, true)
+		plain := translateWith(t, qs, false)
+		gotP, _, err := pushed.Execute(db)
+		if err != nil {
+			t.Fatalf("%s pushed: %v", name, err)
+		}
+		gotU, _, err := plain.Execute(db)
+		if err != nil {
+			t.Fatalf("%s unpushed: %v", name, err)
+		}
+		if len(gotP) != len(gotU) {
+			t.Fatalf("%s: pushed %d answers, unpushed %d", name, len(gotP), len(gotU))
+		}
+		for i := range gotP {
+			if gotP[i] != gotU[i] {
+				t.Fatalf("%s: answers differ at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestPushSelectionReducesWork: with a selective head qualifier (Qe), the
+// pushed plan's fixpoint produces far fewer tuples — the effect plotted in
+// Fig 13.
+func TestPushSelectionReducesWork(t *testing.T) {
+	db := buildCrossDB(t, 4, 4000)
+	qs := workload.CrossQueries["Qe"] // a[text()='SEL']/b//c/d with one marked a
+	pushed := translateWith(t, qs, true)
+	plain := translateWith(t, qs, false)
+	_, statsP, err := pushed.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsU, err := plain.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsP.TuplesOut >= statsU.TuplesOut {
+		t.Fatalf("pushing did not reduce tuples: pushed %d, unpushed %d", statsP.TuplesOut, statsU.TuplesOut)
+	}
+	// The improvement should be substantial (one a-element selected out of
+	// hundreds).
+	if statsP.TuplesOut*2 > statsU.TuplesOut {
+		t.Logf("warning: modest improvement: pushed %d vs %d", statsP.TuplesOut, statsU.TuplesOut)
+	}
+}
+
+// TestOptimizeSetsConstraints: the optimizer installs Start on the fixpoint
+// of R1 ⋈ Φ(R0) and End on Φ(R0) ⋈ R1.
+func TestOptimizeSetsConstraints(t *testing.T) {
+	mk := func(p ra.Plan) *ra.Program {
+		return &ra.Program{Stmts: []ra.Stmt{{Name: "result", Plan: p}}, Result: "result"}
+	}
+	countFix := func(p *ra.Program) (open, started, ended int) {
+		var walk func(pl ra.Plan)
+		walk = func(pl ra.Plan) {
+			switch pl := pl.(type) {
+			case ra.Fix:
+				switch {
+				case pl.Start != nil:
+					started++
+				case pl.End != nil:
+					ended++
+				default:
+					open++
+				}
+				walk(pl.Seed)
+			case ra.Compose:
+				walk(pl.L)
+				walk(pl.R)
+			case ra.UnionAll:
+				for _, k := range pl.Kids {
+					walk(k)
+				}
+			case ra.Semijoin:
+				walk(pl.L)
+				walk(pl.R)
+			case ra.Antijoin:
+				walk(pl.L)
+				walk(pl.R)
+			case ra.SelectVal:
+				walk(pl.Child)
+			case ra.SelectRoot:
+				walk(pl.Child)
+			case ra.Diff:
+				walk(pl.L)
+				walk(pl.R)
+			case ra.RecUnion:
+				for _, init := range pl.Init {
+					walk(init.Plan)
+				}
+				for _, e := range pl.Edges {
+					walk(e.Rel)
+				}
+			}
+		}
+		for _, s := range p.Stmts {
+			walk(s.Plan)
+		}
+		return
+	}
+
+	// R1 ⋈ Φ(R0): start constraint.
+	p := mk(ra.Compose{L: ra.Base{Rel: "R1"}, R: ra.Fix{Seed: ra.Base{Rel: "R0"}}})
+	Optimize(p)
+	if open, started, _ := countFix(p); open != 0 || started != 1 {
+		t.Fatalf("start push failed: open=%d started=%d\n%s", open, started, p)
+	}
+	// Φ(R0) ⋈ R1: end constraint.
+	p = mk(ra.Compose{L: ra.Fix{Seed: ra.Base{Rel: "R0"}}, R: ra.Base{Rel: "R1"}})
+	Optimize(p)
+	if open, _, ended := countFix(p); open != 0 || ended != 1 {
+		t.Fatalf("end push failed: open=%d ended=%d\n%s", open, ended, p)
+	}
+	// Rule (ii) conjunction: R1 ⋈ Φ ⋈ R2 — both constraints land.
+	p = mk(ra.Compose{
+		L: ra.Compose{L: ra.Base{Rel: "R1"}, R: ra.Fix{Seed: ra.Base{Rel: "R0"}}},
+		R: ra.Base{Rel: "R2"},
+	})
+	Optimize(p)
+	if open, started, _ := countFix(p); open != 0 || started != 1 {
+		t.Fatalf("nested push failed: open=%d started=%d\n%s", open, started, p)
+	}
+	// Diff right side must never be constrained.
+	p = mk(ra.Diff{L: ra.Base{Rel: "R1"}, R: ra.Fix{Seed: ra.Base{Rel: "R0"}}})
+	Optimize(p)
+	if open, started, ended := countFix(p); open != 1 || started != 0 || ended != 0 {
+		t.Fatalf("diff push should not happen: open=%d started=%d ended=%d", open, started, ended)
+	}
+	// The multi-relation fixpoint is a black box.
+	p = mk(ra.Compose{L: ra.Base{Rel: "R1"}, R: ra.RecUnion{
+		Init:  []ra.Tagged{{Tag: "x", Plan: ra.Fix{Seed: ra.Base{Rel: "R0"}}}},
+		Pairs: true,
+	}})
+	Optimize(p)
+	if open, _, _ := countFix(p); open != 1 {
+		t.Fatalf("optimizer descended into with…recursive")
+	}
+}
+
+// TestOptimizeUnionRule: rule (i) — pushing distributes over union.
+func TestOptimizeUnionRule(t *testing.T) {
+	p := &ra.Program{Stmts: []ra.Stmt{{Name: "result", Plan: ra.Compose{
+		L: ra.Base{Rel: "R1"},
+		R: ra.UnionAll{Kids: []ra.Plan{
+			ra.Fix{Seed: ra.Base{Rel: "A"}},
+			ra.Fix{Seed: ra.Base{Rel: "B"}},
+			ra.Base{Rel: "C"},
+		}},
+	}}}, Result: "result"}
+	Optimize(p)
+	started := 0
+	var walk func(pl ra.Plan)
+	walk = func(pl ra.Plan) {
+		switch pl := pl.(type) {
+		case ra.Fix:
+			if pl.Start != nil {
+				started++
+			}
+		case ra.Compose:
+			walk(pl.L)
+			walk(pl.R)
+		case ra.UnionAll:
+			for _, k := range pl.Kids {
+				walk(k)
+			}
+		}
+	}
+	for _, s := range p.Stmts {
+		walk(s.Plan)
+	}
+	if started != 2 {
+		t.Fatalf("union rule pushed into %d fixpoints, want 2\n%s", started, p)
+	}
+}

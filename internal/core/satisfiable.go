@@ -1,0 +1,26 @@
+package core
+
+import (
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/xpath"
+)
+
+// Satisfiable reports whether the query can return a non-empty answer on
+// *some* document of the DTD, as decidable from the DTD structure alone:
+// XPathToEXp evaluates unmatchable label steps and structurally false/true
+// qualifiers during translation (Fig 9's RewQual), so the query is
+// structurally unsatisfiable exactly when its translation collapses to ∅.
+//
+// This is the structural fragment of the satisfiability analysis the paper
+// points to in §8 ([9]); qualifiers whose truth depends on data (text
+// values, existence of optional children, negation) are conservatively
+// treated as satisfiable.
+func Satisfiable(q xpath.Path, d *dtd.DTD) (bool, error) {
+	eq, err := XPathToEXp(q, d, RecFlat)
+	if err != nil {
+		return false, err
+	}
+	_, isZero := eq.Result.(expath.Zero)
+	return !isZero, nil
+}

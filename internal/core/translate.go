@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/xpath"
+)
+
+// Strategy selects the translation approach compared in §6.
+type Strategy int
+
+const (
+	// StrategyCycleEX is the paper's contribution ("X"): XPathToEXp with
+	// CycleEX, then EXpToSQL with the single-input LFP operator.
+	StrategyCycleEX Strategy = iota
+	// StrategyCycleE replaces CycleEX with Tarjan's variable-free
+	// expressions ("E"): same pipeline, exponentially larger plans.
+	StrategyCycleE
+	// StrategySQLGenR is the baseline of [39] ("R"): multi-relation SQL'99
+	// fixpoints, no extended XPath.
+	StrategySQLGenR
+)
+
+// String returns the single-letter label used in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCycleEX:
+		return "X"
+	case StrategyCycleE:
+		return "E"
+	case StrategySQLGenR:
+		return "R"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures Translate.
+type Options struct {
+	Strategy Strategy
+	SQL      SQLOptions
+	// NestedRec makes the CycleEX strategy emit the raw nested equation
+	// system of Fig 7 instead of the flat per-component closure form of
+	// Example 3.5. The nested form is what Table 5 counts; the flat form is
+	// the executed plan shape (its fixpoints can be seeded by pushed
+	// selections, §5.2).
+	NestedRec bool
+}
+
+// DefaultOptions returns the recommended configuration: CycleEX with
+// optimized ε handling and pushed selections.
+func DefaultOptions() Options {
+	return Options{Strategy: StrategyCycleEX, SQL: DefaultSQLOptions()}
+}
+
+// Result is a translated query.
+type Result struct {
+	Strategy Strategy
+	// EQ is the intermediate extended-XPath query (nil for SQLGen-R, which
+	// bypasses extended XPath).
+	EQ *expath.Query
+	// Program is the relational-query sequence; its result relation's T
+	// column holds the answer node IDs.
+	Program *ra.Program
+}
+
+// Translate rewrites an XPath query over a DTD into a sequence of relational
+// queries per the selected strategy. The program's result holds the answer
+// when evaluated over any database produced by shred.Shred from a document
+// conforming to the DTD (or any DTD containing it).
+func Translate(q xpath.Path, d *dtd.DTD, opts Options) (*Result, error) {
+	switch opts.Strategy {
+	case StrategySQLGenR:
+		prog, err := SQLGenR(q, d)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Strategy: opts.Strategy, Program: prog}, nil
+	case StrategyCycleE, StrategyCycleEX:
+		rec := RecFlat
+		if opts.NestedRec {
+			rec = RecCycleEX
+		}
+		if opts.Strategy == StrategyCycleE {
+			rec = RecCycleE
+		}
+		eq, err := XPathToEXp(q, d, rec)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := EXpToSQL(eq, opts.SQL)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Strategy: opts.Strategy, EQ: eq, Program: prog}, nil
+	}
+	return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+}
+
+// Execute runs the translated program against a shredded database and
+// returns the answer node IDs with execution statistics. The virtual
+// document root (ID 0) is dropped: it can enter the result relation via ε
+// but is a context, not a document node.
+func (r *Result) Execute(db *rdb.DB) ([]int, *rdb.Stats, error) {
+	ex := rdb.NewExec(db)
+	rel, err := ex.Run(r.Program)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := rel.TIDs()
+	if len(ids) > 0 && ids[0] == 0 {
+		ids = ids[1:]
+	}
+	return ids, &ex.Stats, nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// TestRewQualStaticFalse: a qualifier whose path cannot match under the DTD
+// is evaluated to false during translation, eliminating the whole branch
+// (Fig 9 / "optimize the xpath query by capitalizing on the dtd structure").
+func TestRewQualStaticFalse(t *testing.T) {
+	d := workload.Dept()
+	// project can never be reached from student by a child step.
+	q := xpath.MustParse("dept/course/takenBy/student[project]")
+	eq, err := XPathToEXp(q, d, RecCycleEX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isZero := eq.Result.(expath.Zero); !isZero {
+		t.Fatalf("statically-false qualifier survived: %s", eq.Result)
+	}
+}
+
+// TestRewQualStaticTrue: a qualifier containing ε is statically true and
+// dropped.
+func TestRewQualStaticTrue(t *testing.T) {
+	d := workload.Dept()
+	q := xpath.MustParse("dept/course[.]")
+	eq, err := XPathToEXp(q, d, RecCycleEX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasQualifier(eq) {
+		t.Fatalf("statically-true qualifier survived:\n%s", eq)
+	}
+	// Also through not(): [not(.)] is statically false.
+	q2 := xpath.MustParse("dept/course[not(.)]")
+	eq2, err := XPathToEXp(q2, d, RecCycleEX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isZero := eq2.Result.(expath.Zero); !isZero {
+		t.Fatalf("[not(.)] should be ∅, got %s", eq2.Result)
+	}
+}
+
+// TestUnmatchableLabelStep: a label not below the context type yields ∅.
+func TestUnmatchableLabelStep(t *testing.T) {
+	d := workload.Dept()
+	for _, qs := range []string{"course", "dept/project", "dept/course/course"} {
+		eq, err := XPathToEXp(xpath.MustParse(qs), d, RecCycleEX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, isZero := eq.Result.(expath.Zero); !isZero {
+			t.Errorf("%s should translate to ∅, got %s", qs, eq.Result)
+		}
+	}
+}
+
+// TestExample35Shape: Q1 = dept//project translates to the shape of
+// Example 3.5 — a query whose Kleene closure covers the three simple-cycle
+// families around course and whose spine is dept/course/…/project.
+func TestExample35Shape(t *testing.T) {
+	d := workload.Dept()
+	eq, err := XPathToEXp(xpath.MustParse("dept//project"), d, RecCycleEX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := eq.String()
+	// The query must mention the spine labels and contain at least one
+	// Kleene closure; qualifiers must be absent.
+	for _, label := range []string{"dept", "course", "project"} {
+		if !strings.Contains(s, label) {
+			t.Errorf("missing label %s in:\n%s", label, s)
+		}
+	}
+	if !strings.Contains(s, "*") {
+		t.Errorf("no Kleene closure in:\n%s", s)
+	}
+	if hasQualifier(eq) {
+		t.Errorf("unexpected qualifier in:\n%s", s)
+	}
+	c := eq.CountOps()
+	if c.Star == 0 {
+		t.Errorf("no stars counted: %+v", c)
+	}
+	// Polynomial size: the pruned query stays small on this 14-type DTD.
+	if len(eq.Eqs) > 200 {
+		t.Errorf("query has %d equations", len(eq.Eqs))
+	}
+}
+
+// hasQualifier reports whether any expression of the query contains a
+// Qualified node. (String matching on '[' would falsely hit the brackets in
+// CycleEX variable names.)
+func hasQualifier(q *expath.Query) bool {
+	if exprHasQualifier(q.Result) {
+		return true
+	}
+	for _, e := range q.Eqs {
+		if exprHasQualifier(e.E) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasQualifier(e expath.Expr) bool {
+	switch e := e.(type) {
+	case expath.Cat:
+		return exprHasQualifier(e.L) || exprHasQualifier(e.R)
+	case expath.Union:
+		return exprHasQualifier(e.L) || exprHasQualifier(e.R)
+	case expath.Star:
+		return exprHasQualifier(e.E)
+	case expath.Qualified:
+		return true
+	}
+	return false
+}
+
+// TestNoQualifierInsideStar: Kleene closure is introduced only by
+// rec(A, B), so no qualifier appears inside E* (a stated property of
+// XPathToEXp's output, §4.2).
+func TestNoQualifierInsideStar(t *testing.T) {
+	d := workload.Dept()
+	queries := []string{
+		"dept//project",
+		"dept/course[.//prereq/course[cno[text()='cs66']] and not(.//project)]",
+		"dept//course[.//student]//project",
+	}
+	for _, qs := range queries {
+		eq, err := XPathToEXp(xpath.MustParse(qs), d, RecCycleEX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(e expath.Expr) {
+			var walk func(e expath.Expr, inStar bool)
+			walk = func(e expath.Expr, inStar bool) {
+				switch e := e.(type) {
+				case expath.Cat:
+					walk(e.L, inStar)
+					walk(e.R, inStar)
+				case expath.Union:
+					walk(e.L, inStar)
+					walk(e.R, inStar)
+				case expath.Star:
+					walk(e.E, true)
+				case expath.Qualified:
+					if inStar {
+						t.Errorf("%s: qualifier inside star: %s", qs, e)
+					}
+					walk(e.E, inStar)
+				case expath.Var:
+					// Variables under stars are checked via their bindings:
+					// a binding with a qualifier referenced under a star
+					// would be a violation. Bindings are scanned below with
+					// starredVars.
+				}
+			}
+			walk(e, false)
+		}
+		check(eq.Result)
+		for _, e := range eq.Eqs {
+			check(e.E)
+		}
+		// Transitively: variables reachable under a star must bind
+		// qualifier-free expressions.
+		starred := map[string]bool{}
+		var mark func(e expath.Expr, inStar bool)
+		mark = func(e expath.Expr, inStar bool) {
+			switch e := e.(type) {
+			case expath.Cat:
+				mark(e.L, inStar)
+				mark(e.R, inStar)
+			case expath.Union:
+				mark(e.L, inStar)
+				mark(e.R, inStar)
+			case expath.Star:
+				mark(e.E, true)
+			case expath.Qualified:
+				mark(e.E, inStar)
+			case expath.Var:
+				if inStar {
+					starred[e.Name] = true
+				}
+			}
+		}
+		mark(eq.Result, false)
+		for i := len(eq.Eqs) - 1; i >= 0; i-- {
+			e := eq.Eqs[i]
+			mark(e.E, starred[e.X])
+		}
+		for _, e := range eq.Eqs {
+			if starred[e.X] && exprHasQualifier(e.E) {
+				t.Errorf("%s: starred variable %s binds qualifier: %s", qs, e.X, e.E)
+			}
+		}
+	}
+}
+
+// TestTranslationSizePolynomial gives Theorem 4.2's bound a smoke check:
+// the pruned query size grows modestly with query size on the GedML DTD.
+func TestTranslationSizePolynomial(t *testing.T) {
+	d := workload.GedML()
+	sizes := []int{}
+	queries := []string{
+		"Even//Data",
+		"Even//Data//Note",
+		"Even//Data//Note//Sour",
+		"Even//Data//Note//Sour//Obje",
+	}
+	for _, qs := range queries {
+		eq, err := XPathToEXp(xpath.MustParse(qs), d, RecCycleEX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := exprSize(eq.Result)
+		for _, e := range eq.Eqs {
+			total += exprSize(e.E)
+		}
+		sizes = append(sizes, total)
+	}
+	// Each extra '//' adds at most a constant factor (shared rec set), not
+	// an exponential one.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1]*4+200 {
+			t.Fatalf("translation sizes grow too fast: %v", sizes)
+		}
+	}
+}
+
+// TestStrategyEAgreesOnViews: the CycleE pipeline produces queries with the
+// same language (differential on a couple of fixed queries).
+func TestStrategyEAgrees(t *testing.T) {
+	d := workload.Cross()
+	for _, qs := range []string{"a//d", "a/b//c", "//c"} {
+		ex, err := XPathToEXp(xpath.MustParse(qs), d, RecCycleEX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ee, err := XPathToEXp(xpath.MustParse(qs), d, RecCycleE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lx := langUpTo(ex, 5)
+		le := langUpTo(ee, 5)
+		if len(lx) != len(le) {
+			t.Fatalf("%s: X has %d words, E has %d", qs, len(lx), len(le))
+		}
+		for w := range lx {
+			if !le[w] {
+				t.Fatalf("%s: word %q only in X", qs, w)
+			}
+		}
+	}
+}

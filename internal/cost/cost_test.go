@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"testing"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+	"xpath2sql/internal/xpath"
+)
+
+func buildStats(t *testing.T, maxNodes int) (DBStats, *rdb.DB) {
+	t.Helper()
+	d := workload.Cross()
+	var doc *xmltree.Document
+	for seed := int64(1); ; seed++ {
+		dd, err := xmlgen.Generate(d, xmlgen.Options{XL: 12, XR: 4, Seed: seed, MaxNodes: maxNodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dd.Size()*3 >= maxNodes {
+			doc = dd
+			break
+		}
+	}
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Gather(db), db
+}
+
+func TestGather(t *testing.T) {
+	s, db := buildStats(t, 2000)
+	if s.Nodes != db.NumNodes() {
+		t.Fatalf("nodes = %d", s.Nodes)
+	}
+	if s.AvgDepth <= 1 || s.MaxDepth < int(s.AvgDepth) {
+		t.Fatalf("depths: avg %.1f max %d", s.AvgDepth, s.MaxDepth)
+	}
+	if s.RelSizes["R_a"] == 0 || s.RelSizes["R_b"] == 0 {
+		t.Fatalf("relation sizes missing: %v", s.RelSizes)
+	}
+}
+
+func TestEstimateMonotoneInSize(t *testing.T) {
+	small, _ := buildStats(t, 1000)
+	large, _ := buildStats(t, 8000)
+	q := xpath.MustParse("a//d")
+	res, err := core.Translate(q, workload.Cross(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := EstimateProgram(res.Program, small)
+	el := EstimateProgram(res.Program, large)
+	if es.Cost <= 0 || el.Cost <= 0 {
+		t.Fatalf("non-positive costs: %v %v", es, el)
+	}
+	if el.Cost <= es.Cost {
+		t.Fatalf("cost not monotone in size: small %.0f, large %.0f", es.Cost, el.Cost)
+	}
+	if el.ResultCard <= 0 {
+		t.Fatalf("result card = %f", el.ResultCard)
+	}
+}
+
+// TestRecUnionCostedHigher: the model must charge the black-box
+// with…recursive its accumulative re-join cost, so for a deep recursive
+// query SQLGen-R estimates above CycleEX.
+func TestRecUnionCostedHigher(t *testing.T) {
+	stats, _ := buildStats(t, 8000)
+	q := xpath.MustParse("a//d")
+	var costs = map[core.Strategy]float64{}
+	for _, s := range []core.Strategy{core.StrategyCycleEX, core.StrategySQLGenR} {
+		opts := core.DefaultOptions()
+		opts.Strategy = s
+		res, err := core.Translate(q, workload.Cross(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[s] = EstimateProgram(res.Program, stats).Cost
+	}
+	if costs[core.StrategySQLGenR] <= costs[core.StrategyCycleEX] {
+		t.Fatalf("R estimated at %.0f, X at %.0f — model misses the accumulative penalty",
+			costs[core.StrategySQLGenR], costs[core.StrategyCycleEX])
+	}
+}
+
+func TestChooseOrdersAdvice(t *testing.T) {
+	stats, _ := buildStats(t, 4000)
+	advice, err := Choose(xpath.MustParse("a/b//c/d"), workload.Cross(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 3 {
+		t.Fatalf("advice entries = %d", len(advice))
+	}
+	for i := 1; i < len(advice); i++ {
+		if advice[i].Estimate.Cost < advice[i-1].Estimate.Cost {
+			t.Fatalf("advice not sorted: %v", advice)
+		}
+	}
+	// The recommended strategy for a deep recursive query is CycleEX.
+	if advice[0].Strategy != core.StrategyCycleEX {
+		t.Logf("note: best advice is %v (cost %.0f)", advice[0].Strategy, advice[0].Estimate.Cost)
+	}
+}
+
+func TestEstimateEmptyProgram(t *testing.T) {
+	stats := DBStats{RelSizes: map[string]int{}}
+	p := &ra.Program{Stmts: []ra.Stmt{{Name: "result", Plan: ra.UnionAll{}}}, Result: "result"}
+	e := EstimateProgram(p, stats)
+	if e.Cost != 0 || e.ResultCard != 0 {
+		t.Fatalf("empty program estimate: %+v", e)
+	}
+}

@@ -1,0 +1,278 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/xmltree"
+)
+
+func mustParse(t *testing.T, src string) *DTD {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return d
+}
+
+func TestParseBasic(t *testing.T) {
+	d := mustParse(t, `
+<!ELEMENT a (b*, c)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>
+`)
+	if d.Root != "a" {
+		t.Fatalf("root = %q", d.Root)
+	}
+	if len(d.Prods) != 3 {
+		t.Fatalf("types = %d", len(d.Prods))
+	}
+	if _, ok := d.Prods["c"].(Epsilon); !ok {
+		t.Fatalf("c should be EMPTY, got %T", d.Prods["c"])
+	}
+}
+
+func TestParseRootDirective(t *testing.T) {
+	d := mustParse(t, `
+<!-- root: b -->
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a*)>
+`)
+	if d.Root != "b" {
+		t.Fatalf("root = %q", d.Root)
+	}
+}
+
+func TestParseOccurrenceOperators(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b+, c?)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>`)
+	// b+ desugars to (b, b*): both b occurrences exist.
+	s, ok := d.Prods["a"].(Seq)
+	if !ok {
+		t.Fatalf("a = %T", d.Prods["a"])
+	}
+	if len(s.Items) != 2 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if _, ok := s.Items[0].(Seq); !ok {
+		t.Errorf("b+ should desugar to a Seq, got %T", s.Items[0])
+	}
+	if _, ok := s.Items[1].(Alt); !ok {
+		t.Errorf("c? should desugar to an Alt, got %T", s.Items[1])
+	}
+}
+
+func TestParseAny(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a ANY>
+<!ELEMENT b EMPTY>`)
+	st, ok := d.Prods["a"].(Star)
+	if !ok {
+		t.Fatalf("ANY should desugar to a Star, got %T", d.Prods["a"])
+	}
+	alt, ok := st.Item.(Alt)
+	if !ok || len(alt.Items) != 2 {
+		t.Fatalf("ANY body = %v", st.Item)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,                                      // no declarations
+		`<!ELEMENT a (b*)>`,                     // undeclared b
+		`<!ELEMENT a (b*)><!ELEMENT a (c)>`,     // duplicate
+		`<!ELEMENT a (b*>`,                      // unbalanced — parses as name "b*"? must fail
+		`<!FOO bar>`,                            // unsupported declaration
+		`<!ELEMENT a ((b)>  <!ELEMENT b EMPTY>`, // unbalanced parens
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	src := `<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, title, prereq)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>`
+	d := mustParse(t, src)
+	d2 := mustParse(t, d.String())
+	if d2.Root != d.Root {
+		t.Fatalf("root changed: %q vs %q", d2.Root, d.Root)
+	}
+	g, g2 := d.BuildGraph(), d2.BuildGraph()
+	if !g.ContainedIn(g2) || !g2.ContainedIn(g) {
+		t.Fatalf("graph changed after String roundtrip")
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b*, c)>
+<!ELEMENT b (a*)>
+<!ELEMENT c EMPTY>`)
+	g := d.BuildGraph()
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") || !g.HasEdge("a", "c") {
+		t.Fatalf("missing edges")
+	}
+	if g.HasEdge("c", "a") {
+		t.Fatalf("phantom edge")
+	}
+	if !g.Recursive() {
+		t.Fatalf("should be recursive")
+	}
+	if n := g.NumSimpleCycles(); n != 1 {
+		t.Fatalf("cycles = %d", n)
+	}
+	// Star labels: a→b starred, a→c not.
+	for _, e := range g.Out["a"] {
+		if e.To == "b" && !e.Starred {
+			t.Errorf("a→b should be starred")
+		}
+		if e.To == "c" && e.Starred {
+			t.Errorf("a→c should not be starred")
+		}
+	}
+}
+
+func TestSelfLoopCycle(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (a*)>`)
+	g := d.BuildGraph()
+	if !g.Recursive() {
+		t.Fatalf("self-loop should be recursive")
+	}
+	if n := g.NumSimpleCycles(); n != 1 {
+		t.Fatalf("cycles = %d, want 1", n)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b*)>
+<!ELEMENT b (c*)>
+<!ELEMENT c (b*)>`)
+	g := d.BuildGraph()
+	sccs := g.SCCs()
+	var sizes []int
+	for _, s := range sccs {
+		sizes = append(sizes, len(s))
+	}
+	// {b,c} is one SCC, {a} another.
+	if len(sccs) != 2 {
+		t.Fatalf("sccs = %v", sccs)
+	}
+	found := false
+	for _, s := range sccs {
+		if len(s) == 2 && s[0] == "b" && s[1] == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing {b,c} SCC: %v", sccs)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b*)>
+<!ELEMENT b (c*)>
+<!ELEMENT c EMPTY>
+<!ELEMENT d EMPTY>
+<!-- root: a -->`)
+	// d is declared but unreachable — still a valid DTD for our model.
+	g := d.BuildGraph()
+	r := g.Reachable("a")
+	if !r["b"] || !r["c"] || r["a"] || r["d"] {
+		t.Fatalf("Reachable(a) = %v", r)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b*, c)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>`)
+	good, _ := xmltree.Parse(`<a><b>x</b><b>y</b><c/></a>`)
+	if err := d.Validate(good); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	alsoGood, _ := xmltree.Parse(`<a><c/></a>`)
+	if err := d.Validate(alsoGood); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	missing, _ := xmltree.Parse(`<a><b>x</b></a>`)
+	if err := d.Validate(missing); err == nil {
+		t.Fatalf("doc missing required c accepted")
+	}
+	extra, _ := xmltree.Parse(`<a><c/><c/></a>`)
+	if err := d.Validate(extra); err == nil {
+		t.Fatalf("doc with two c accepted")
+	}
+	wrongRoot, _ := xmltree.Parse(`<b>x</b>`)
+	if err := d.Validate(wrongRoot); err == nil {
+		t.Fatalf("wrong root accepted")
+	}
+	undeclared, _ := xmltree.Parse(`<a><z/><c/></a>`)
+	if err := d.Validate(undeclared); err == nil {
+		t.Fatalf("undeclared element accepted")
+	}
+}
+
+func TestValidateAlternatives(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a (b | c)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>`)
+	for _, src := range []string{`<a><b/></a>`, `<a><c/></a>`} {
+		doc, _ := xmltree.Parse(src)
+		if err := d.Validate(doc); err != nil {
+			t.Errorf("Validate(%s): %v", src, err)
+		}
+	}
+	both, _ := xmltree.Parse(`<a><b/><c/></a>`)
+	if err := d.Validate(both); err == nil {
+		t.Errorf("(b|c) accepted both")
+	}
+	neither, _ := xmltree.Parse(`<a/>`)
+	if err := d.Validate(neither); err == nil {
+		t.Errorf("(b|c) accepted neither")
+	}
+}
+
+func TestValidateUnordered(t *testing.T) {
+	// The data model is unordered (§2): (b, c) accepts c before b.
+	d := mustParse(t, `<!ELEMENT a (b, c)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>`)
+	doc, _ := xmltree.Parse(`<a><c/><b/></a>`)
+	if err := d.Validate(doc); err != nil {
+		t.Fatalf("unordered validation failed: %v", err)
+	}
+}
+
+func TestContainment(t *testing.T) {
+	d1 := mustParse(t, `<!ELEMENT a (b*)>
+<!ELEMENT b EMPTY>`)
+	d2 := mustParse(t, `<!ELEMENT a (b*, c*)>
+<!ELEMENT b (c*)>
+<!ELEMENT c EMPTY>`)
+	if !d1.BuildGraph().ContainedIn(d2.BuildGraph()) {
+		t.Fatalf("d1 should be contained in d2")
+	}
+	if d2.BuildGraph().ContainedIn(d1.BuildGraph()) {
+		t.Fatalf("d2 should not be contained in d1")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	d := New("a")
+	d.SetProd("a", Name{Type: "ghost"})
+	if err := d.Check(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("Check = %v", err)
+	}
+	d2 := &DTD{Root: "missing", Prods: map[string]Content{}}
+	if err := d2.Check(); err == nil {
+		t.Fatalf("missing root accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteCycles counts simple cycles by plain DFS enumeration, as an
+// independent reference for Johnson's algorithm.
+func bruteCycles(g *Graph) int {
+	idx := map[string]int{}
+	for i, n := range g.Nodes {
+		idx[n] = i
+	}
+	n := len(g.Nodes)
+	adj := make([][]int, n)
+	for i, node := range g.Nodes {
+		for _, e := range g.Out[node] {
+			adj[i] = append(adj[i], idx[e.To])
+		}
+	}
+	count := 0
+	inPath := make([]bool, n)
+	var dfs func(start, v int)
+	dfs = func(start, v int) {
+		for _, w := range adj[v] {
+			if w < start {
+				continue
+			}
+			if w == start {
+				count++
+				continue
+			}
+			if !inPath[w] {
+				inPath[w] = true
+				dfs(start, w)
+				inPath[w] = false
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		inPath[s] = true
+		dfs(s, s)
+		inPath[s] = false
+	}
+	return count
+}
+
+// randomGraphDTD builds a DTD whose graph has random edges over n types.
+func randomGraphDTD(r *rand.Rand, n int) *DTD {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	d := New(names[0])
+	for _, t := range names {
+		var items []Content
+		for _, u := range names {
+			if r.Intn(3) == 0 {
+				items = append(items, Star{Item: Name{Type: u}})
+			}
+		}
+		if len(items) == 0 {
+			d.SetProd(t, Epsilon{})
+		} else {
+			d.SetProd(t, Seq{Items: items})
+		}
+	}
+	return d
+}
+
+// TestSimpleCyclesMatchesBruteForce: Johnson's enumeration equals the DFS
+// count on random graphs.
+func TestSimpleCyclesMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphDTD(r, 2+r.Intn(5)).BuildGraph()
+		return g.NumSimpleCycles() == bruteCycles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCsPartition: every node appears in exactly one component, and nodes
+// in the same non-trivial component reach each other.
+func TestSCCsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphDTD(r, 2+r.Intn(6)).BuildGraph()
+		seen := map[string]int{}
+		for _, comp := range g.SCCs() {
+			for _, n := range comp {
+				seen[n]++
+			}
+			if len(comp) > 1 {
+				for _, a := range comp {
+					reach := g.Reachable(a)
+					for _, b := range comp {
+						if a != b && !reach[b] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		for _, n := range g.Nodes {
+			if seen[n] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecursiveIffCycles: Recursive() agrees with NumSimpleCycles() > 0.
+func TestRecursiveIffCycles(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphDTD(r, 2+r.Intn(6)).BuildGraph()
+		return g.Recursive() == (g.NumSimpleCycles() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContainmentReflexiveTransitive: containment is a preorder under
+// edge-subset construction.
+func TestContainmentReflexiveTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphDTD(r, 3+r.Intn(4)).BuildGraph()
+		return g.ContainedIn(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package expath
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/xmltree"
+)
+
+// Rel is a binary relation over node IDs: from -> set of to.
+type Rel map[xmltree.NodeID]map[xmltree.NodeID]bool
+
+// Add inserts the pair (f, t).
+func (r Rel) Add(f, t xmltree.NodeID) {
+	m, ok := r[f]
+	if !ok {
+		m = map[xmltree.NodeID]bool{}
+		r[f] = m
+	}
+	m[t] = true
+}
+
+// Has reports whether the pair (f, t) is in the relation.
+func (r Rel) Has(f, t xmltree.NodeID) bool { return r[f][t] }
+
+// Size returns the number of pairs.
+func (r Rel) Size() int {
+	n := 0
+	for _, m := range r {
+		n += len(m)
+	}
+	return n
+}
+
+// evaluator carries the document context for expression evaluation.
+type evaluator struct {
+	doc   *xmltree.Document
+	env   map[string]Rel
+	cache map[string]Rel // memoized expression results, keyed by printed form
+	// allIDs is every node ID including the virtual root 0; ε and E* are
+	// reflexive over this set.
+	allIDs []xmltree.NodeID
+}
+
+// EvalQuery evaluates an extended XPath query over a document and returns
+// the relation of its result expression. Pair (0, t) means t is reachable
+// from the virtual document root.
+func EvalQuery(q *Query, doc *xmltree.Document) (Rel, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ev := newEvaluator(doc)
+	for _, eq := range q.Eqs {
+		ev.env[eq.X] = ev.eval(eq.E)
+	}
+	return ev.eval(q.Result), nil
+}
+
+// EvalExpr evaluates a variable-free expression over a document.
+func EvalExpr(e Expr, doc *xmltree.Document) (Rel, error) {
+	if vs := FreeVars(e); len(vs) > 0 {
+		return nil, fmt.Errorf("expath: expression has unbound variables %v", vs)
+	}
+	return newEvaluator(doc).eval(e), nil
+}
+
+// ResultAtRoot returns the targets reachable from the virtual document root
+// in rel, as a node set of the document.
+func ResultAtRoot(rel Rel, doc *xmltree.Document) xmltree.NodeSet {
+	out := xmltree.NodeSet{}
+	for t := range rel[xmltree.VirtualRoot] {
+		if n := doc.Node(t); n != nil {
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// ResultAt returns the targets reachable from node v in rel.
+func ResultAt(rel Rel, doc *xmltree.Document, v xmltree.NodeID) xmltree.NodeSet {
+	out := xmltree.NodeSet{}
+	for t := range rel[v] {
+		if n := doc.Node(t); n != nil {
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+func newEvaluator(doc *xmltree.Document) *evaluator {
+	ev := &evaluator{doc: doc, env: map[string]Rel{}, cache: map[string]Rel{}}
+	ev.allIDs = append(ev.allIDs, xmltree.VirtualRoot)
+	for _, n := range doc.Nodes() {
+		ev.allIDs = append(ev.allIDs, n.ID)
+	}
+	return ev
+}
+
+func (ev *evaluator) eval(e Expr) Rel {
+	key := e.String()
+	if r, ok := ev.cache[key]; ok {
+		return r
+	}
+	r := ev.evalUncached(e)
+	ev.cache[key] = r
+	return r
+}
+
+func (ev *evaluator) evalUncached(e Expr) Rel {
+	out := Rel{}
+	switch e := e.(type) {
+	case Zero:
+		// empty
+	case Eps:
+		for _, id := range ev.allIDs {
+			out.Add(id, id)
+		}
+	case Label:
+		// Children labeled e.Name of every node, plus the root element as
+		// child of the virtual root.
+		if ev.doc.Root != nil && ev.doc.Root.Label == e.Name {
+			out.Add(xmltree.VirtualRoot, ev.doc.Root.ID)
+		}
+		for _, n := range ev.doc.Nodes() {
+			for _, c := range n.Children {
+				if c.Label == e.Name {
+					out.Add(n.ID, c.ID)
+				}
+			}
+		}
+	case Edge:
+		for _, n := range ev.doc.Nodes() {
+			if n.Label != e.From {
+				continue
+			}
+			for _, c := range n.Children {
+				if c.Label == e.To {
+					out.Add(n.ID, c.ID)
+				}
+			}
+		}
+	case Var:
+		r, ok := ev.env[e.Name]
+		if !ok {
+			panic(fmt.Sprintf("expath: unbound variable %s", e.Name))
+		}
+		return r
+	case Cat:
+		l := ev.eval(e.L)
+		r := ev.eval(e.R)
+		for f, mids := range l {
+			for m := range mids {
+				for t := range r[m] {
+					out.Add(f, t)
+				}
+			}
+		}
+	case Union:
+		l := ev.eval(e.L)
+		r := ev.eval(e.R)
+		for f, ts := range l {
+			for t := range ts {
+				out.Add(f, t)
+			}
+		}
+		for f, ts := range r {
+			for t := range ts {
+				out.Add(f, t)
+			}
+		}
+	case Star:
+		base := ev.eval(e.E)
+		// Reflexive-transitive closure: BFS from every node.
+		for _, id := range ev.allIDs {
+			out.Add(id, id)
+			frontier := []xmltree.NodeID{id}
+			for len(frontier) > 0 {
+				var next []xmltree.NodeID
+				for _, f := range frontier {
+					for t := range base[f] {
+						if !out.Has(id, t) {
+							out.Add(id, t)
+							next = append(next, t)
+						}
+					}
+				}
+				frontier = next
+			}
+		}
+	case Qualified:
+		inner := ev.eval(e.E)
+		for f, ts := range inner {
+			for t := range ts {
+				if ev.evalQual(e.Q, t) {
+					out.Add(f, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) evalQual(q Qual, at xmltree.NodeID) bool {
+	switch q := q.(type) {
+	case QTrue:
+		return true
+	case QFalse:
+		return false
+	case QExpr:
+		rel := ev.eval(q.E) // small DTD-bounded expressions; fine to recompute
+		return len(rel[at]) > 0
+	case QText:
+		n := ev.doc.Node(at)
+		return n != nil && n.Val == q.C
+	case QNot:
+		return !ev.evalQual(q.Q, at)
+	case QAnd:
+		return ev.evalQual(q.L, at) && ev.evalQual(q.R, at)
+	case QOr:
+		return ev.evalQual(q.L, at) || ev.evalQual(q.R, at)
+	}
+	return false
+}

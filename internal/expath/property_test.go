@@ -1,0 +1,188 @@
+package expath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpath2sql/internal/xmltree"
+)
+
+// randomExpr builds a random variable-free extended-XPath expression over
+// the given labels.
+func randomExpr(r *rand.Rand, labels []string, depth int) Expr {
+	pick := func() string { return labels[r.Intn(len(labels))] }
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Eps{}
+		case 1:
+			return Edge{From: pick(), To: pick()}
+		default:
+			return Label{Name: pick()}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Label{Name: pick()}
+	case 1:
+		return Cat{L: randomExpr(r, labels, depth-1), R: randomExpr(r, labels, depth-1)}
+	case 2:
+		return Union{L: randomExpr(r, labels, depth-1), R: randomExpr(r, labels, depth-1)}
+	case 3:
+		return Star{E: randomExpr(r, labels, depth-1)}
+	case 4:
+		return Qualified{E: randomExpr(r, labels, depth-1), Q: QExpr{E: randomExpr(r, labels, depth-1)}}
+	default:
+		return Eps{}
+	}
+}
+
+// randomDoc builds a small random tree over the labels.
+func randomDoc(r *rand.Rand, labels []string) *xmltree.Document {
+	root := &xmltree.Node{Label: labels[0]}
+	nodes := []*xmltree.Node{root}
+	for i := 0; i < 12; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		c := parent.AddChild(labels[r.Intn(len(labels))])
+		nodes = append(nodes, c)
+	}
+	return xmltree.NewDocument(root)
+}
+
+var propLabels = []string{"a", "b", "c"}
+
+func relEqual(x, y Rel) bool {
+	if x.Size() != y.Size() {
+		return false
+	}
+	for f, ts := range x {
+		for t := range ts {
+			if !y.Has(f, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSmartConstructorsPreserveSemantics: MkCat/MkUnion/MkStar/MkQual agree
+// with the plain constructors on random expressions and documents.
+func TestSmartConstructorsPreserveSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, propLabels)
+		a := randomExpr(r, propLabels, 2)
+		b := randomExpr(r, propLabels, 2)
+		pairs := []struct{ plain, smart Expr }{
+			{Cat{L: a, R: b}, MkCat(a, b)},
+			{Union{L: a, R: b}, MkUnion(a, b)},
+			{Star{E: a}, MkStar(a)},
+			{Cat{L: Eps{}, R: a}, MkCat(Eps{}, a)},
+			{Union{L: Zero{}, R: a}, MkUnion(Zero{}, a)},
+			{Cat{L: a, R: Zero{}}, MkCat(a, Zero{})},
+		}
+		for _, p := range pairs {
+			x, err := EvalExpr(p.plain, doc)
+			if err != nil {
+				return false
+			}
+			y, err := EvalExpr(p.smart, doc)
+			if err != nil {
+				return false
+			}
+			if !relEqual(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStarLaws: (E*)* ≡ E*, and E* ≡ ε ∪ E/E*.
+func TestStarLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, propLabels)
+		e := randomExpr(r, propLabels, 2)
+		star := Star{E: e}
+		x, err := EvalExpr(Star{E: star}, doc)
+		if err != nil {
+			return false
+		}
+		y, err := EvalExpr(star, doc)
+		if err != nil {
+			return false
+		}
+		if !relEqual(x, y) {
+			return false
+		}
+		unrolled := Union{L: Eps{}, R: Cat{L: e, R: star}}
+		z, err := EvalExpr(unrolled, doc)
+		if err != nil {
+			return false
+		}
+		return relEqual(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeEqualsTypedLabel: ⟨u→v⟩ ≡ restricting a v step to u-labeled
+// sources.
+func TestEdgeEqualsTypedLabel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, propLabels)
+		u := propLabels[r.Intn(len(propLabels))]
+		v := propLabels[r.Intn(len(propLabels))]
+		got, err := EvalExpr(Edge{From: u, To: v}, doc)
+		if err != nil {
+			return false
+		}
+		full, err := EvalExpr(Label{Name: v}, doc)
+		if err != nil {
+			return false
+		}
+		want := Rel{}
+		for f0, ts := range full {
+			src := doc.Node(f0)
+			if src == nil || src.Label != u {
+				continue
+			}
+			for t0 := range ts {
+				want.Add(f0, t0)
+			}
+		}
+		return relEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneIdempotent: pruning twice equals pruning once.
+func TestPruneIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e1 := randomExpr(r, propLabels, 2)
+		e2 := randomExpr(r, propLabels, 2)
+		q := &Query{
+			Eqs: []Equation{
+				{X: "X1", E: e1},
+				{X: "X2", E: MkUnion(Var{Name: "X1"}, e2)},
+			},
+			Result: Var{Name: "X2"},
+		}
+		p1 := q.Prune()
+		p2 := p1.Prune()
+		return p1.String() == p2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

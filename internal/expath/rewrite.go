@@ -1,0 +1,133 @@
+package expath
+
+// This file implements the query clean-up passes of CycleEX line 15 and
+// EXpToSQL line 27: pruning redundant equations and (for testing and for the
+// CycleE comparison) full variable elimination.
+
+// Prune returns an equivalent query with
+//  1. equations X = ∅ removed (occurrences replaced by ∅ and re-simplified),
+//  2. alias equations X = Y and trivial bindings (X = ε, X = A) inlined, and
+//  3. equations not contributing to the result expression dropped.
+//
+// These are exactly the three pruning rules of Fig 7, line 15.
+func (q *Query) Prune() *Query {
+	// Iterate until fixpoint: substituting ∅ can create new ∅/alias
+	// equations.
+	eqs := make([]Equation, len(q.Eqs))
+	copy(eqs, q.Eqs)
+	result := q.Result
+	for {
+		// Collect substitutions: var -> replacement expression.
+		subst := map[string]Expr{}
+		for _, eq := range eqs {
+			switch e := eq.E.(type) {
+			case Zero, Eps, Label, Edge, Var:
+				subst[eq.X] = e
+			}
+		}
+		if len(subst) == 0 {
+			break
+		}
+		// Chase alias chains (X = Y where Y itself is substituted).
+		for x := range subst {
+			seen := map[string]bool{x: true}
+			for {
+				v, ok := subst[x].(Var)
+				if !ok {
+					break
+				}
+				next, ok2 := subst[v.Name]
+				if !ok2 || seen[v.Name] {
+					break
+				}
+				seen[v.Name] = true
+				subst[x] = next
+			}
+		}
+		var kept []Equation
+		for _, eq := range eqs {
+			if _, drop := subst[eq.X]; drop {
+				continue
+			}
+			kept = append(kept, Equation{X: eq.X, E: Substitute(eq.E, subst)})
+		}
+		result = Substitute(result, subst)
+		if len(kept) == len(eqs) {
+			eqs = kept
+			break
+		}
+		eqs = kept
+	}
+	// Rule 3: keep only equations reachable from the result.
+	needed := map[string]bool{}
+	for _, v := range FreeVars(result) {
+		needed[v] = true
+	}
+	for i := len(eqs) - 1; i >= 0; i-- {
+		if needed[eqs[i].X] {
+			for _, v := range FreeVars(eqs[i].E) {
+				needed[v] = true
+			}
+		}
+	}
+	var kept []Equation
+	for _, eq := range eqs {
+		if needed[eq.X] {
+			kept = append(kept, eq)
+		}
+	}
+	return &Query{Eqs: kept, Result: result}
+}
+
+// Substitute replaces variable occurrences per subst, re-simplifying with
+// the smart constructors so introduced ∅/ε collapse.
+func Substitute(e Expr, subst map[string]Expr) Expr {
+	switch e := e.(type) {
+	case Var:
+		if r, ok := subst[e.Name]; ok {
+			return r
+		}
+		return e
+	case Cat:
+		return MkCat(Substitute(e.L, subst), Substitute(e.R, subst))
+	case Union:
+		return MkUnion(Substitute(e.L, subst), Substitute(e.R, subst))
+	case Star:
+		return MkStar(Substitute(e.E, subst))
+	case Qualified:
+		return MkQual(Substitute(e.E, subst), substQual(e.Q, subst))
+	default:
+		return e
+	}
+}
+
+func substQual(q Qual, subst map[string]Expr) Qual {
+	switch q := q.(type) {
+	case QExpr:
+		inner := Substitute(q.E, subst)
+		if _, ok := inner.(Zero); ok {
+			return QFalse{}
+		}
+		return QExpr{E: inner}
+	case QNot:
+		return MkNot(substQual(q.Q, subst))
+	case QAnd:
+		return MkAnd(substQual(q.L, subst), substQual(q.R, subst))
+	case QOr:
+		return MkOr(substQual(q.L, subst), substQual(q.R, subst))
+	default:
+		return q
+	}
+}
+
+// Inline eliminates every variable, producing a single regular-XPath
+// expression (no variables) equivalent to the query. This is the expansion
+// the paper proves may be exponentially larger than the equation form; it is
+// used by tests and by the CycleE comparison, never on user-facing paths.
+func (q *Query) Inline() Expr {
+	subst := map[string]Expr{}
+	for _, eq := range q.Eqs {
+		subst[eq.X] = Substitute(eq.E, subst)
+	}
+	return Substitute(q.Result, subst)
+}

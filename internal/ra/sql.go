@@ -1,0 +1,436 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dialect selects the SQL rendering of the LFP operator (Fig 4 of the
+// paper): the recursive-CTE form supported by IBM DB2 (and SQL'99 engines),
+// or Oracle's CONNECT BY.
+type Dialect int
+
+const (
+	// DialectDB2 renders Φ(R) with WITH RECURSIVE (DB2 / SQL'99 engines).
+	DialectDB2 Dialect = iota
+	// DialectOracle renders Φ(R) with CONNECT BY.
+	DialectOracle
+)
+
+// SQLRenderOptions configures rendering.
+type SQLRenderOptions struct {
+	Dialect Dialect
+	// NodesTable names the catalog table holding (ID, VAL) for every
+	// shredded node, used to materialize the R_id identity relation.
+	NodesTable string
+}
+
+// SQL renders the program as a sequence of SQL statements: one CREATE
+// TEMPORARY TABLE per program statement, in dependency order, with fixpoint
+// operators lifted into their own statements so every statement carries at
+// most one recursive construct (the "sequence of SQL queries" form of §5).
+func (p *Program) SQL(opts SQLRenderOptions) string {
+	if opts.NodesTable == "" {
+		opts.NodesTable = "all_nodes"
+	}
+	r := &sqlRenderer{opts: opts, names: map[string]string{}, used: map[string]bool{}}
+	// Pre-assign sanitized names for all statements.
+	for _, s := range p.Stmts {
+		r.names[s.Name] = r.fresh(s.Name)
+	}
+	// Topologically order statements (the optimizer may append shared
+	// temps after their uses).
+	ordered := topoStmts(p)
+	var b strings.Builder
+	for _, s := range ordered {
+		for _, pre := range r.lift(s.Plan) {
+			fmt.Fprintf(&b, "CREATE TEMPORARY TABLE %s AS\n%s;\n\n", pre.name, pre.sql)
+		}
+		sql := r.render(s.Plan, 0)
+		fmt.Fprintf(&b, "CREATE TEMPORARY TABLE %s AS\n%s;\n\n", r.names[s.Name], sql)
+	}
+	fmt.Fprintf(&b, "SELECT DISTINCT T FROM %s;\n", r.names[p.Result])
+	return b.String()
+}
+
+// topoStmts orders statements so every Temp reference points backwards.
+func topoStmts(p *Program) []Stmt {
+	byName := map[string]Stmt{}
+	for _, s := range p.Stmts {
+		byName[s.Name] = s
+	}
+	var order []Stmt
+	state := map[string]int{} // 0 new, 1 visiting, 2 done
+	var visit func(name string)
+	visit = func(name string) {
+		s, ok := byName[name]
+		if !ok || state[name] != 0 {
+			return
+		}
+		state[name] = 1
+		for _, dep := range TempRefs(s.Plan) {
+			visit(dep)
+		}
+		state[name] = 2
+		order = append(order, s)
+	}
+	for _, s := range p.Stmts {
+		visit(s.Name)
+	}
+	return order
+}
+
+// TempRefs lists the temp-table names referenced by a plan, sorted; it
+// defines the statement dependency graph used by parallel execution and the
+// SQL renderer's topological ordering.
+func TempRefs(p Plan) []string {
+	set := map[string]bool{}
+	var walk func(Plan)
+	walk = func(p Plan) {
+		switch p := p.(type) {
+		case Temp:
+			set[p.Name] = true
+		case Compose:
+			walk(p.L)
+			walk(p.R)
+		case UnionAll:
+			for _, k := range p.Kids {
+				walk(k)
+			}
+		case Fix:
+			walk(p.Seed)
+			if p.Start != nil {
+				walk(p.Start)
+			}
+			if p.End != nil {
+				walk(p.End)
+			}
+		case SelectVal:
+			walk(p.Child)
+		case SelectRoot:
+			walk(p.Child)
+		case Semijoin:
+			walk(p.L)
+			walk(p.R)
+		case Antijoin:
+			walk(p.L)
+			walk(p.R)
+		case Diff:
+			walk(p.L)
+			walk(p.R)
+		case IdentOf:
+			walk(p.Child)
+		case TypeFilter:
+			walk(p.Child)
+		case RecUnion:
+			for _, t := range p.Init {
+				walk(t.Plan)
+			}
+			for _, e := range p.Edges {
+				walk(e.Rel)
+			}
+		}
+	}
+	walk(p)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type lifted struct {
+	name string
+	sql  string
+}
+
+type sqlRenderer struct {
+	opts    SQLRenderOptions
+	names   map[string]string
+	used    map[string]bool
+	counter int
+	lifts   []lifted
+	aliasN  int
+}
+
+// fresh sanitizes a statement name into a unique SQL identifier.
+func (r *sqlRenderer) fresh(name string) string {
+	var b strings.Builder
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		case c == '[', c == ',', c == ']':
+			b.WriteRune('_')
+		}
+	}
+	s := strings.Trim(b.String(), "_")
+	if s == "" {
+		s = "t"
+	}
+	base := s
+	for i := 2; r.used[s]; i++ {
+		s = fmt.Sprintf("%s_%d", base, i)
+	}
+	r.used[s] = true
+	return s
+}
+
+func (r *sqlRenderer) alias() string {
+	r.aliasN++
+	return fmt.Sprintf("q%d", r.aliasN)
+}
+
+// lift extracts every Fix and RecUnion in the plan into its own statement
+// and returns their definitions in dependency order; the original plan's
+// recursive nodes are replaced by temp references (mutating via names map is
+// avoided: render recognizes lifted nodes by pointer identity through the
+// liftNames map).
+func (r *sqlRenderer) lift(p Plan) []lifted {
+	r.lifts = nil
+	r.liftPlan(p)
+	return r.lifts
+}
+
+// liftNames maps rendered recursive nodes (by their String form, which is
+// structural) to the lifted temp name. Within a single statement this is
+// both sound and deduplicating.
+
+func (r *sqlRenderer) liftPlan(p Plan) {
+	switch p := p.(type) {
+	case Fix:
+		r.liftPlan(p.Seed)
+		if p.Start != nil {
+			r.liftPlan(p.Start)
+		}
+		if p.End != nil {
+			r.liftPlan(p.End)
+		}
+		key := p.String()
+		if _, done := r.names[key]; !done {
+			name := r.fresh("fix")
+			r.names[key] = name
+			r.lifts = append(r.lifts, lifted{name: name, sql: r.renderFix(p)})
+		}
+	case RecUnion:
+		for _, t := range p.Init {
+			r.liftPlan(t.Plan)
+		}
+		for _, e := range p.Edges {
+			r.liftPlan(e.Rel)
+		}
+		key := p.String()
+		if _, done := r.names[key]; !done {
+			name := r.fresh("rec")
+			r.names[key] = name
+			r.lifts = append(r.lifts, lifted{name: name, sql: r.renderRecUnion(p)})
+		}
+	case Compose:
+		r.liftPlan(p.L)
+		r.liftPlan(p.R)
+	case UnionAll:
+		for _, k := range p.Kids {
+			r.liftPlan(k)
+		}
+	case SelectVal:
+		r.liftPlan(p.Child)
+	case SelectRoot:
+		r.liftPlan(p.Child)
+	case Semijoin:
+		r.liftPlan(p.L)
+		r.liftPlan(p.R)
+	case Antijoin:
+		r.liftPlan(p.L)
+		r.liftPlan(p.R)
+	case Diff:
+		r.liftPlan(p.L)
+		r.liftPlan(p.R)
+	case IdentOf:
+		r.liftPlan(p.Child)
+	case TypeFilter:
+		r.liftPlan(p.Child)
+	}
+}
+
+func indent(s string, n int) string {
+	pad := strings.Repeat("  ", n)
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = pad + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// render produces a SELECT with columns F, T, V for the plan.
+func (r *sqlRenderer) render(p Plan, depth int) string {
+	switch p := p.(type) {
+	case Base:
+		return fmt.Sprintf("SELECT F, T, V FROM %s", p.Rel)
+	case Temp:
+		return fmt.Sprintf("SELECT F, T, V FROM %s", r.names[p.Name])
+	case RootSeed:
+		return "SELECT '_' AS F, '_' AS T, '' AS V"
+	case Ident:
+		return fmt.Sprintf("SELECT ID AS F, ID AS T, VAL AS V FROM %s", r.opts.NodesTable)
+	case IdentOf:
+		col := "T"
+		if p.OnF {
+			col = "F"
+		}
+		a := r.alias()
+		return fmt.Sprintf("SELECT DISTINCT %s.%s AS F, %s.%s AS T, %s.V AS V FROM (\n%s\n) %s",
+			a, col, a, col, a, indent(r.render(p.Child, depth+1), 1), a)
+	case Compose:
+		l, rt := r.alias(), r.alias()
+		return fmt.Sprintf("SELECT DISTINCT %s.F, %s.T, %s.V FROM (\n%s\n) %s JOIN (\n%s\n) %s ON %s.T = %s.F",
+			l, rt, rt,
+			indent(r.render(p.L, depth+1), 1), l,
+			indent(r.render(p.R, depth+1), 1), rt,
+			l, rt)
+	case UnionAll:
+		if len(p.Kids) == 0 {
+			return "SELECT F, T, V FROM (SELECT '_' AS F, '_' AS T, '' AS V) z WHERE 1 = 0"
+		}
+		parts := make([]string, len(p.Kids))
+		for i, k := range p.Kids {
+			parts[i] = r.render(k, depth+1)
+		}
+		return strings.Join(parts, "\nUNION\n")
+	case SelectVal:
+		a := r.alias()
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE %s.V = '%s'",
+			a, a, a, indent(r.render(p.Child, depth+1), 1), a, a, escapeSQL(p.Val))
+	case SelectRoot:
+		a := r.alias()
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE %s.F = '_'",
+			a, a, a, indent(r.render(p.Child, depth+1), 1), a, a)
+	case Semijoin:
+		l, w := r.alias(), r.alias()
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE EXISTS (SELECT 1 FROM (\n%s\n) %s WHERE %s.F = %s.T)",
+			l, l, l, indent(r.render(p.L, depth+1), 1), l,
+			indent(r.render(p.R, depth+1), 1), w, w, l)
+	case Antijoin:
+		l, w := r.alias(), r.alias()
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE NOT EXISTS (SELECT 1 FROM (\n%s\n) %s WHERE %s.F = %s.T)",
+			l, l, l, indent(r.render(p.L, depth+1), 1), l,
+			indent(r.render(p.R, depth+1), 1), w, w, l)
+	case Diff:
+		return fmt.Sprintf("%s\nEXCEPT\n%s", r.render(p.L, depth+1), r.render(p.R, depth+1))
+	case TypeFilter:
+		a := r.alias()
+		col := "T"
+		if p.OnF {
+			col = "F"
+		}
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE EXISTS (SELECT 1 FROM %s w WHERE w.T = %s.%s)",
+			a, a, a, indent(r.render(p.Child, depth+1), 1), a, p.Rel, a, col)
+	case Fix:
+		// Rendered via a lifted statement.
+		if name, ok := r.names[p.String()]; ok {
+			return fmt.Sprintf("SELECT F, T, V FROM %s", name)
+		}
+		return r.renderFix(p)
+	case RecUnion:
+		if name, ok := r.names[p.String()]; ok {
+			return fmt.Sprintf("SELECT F, T, V FROM %s", name)
+		}
+		return r.renderRecUnion(p)
+	}
+	return "-- unsupported plan"
+}
+
+// renderFix renders the single-input LFP operator Φ(R) (Eq. 2 / Fig 4).
+func (r *sqlRenderer) renderFix(p Fix) string {
+	seed := r.render(p.Seed, 1)
+	startCond := ""
+	if p.Start != nil {
+		startCond = fmt.Sprintf(" WHERE s.F IN (SELECT T FROM (\n%s\n) st)", indent(r.render(p.Start, 2), 1))
+	}
+	endSel := "SELECT DISTINCT F, T, V FROM fp"
+	if p.End != nil {
+		endSel = fmt.Sprintf("SELECT DISTINCT fp.F, fp.T, fp.V FROM fp WHERE fp.T IN (SELECT F FROM (\n%s\n) en)", indent(r.render(p.End, 2), 1))
+	}
+	if r.opts.Dialect == DialectOracle {
+		// Fig 4, Oracle: CONNECT BY with the seed as the edge relation.
+		start := "s.F IN (SELECT F FROM seed)"
+		if p.Start != nil {
+			start = fmt.Sprintf("s.F IN (SELECT T FROM (\n%s\n) st)", indent(r.render(p.Start, 2), 1))
+		}
+		sql := fmt.Sprintf(`WITH seed (F, T, V) AS (
+%s
+)
+SELECT DISTINCT CONNECT_BY_ROOT s.F AS F, s.T AS T, s.V AS V
+FROM seed s
+START WITH %s
+CONNECT BY NOCYCLE PRIOR s.T = s.F`, indent(seed, 1), start)
+		if p.End != nil {
+			sql = fmt.Sprintf("SELECT * FROM (\n%s\n) cb WHERE cb.T IN (SELECT F FROM (\n%s\n) en)",
+				indent(sql, 1), indent(r.render(p.End, 2), 1))
+		}
+		return sql
+	}
+	if p.TrackPaths {
+		// The P attribute of §5.2: path reconstruction by string
+		// concatenation (supported by both DB2 and Oracle).
+		endSelP := strings.Replace(endSel, "fp.V", "fp.V, fp.P", 1)
+		endSelP = strings.Replace(endSelP, "F, T, V FROM fp", "F, T, V, P FROM fp", 1)
+		return fmt.Sprintf(`WITH RECURSIVE fp (F, T, V, P) AS (
+  SELECT s.F, s.T, s.V, CAST(s.T AS VARCHAR(1000)) FROM (
+%s
+  ) s%s
+  UNION ALL
+  SELECT fp.F, s.T, s.V, fp.P || '/' || s.T FROM fp JOIN (
+%s
+  ) s ON fp.T = s.F
+)
+%s`, indent(seed, 1), startCond, indent(seed, 1), endSelP)
+	}
+	return fmt.Sprintf(`WITH RECURSIVE fp (F, T, V) AS (
+  SELECT s.F, s.T, s.V FROM (
+%s
+  ) s%s
+  UNION ALL
+  SELECT fp.F, s.T, s.V FROM fp JOIN (
+%s
+  ) s ON fp.T = s.F
+)
+%s`, indent(seed, 1), startCond, indent(seed, 1), endSel)
+}
+
+// renderRecUnion renders the SQLGen-R multi-relation fixpoint exactly in the
+// style of Fig 2: one select per edge inside the recursive body, Rid tags.
+func (r *sqlRenderer) renderRecUnion(p RecUnion) string {
+	var init []string
+	for _, t := range p.Init {
+		init = append(init, fmt.Sprintf("SELECT i.F, i.T, '%s' AS Rid, i.V FROM (\n%s\n) i",
+			escapeSQL(t.Tag), indent(r.render(t.Plan, 2), 1)))
+	}
+	var body []string
+	for _, e := range p.Edges {
+		fcol := "e.F"
+		if p.Pairs {
+			fcol = "R.F"
+		}
+		body = append(body, fmt.Sprintf(
+			"SELECT %s AS F, e.T, '%s' AS Rid, e.V FROM R, (\n%s\n) e WHERE R.T = e.F AND R.Rid = '%s'",
+			fcol, escapeSQL(e.ToTag), indent(r.render(e.Rel, 2), 1), escapeSQL(e.FromTag)))
+	}
+	final := "SELECT DISTINCT F, T, V FROM R"
+	if p.ResultTag != "" {
+		final = fmt.Sprintf("SELECT DISTINCT F, T, V FROM R WHERE Rid = '%s'", escapeSQL(p.ResultTag))
+	}
+	return fmt.Sprintf(`WITH RECURSIVE R (F, T, Rid, V) AS (
+%s
+  UNION ALL
+%s
+)
+%s`, indent(strings.Join(init, "\nUNION ALL\n"), 1), indent(strings.Join(body, "\nUNION ALL\n"), 1), final)
+}
+
+func escapeSQL(s string) string {
+	return strings.ReplaceAll(s, "'", "''")
+}

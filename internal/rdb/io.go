@@ -1,0 +1,153 @@
+package rdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Save writes the database in a line-oriented text format, so a document
+// shredded once can be reused across tool invocations:
+//
+//	R <relation> <F> <T> <quoted V>
+//	N <id> <quoted label> <quoted V>       (node catalog entry)
+//
+// Relations and tuples are written in deterministic order.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var names []string
+	for name := range db.Rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rel := db.Rels[name]
+		tuples := append([]Tuple(nil), rel.Tuples()...)
+		sort.Slice(tuples, func(i, j int) bool {
+			if tuples[i].F != tuples[j].F {
+				return tuples[i].F < tuples[j].F
+			}
+			return tuples[i].T < tuples[j].T
+		})
+		for _, t := range tuples {
+			if _, err := fmt.Fprintf(bw, "R %s %d %d %s\n", name, t.F, t.T, strconv.Quote(t.V)); err != nil {
+				return err
+			}
+		}
+		// Empty relations still need declaring so Load restores them.
+		if len(tuples) == 0 {
+			if _, err := fmt.Fprintf(bw, "E %s\n", name); err != nil {
+				return err
+			}
+		}
+	}
+	var ids []int
+	for id := range db.Vals {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(bw, "N %d %d %s %s\n",
+			id, db.ParentOf[id], strconv.Quote(db.Labels[id]), strconv.Quote(db.Vals[id])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	db := NewDB()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(line, " ")
+		switch kind {
+		case "R":
+			name, rest2, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("rdb: line %d: malformed tuple", lineNo)
+			}
+			fs, rest3, ok := strings.Cut(rest2, " ")
+			if !ok {
+				return nil, fmt.Errorf("rdb: line %d: malformed tuple", lineNo)
+			}
+			ts, vq, ok := strings.Cut(rest3, " ")
+			if !ok {
+				return nil, fmt.Errorf("rdb: line %d: malformed tuple", lineNo)
+			}
+			f, err := strconv.Atoi(fs)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			t, err := strconv.Atoi(ts)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.Unquote(vq)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: bad value %q: %v", lineNo, vq, err)
+			}
+			db.Rel(name).Add(f, t, v)
+		case "E":
+			db.Rel(strings.TrimSpace(rest))
+		case "N":
+			parts := splitN(rest, 3)
+			if parts == nil {
+				return nil, fmt.Errorf("rdb: line %d: malformed node entry", lineNo)
+			}
+			id, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			parent, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			labelQ, valQ, ok := strings.Cut(parts[2], " ")
+			if !ok {
+				return nil, fmt.Errorf("rdb: line %d: malformed node entry", lineNo)
+			}
+			label, err := strconv.Unquote(labelQ)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			val, err := strconv.Unquote(valQ)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			db.Vals[id] = val
+			db.Labels[id] = label
+			db.ParentOf[id] = parent
+		default:
+			return nil, fmt.Errorf("rdb: line %d: unknown record kind %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// splitN cuts the string into n fields, the last one keeping the remainder.
+func splitN(s string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n-1; i++ {
+		head, rest, ok := strings.Cut(s, " ")
+		if !ok {
+			return nil
+		}
+		out = append(out, head)
+		s = rest
+	}
+	return append(out, s)
+}

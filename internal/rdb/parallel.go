@@ -1,0 +1,154 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xpath2sql/internal/ra"
+)
+
+// RunParallel evaluates the program with up to workers concurrent statement
+// evaluations. Statements form a DAG through their temp references; a
+// statement is scheduled once all statements it references have finished,
+// so independent branches — the per-cycle edge relations of a closure seed,
+// the per-query sections of a batch — run concurrently. Only statements
+// reachable from the result are evaluated (the top-down strategy of §5.2).
+//
+// Every statement runs in its own single-threaded evaluator over an
+// immutable snapshot of its dependencies, so plans need no internal
+// synchronization. Statistics are summed across workers.
+func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	byName := map[string]ra.Plan{}
+	for _, s := range p.Stmts {
+		if _, dup := byName[s.Name]; dup {
+			return nil, nil, fmt.Errorf("rdb: duplicate statement %q", s.Name)
+		}
+		byName[s.Name] = s.Plan
+	}
+	if _, ok := byName[p.Result]; !ok {
+		return nil, nil, fmt.Errorf("rdb: unknown result statement %q", p.Result)
+	}
+
+	// Dependencies restricted to statements reachable from the result.
+	deps := map[string][]string{}
+	var reach func(name string) error
+	visiting := map[string]int{} // 0 new, 1 visiting, 2 done
+	reach = func(name string) error {
+		switch visiting[name] {
+		case 1:
+			return fmt.Errorf("rdb: cyclic statement reference %q", name)
+		case 2:
+			return nil
+		}
+		visiting[name] = 1
+		var ds []string
+		for _, d := range ra.TempRefs(byName[name]) {
+			if _, ok := byName[d]; !ok {
+				return fmt.Errorf("rdb: unknown statement %q", d)
+			}
+			ds = append(ds, d)
+			if err := reach(d); err != nil {
+				return err
+			}
+		}
+		sort.Strings(ds)
+		deps[name] = ds
+		visiting[name] = 2
+		return nil
+	}
+	if err := reach(p.Result); err != nil {
+		return nil, nil, err
+	}
+
+	// Reverse edges and indegrees for scheduling.
+	dependents := map[string][]string{}
+	indeg := map[string]int{}
+	for name, ds := range deps {
+		indeg[name] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		done    = map[string]*Relation{}
+		total   Stats
+		firstEr error
+		closed  bool
+	)
+	ready := make(chan string, len(deps))
+	for name, n := range indeg {
+		if n == 0 {
+			ready <- name
+		}
+	}
+	var wg sync.WaitGroup
+	remaining := len(deps)
+	complete := func(name string, rel *Relation, st Stats, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstEr == nil {
+			firstEr = err
+		}
+		done[name] = rel
+		addStats(&total, st)
+		remaining--
+		if closed {
+			return
+		}
+		if firstEr != nil || remaining == 0 {
+			closed = true
+			close(ready)
+			return
+		}
+		for _, dep := range dependents[name] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready <- dep
+			}
+		}
+	}
+
+	work := func() {
+		defer wg.Done()
+		for name := range ready {
+			// Snapshot the dependencies into a private environment.
+			mu.Lock()
+			env := make(map[string]*Relation, len(deps[name]))
+			for _, d := range deps[name] {
+				env[d] = done[d]
+			}
+			mu.Unlock()
+			ex := NewExec(db)
+			ex.prog = &ra.Program{Stmts: []ra.Stmt{{Name: name, Plan: byName[name]}}, Result: name}
+			ex.env = env
+			ex.running = map[string]bool{}
+			rel, err := ex.stmt(name)
+			complete(name, rel, ex.Stats, err)
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go work()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, nil, firstEr
+	}
+	return done[p.Result], &total, nil
+}
+
+func addStats(total *Stats, s Stats) {
+	total.Joins += s.Joins
+	total.Unions += s.Unions
+	total.LFPs += s.LFPs
+	total.LFPIters += s.LFPIters
+	total.RecFixes += s.RecFixes
+	total.TuplesOut += s.TuplesOut
+	total.StmtsRun += s.StmtsRun
+}

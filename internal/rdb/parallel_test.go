@@ -1,0 +1,114 @@
+package rdb
+
+import (
+	"testing"
+
+	"xpath2sql/internal/ra"
+)
+
+// diamond builds a program with a diamond dependency: two independent
+// branches joined at the top.
+func diamondProgram() *ra.Program {
+	return &ra.Program{
+		Stmts: []ra.Stmt{
+			{Name: "left", Plan: ra.Fix{Seed: ra.Base{Rel: "E"}}},
+			{Name: "right", Plan: ra.Compose{L: ra.Base{Rel: "E"}, R: ra.Base{Rel: "E"}}},
+			{Name: "unused", Plan: ra.Fix{Seed: ra.Base{Rel: "BIG"}}},
+			{Name: "result", Plan: ra.UnionAll{Kids: []ra.Plan{
+				ra.Temp{Name: "left"}, ra.Temp{Name: "right"},
+			}}},
+		},
+		Result: "result",
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	db := chainDB(30, [2]int{30, 5}, [2]int{12, 3})
+	for i := 1; i < 10; i++ {
+		db.Insert("BIG", i, i+1, "")
+	}
+	p := diamondProgram()
+	serialEx := NewExec(db)
+	serial, err := serialEx.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par, stats, err := RunParallel(db, p, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("workers=%d: %d tuples vs %d", workers, par.Len(), serial.Len())
+		}
+		for _, tp := range serial.Tuples() {
+			if !par.Has(tp.F, tp.T) {
+				t.Fatalf("workers=%d: missing %+v", workers, tp)
+			}
+		}
+		// The unused statement must not run (reachability pruning).
+		if stats.StmtsRun != 3 {
+			t.Fatalf("workers=%d: ran %d statements, want 3", workers, stats.StmtsRun)
+		}
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	db := chainDB(3)
+	bad := &ra.Program{
+		Stmts:  []ra.Stmt{{Name: "result", Plan: ra.Temp{Name: "ghost"}}},
+		Result: "result",
+	}
+	if _, _, err := RunParallel(db, bad, 4); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+	cyc := &ra.Program{
+		Stmts: []ra.Stmt{
+			{Name: "a", Plan: ra.Temp{Name: "b"}},
+			{Name: "b", Plan: ra.Temp{Name: "a"}},
+			{Name: "result", Plan: ra.Temp{Name: "a"}},
+		},
+		Result: "result",
+	}
+	if _, _, err := RunParallel(db, cyc, 4); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	noResult := &ra.Program{Result: "nope"}
+	if _, _, err := RunParallel(db, noResult, 4); err == nil {
+		t.Fatal("missing result accepted")
+	}
+	dup := &ra.Program{
+		Stmts: []ra.Stmt{
+			{Name: "x", Plan: ra.Base{Rel: "E"}},
+			{Name: "x", Plan: ra.Base{Rel: "E"}},
+		},
+		Result: "x",
+	}
+	if _, _, err := RunParallel(db, dup, 4); err == nil {
+		t.Fatal("duplicate statement accepted")
+	}
+}
+
+// TestRunParallelManyStatements stresses scheduling with a wide fan-in.
+func TestRunParallelManyStatements(t *testing.T) {
+	db := chainDB(20)
+	var stmts []ra.Stmt
+	var kids []ra.Plan
+	for i := 0; i < 40; i++ {
+		name := "s" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		stmts = append(stmts, ra.Stmt{Name: name, Plan: ra.Compose{L: ra.Base{Rel: "E"}, R: ra.Base{Rel: "E"}}})
+		kids = append(kids, ra.Temp{Name: name})
+	}
+	stmts = append(stmts, ra.Stmt{Name: "result", Plan: ra.UnionAll{Kids: kids}})
+	p := &ra.Program{Stmts: stmts, Result: "result"}
+	rel, stats, err := RunParallel(db, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("empty result")
+	}
+	if stats.StmtsRun != 41 {
+		t.Fatalf("ran %d statements", stats.StmtsRun)
+	}
+}

@@ -1,0 +1,201 @@
+// Package rdb is the in-memory relational engine that stands in for the
+// commercial RDBMS of the paper's experiments (IBM DB2 / Oracle). It stores
+// the shredded edge relations R_A(F, T, V) and executes ra.Program plans,
+// including the single-input least-fixpoint operator Φ(R) with pushed
+// start/end constraints (§5.2) and the multi-relation SQL'99-style fixpoint
+// used by the SQLGen-R baseline (§3.1).
+//
+// The engine uses semi-naive evaluation for both fixpoint flavors and hash
+// joins throughout, and exposes execution statistics (join/union/LFP
+// iteration counts, tuples produced) so benchmarks can report the cost
+// drivers the paper discusses.
+package rdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is one row of an (F, T, V) relation: F is the parent ("from") node
+// ID, T the node's own ID, V its text value. F == 0 encodes the virtual
+// document root '_'.
+type Tuple struct {
+	F, T int
+	V    string
+}
+
+// Relation is a set of tuples, deduplicated on (F, T). V is functionally
+// determined by T in every relation the translation produces, so (F, T)
+// dedup is exact.
+type Relation struct {
+	Name   string
+	tuples []Tuple
+	key    map[uint64]struct{}
+	byF    map[int][]int32 // lazy index: F -> tuple positions
+	byT    map[int][]int32 // lazy index: T -> tuple positions
+	// paths, when non-nil, holds the P attribute of §5.2: per (F, T) pair
+	// the node sequence of one witnessing path (excluding F, including T).
+	paths map[uint64][]int
+}
+
+func tupleKey(f, t int) uint64 {
+	return uint64(uint32(f))<<32 | uint64(uint32(t))
+}
+
+// NewRelation returns an empty relation with the given name.
+func NewRelation(name string) *Relation {
+	return &Relation{Name: name, key: map[uint64]struct{}{}}
+}
+
+// Add inserts (f, t, v), ignoring duplicates on (f, t). It reports whether
+// the tuple was new.
+func (r *Relation) Add(f, t int, v string) bool {
+	k := tupleKey(f, t)
+	if _, dup := r.key[k]; dup {
+		return false
+	}
+	r.key[k] = struct{}{}
+	r.tuples = append(r.tuples, Tuple{F: f, T: t, V: v})
+	r.byF, r.byT = nil, nil // invalidate indexes
+	return true
+}
+
+// Has reports whether (f, t) is present.
+func (r *Relation) Has(f, t int) bool {
+	_, ok := r.key[tupleKey(f, t)]
+	return ok
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the backing slice; callers must not modify it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// ByF returns the positions of tuples with the given F value.
+func (r *Relation) ByF(f int) []int32 {
+	if r.byF == nil {
+		r.byF = map[int][]int32{}
+		for i := range r.tuples {
+			r.byF[r.tuples[i].F] = append(r.byF[r.tuples[i].F], int32(i))
+		}
+	}
+	return r.byF[f]
+}
+
+// ByT returns the positions of tuples with the given T value.
+func (r *Relation) ByT(t int) []int32 {
+	if r.byT == nil {
+		r.byT = map[int][]int32{}
+		for i := range r.tuples {
+			r.byT[r.tuples[i].T] = append(r.byT[r.tuples[i].T], int32(i))
+		}
+	}
+	return r.byT[t]
+}
+
+// FSet returns the distinct F values.
+func (r *Relation) FSet() map[int]struct{} {
+	out := make(map[int]struct{}, len(r.tuples))
+	for i := range r.tuples {
+		out[r.tuples[i].F] = struct{}{}
+	}
+	return out
+}
+
+// TSet returns the distinct T values.
+func (r *Relation) TSet() map[int]struct{} {
+	out := make(map[int]struct{}, len(r.tuples))
+	for i := range r.tuples {
+		out[r.tuples[i].T] = struct{}{}
+	}
+	return out
+}
+
+// TIDs returns the sorted distinct T values: the answer node IDs when the
+// relation is a query result.
+func (r *Relation) TIDs() []int {
+	set := r.TSet()
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetPath records the witnessing path for (f, t) (P attribute, §5.2).
+func (r *Relation) SetPath(f, t int, path []int) {
+	if r.paths == nil {
+		r.paths = map[uint64][]int{}
+	}
+	r.paths[tupleKey(f, t)] = path
+}
+
+// PathOf returns the recorded witnessing path for (f, t), or nil.
+func (r *Relation) PathOf(f, t int) []int {
+	return r.paths[tupleKey(f, t)]
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name)
+	c.tuples = append([]Tuple(nil), r.tuples...)
+	for k := range r.key {
+		c.key[k] = struct{}{}
+	}
+	return c
+}
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%d tuples)", r.Name, len(r.tuples))
+}
+
+// DB is a shredded database: one stored relation per element type plus the
+// node-value catalog used to materialize identity relations.
+type DB struct {
+	Rels map[string]*Relation
+	// Vals maps every stored node ID to its text value; it defines the
+	// domain of the R_id identity relation (§5.1).
+	Vals map[int]string
+	// Labels maps every stored node ID to its element type; it supports
+	// XML reconstruction of query answers (§5.2).
+	Labels map[int]string
+	// ParentOf maps every stored node to its parent (0 for the root
+	// element); with Labels it reconstructs paths without re-scanning.
+	ParentOf map[int]int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{Rels: map[string]*Relation{}, Vals: map[int]string{}, Labels: map[int]string{}, ParentOf: map[int]int{}}
+}
+
+// Rel returns the stored relation, creating an empty one on first use so
+// element types without instances behave as empty relations.
+func (db *DB) Rel(name string) *Relation {
+	r, ok := db.Rels[name]
+	if !ok {
+		r = NewRelation(name)
+		db.Rels[name] = r
+	}
+	return r
+}
+
+// Insert adds a tuple to the named stored relation and records the node
+// value in the catalog.
+func (db *DB) Insert(rel string, f, t int, v string) {
+	db.Rel(rel).Add(f, t, v)
+	db.Vals[t] = v
+	db.ParentOf[t] = f
+}
+
+// InsertLabeled is Insert plus the node's element type, enabling XML
+// reconstruction of answers.
+func (db *DB) InsertLabeled(rel, label string, f, t int, v string) {
+	db.Insert(rel, f, t, v)
+	db.Labels[t] = label
+}
+
+// NumNodes returns the number of stored nodes.
+func (db *DB) NumNodes() int { return len(db.Vals) }

@@ -1,0 +1,127 @@
+package shred
+
+import (
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+)
+
+func TestReconstructSubtree(t *testing.T) {
+	d := workload.Dept()
+	src := `<dept><course><cno>cs11</cno><title>t</title>
+<prereq><course><cno>cs66</cno><title>u</title><prereq/><takenBy/></course></prereq>
+<takenBy/></course></dept>`
+	doc, err := xmltree.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the outer course's subtree (node 2).
+	res, err := Reconstruct(db, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root.Label != "result" || len(res.Root.Children) != 1 {
+		t.Fatalf("result shape: %s", res.Serialize())
+	}
+	course := res.Root.Children[0]
+	if course.Label != "course" {
+		t.Fatalf("root label = %s", course.Label)
+	}
+	// The reconstructed subtree must match the original (ordered by ID =
+	// document order).
+	orig := doc.Node(2)
+	if !subtreeEqual(orig, course) {
+		t.Fatalf("reconstruction mismatch:\noriginal:\n%s\nrebuilt:\n%s",
+			xmltree.NewDocument(cloneDetached(orig)).Serialize(), res.Serialize())
+	}
+}
+
+func cloneDetached(n *xmltree.Node) *xmltree.Node {
+	m := &xmltree.Node{Label: n.Label, Val: n.Val}
+	for _, c := range n.Children {
+		cc := cloneDetached(c)
+		cc.Parent = m
+		m.Children = append(m.Children, cc)
+	}
+	return m
+}
+
+func subtreeEqual(a, b *xmltree.Node) bool {
+	if a.Label != b.Label || a.Val != b.Val || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !subtreeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReconstructWholeDocumentRoundtrip: shred then reconstruct from the
+// root reproduces the document, for random generated data.
+func TestReconstructWholeDocumentRoundtrip(t *testing.T) {
+	for _, d := range []*dtd.DTD{workload.Cross(), workload.GedML()} {
+		doc, err := xmlgen.Generate(d, xmlgen.Options{XL: 5, XR: 3, Seed: 9, MaxNodes: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Shred(doc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Reconstruct(db, []int{int(doc.Root.ID)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Root.Children) != 1 || !subtreeEqual(doc.Root, res.Root.Children[0]) {
+			t.Fatalf("roundtrip mismatch for %s", d.Root)
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	db := ShredMustEmpty(t)
+	if _, err := Reconstruct(db, []int{99}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func ShredMustEmpty(t *testing.T) *rdb.DB {
+	t.Helper()
+	d := workload.Cross()
+	doc, _ := xmltree.Parse(`<a/>`)
+	db, err := Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAncestorPath(t *testing.T) {
+	d := workload.Dept()
+	doc, _ := xmltree.Parse(`<dept><course><cno>c</cno><title>t</title><prereq/><takenBy/></course></dept>`)
+	db, err := Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AncestorPath(db, 3) // cno node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(p, "dept/course/") {
+		t.Fatalf("path = %q", p)
+	}
+	if _, err := AncestorPath(db, 999); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

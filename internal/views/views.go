@@ -1,0 +1,82 @@
+// Package views implements query answering over virtual XML views of XML
+// data (§3.4). For the class of GAV mappings σ: D1 → D2 the paper considers
+// — the view V of a source document T is the largest sub-structure of T
+// conforming to the (contained) view DTD D1, with roots aligned — the first
+// step of the translation framework already solves query answering: given an
+// XPath query Q over D1, XPathToEXp produces an extended-XPath query Q'
+// equivalent to Q over *every* DTD containing D1, hence over D2, so
+// Q(V) = Q'(T) without materializing V.
+//
+// This is the capability the paper contrasts with plain XPath (not closed
+// under rewriting, Example 3.2) and regular XPath (closed but with an
+// exponential lower bound, Example 3.3).
+package views
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/xmltree"
+	"xpath2sql/internal/xpath"
+)
+
+// Rewrite computes an extended-XPath query Q' over any DTD containing d1
+// such that for every source document T of a containing DTD, Q'(T) equals
+// Q evaluated on the view σ(T). It runs in polynomial time (Theorem 4.2),
+// avoiding regular XPath's exponential lower bound.
+func Rewrite(q xpath.Path, d1 *dtd.DTD) (*expath.Query, error) {
+	return core.XPathToEXp(q, d1, core.RecCycleEX)
+}
+
+// Extract materializes the view σ(T): the largest subtree of doc that
+// conforms to the view DTD's graph — the root is kept (its type must match)
+// and a child is kept iff its parent was kept and the (parent, child) edge
+// exists in d1's graph. The returned map is σ itself: view node ID → source
+// node ID. Extract exists for testing and for callers that do want the
+// view; Answer avoids it.
+func Extract(doc *xmltree.Document, d1 *dtd.DTD) (*xmltree.Document, map[xmltree.NodeID]xmltree.NodeID, error) {
+	if doc.Root == nil {
+		return nil, nil, fmt.Errorf("views: empty document")
+	}
+	if doc.Root.Label != d1.Root {
+		return nil, nil, fmt.Errorf("views: source root %q does not match view root %q", doc.Root.Label, d1.Root)
+	}
+	g := d1.BuildGraph()
+	srcOf := map[*xmltree.Node]*xmltree.Node{}
+	var copyNode func(n *xmltree.Node) *xmltree.Node
+	copyNode = func(n *xmltree.Node) *xmltree.Node {
+		m := &xmltree.Node{Label: n.Label, Val: n.Val}
+		srcOf[m] = n
+		for _, c := range n.Children {
+			if g.HasEdge(n.Label, c.Label) {
+				cc := copyNode(c)
+				cc.Parent = m
+				m.Children = append(m.Children, cc)
+			}
+		}
+		return m
+	}
+	view := xmltree.NewDocument(copyNode(doc.Root))
+	sigma := make(map[xmltree.NodeID]xmltree.NodeID, len(srcOf))
+	for _, vn := range view.Nodes() {
+		sigma[vn.ID] = srcOf[vn].ID
+	}
+	return view, sigma, nil
+}
+
+// Answer evaluates Q (posed against the view DTD d1) directly on the source
+// document without materializing the view, returning the answer node IDs in
+// the source document's numbering.
+func Answer(q xpath.Path, d1 *dtd.DTD, source *xmltree.Document) ([]xmltree.NodeID, error) {
+	eq, err := Rewrite(q, d1)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := expath.EvalQuery(eq, source)
+	if err != nil {
+		return nil, err
+	}
+	return expath.ResultAtRoot(rel, source).IDs(), nil
+}

@@ -1,0 +1,245 @@
+// Package workload defines the DTDs, queries and datasets of the paper's
+// examples and experiments (§2, §6): the dept running example, the
+// cross-cycle DTD of Fig 11a, the BIOML extracts of Figs 11b/15a–d, the
+// GedML extract of Fig 11c, and the view-rewriting DTDs of Fig 3.
+//
+// The BIOML and GedML figures are graph drawings whose exact edges are not
+// recoverable from the paper's text; the graphs here are reconstructions
+// constrained to match every stated statistic — node count n, edge count m
+// and simple-cycle count c of Table 5, reachability of the benchmark
+// queries' endpoints, and the per-case component sizes quoted in §6.4. Each
+// constructor documents its constraints; TestWorkloadStats asserts them.
+package workload
+
+import (
+	"xpath2sql/internal/dtd"
+)
+
+// star wraps a content in Kleene closure.
+func star(c dtd.Content) dtd.Content { return dtd.Star{Item: c} }
+
+func name(t string) dtd.Content { return dtd.Name{Type: t} }
+
+func seq(items ...dtd.Content) dtd.Content { return dtd.Seq{Items: items} }
+
+// starNames builds the content model (t1*, t2*, …): every listed child type
+// optional and repeatable, the general form used by the extracted DTDs.
+func starNames(types ...string) dtd.Content {
+	items := make([]dtd.Content, len(types))
+	for i, t := range types {
+		items[i] = star(name(t))
+	}
+	if len(items) == 1 {
+		return items[0]
+	}
+	return seq(items...)
+}
+
+// Dept returns the running-example DTD of Example 2.1: a 3-cycle graph over
+// {dept, course, cno, title, prereq, takenBy, project, student, sno, name,
+// qualified, pno, ptitle, required}.
+func Dept() *dtd.DTD {
+	d := dtd.New("dept")
+	d.SetProd("dept", starNames("course"))
+	d.SetProd("course", seq(name("cno"), name("title"), name("prereq"), name("takenBy"), star(name("project"))))
+	d.SetProd("prereq", starNames("course"))
+	d.SetProd("takenBy", starNames("student"))
+	d.SetProd("student", seq(name("sno"), name("name"), name("qualified")))
+	d.SetProd("qualified", starNames("course"))
+	d.SetProd("project", seq(name("pno"), name("ptitle"), name("required")))
+	d.SetProd("required", starNames("course"))
+	for _, leaf := range []string{"cno", "title", "sno", "name", "pno", "ptitle"} {
+		d.SetProd(leaf, dtd.Name{Text: true})
+	}
+	return d
+}
+
+// DeptText is the dept DTD in DTD syntax, exercising the parser in examples.
+const DeptText = `<!-- root: dept -->
+<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, title, prereq, takenBy, project*)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT takenBy (student*)>
+<!ELEMENT student (sno, name, qualified)>
+<!ELEMENT qualified (course*)>
+<!ELEMENT project (pno, ptitle, required)>
+<!ELEMENT required (course*)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT sno (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT pno (#PCDATA)>
+<!ELEMENT ptitle (#PCDATA)>
+`
+
+// Cross returns the simple 2-cross-cycle DTD of Fig 11a: 4 nodes {a,b,c,d},
+// 5 edges a→b, b→c, c→a, c→d, d→a; the simple cycles a→b→c→a and
+// a→b→c→d→a share two edges ("cross"). Constraints: n=4, m=5, c=2
+// (Table 5); the Exp-1 queries a/b//c/d etc. are answerable; both a and d
+// lie on cycles so the Exp-2 selectivity sweeps (100–50,000 qualified a/d
+// elements) are meaningful.
+func Cross() *dtd.DTD {
+	d := dtd.New("a")
+	d.SetProd("a", starNames("b"))
+	d.SetProd("b", starNames("c"))
+	d.SetProd("c", starNames("a", "d"))
+	d.SetProd("d", starNames("a"))
+	return d
+}
+
+// CrossQueries are the four Exp-1 queries (Fig 12) in concrete syntax.
+var CrossQueries = map[string]string{
+	"Qa": "a/b//c/d",                     // with //
+	"Qb": "a[.//c]//d",                   // twig join
+	"Qc": "a[not(.//c)]",                 // with ¬ and //
+	"Qd": "a[not(.//c) or (b and .//d)]", // with ¬, ∨, ∧ and //
+	"Qe": "a[text()='SEL']/b//c/d",       // Exp-2: selection at the head
+	"Qf": "a/b//c/d[text()='SEL']",       // Exp-2: selection at the tail
+}
+
+// BIOMLa returns the 2-cycle BIOML extract of Fig 15a.
+// Constraints: n=4, m=5, c=2 (Table 5); gene//locus answerable (Table 4
+// case 2a). Cycles: gene→dna→clone→gene and dna→locus→dna.
+func BIOMLa() *dtd.DTD {
+	d := dtd.New("gene")
+	d.SetProd("gene", starNames("dna"))
+	d.SetProd("dna", starNames("clone", "locus"))
+	d.SetProd("clone", starNames("gene"))
+	d.SetProd("locus", starNames("dna"))
+	return d
+}
+
+// BIOMLb returns the 3-cycle extract of Fig 15b (cases 2b, 2c).
+// Constraints: n=4, m=6, c=3. Adds clone→dna to BIOMLa; cycles:
+// gene→dna→clone→gene, dna→locus→dna, dna→clone→dna.
+func BIOMLb() *dtd.DTD {
+	d := BIOMLa()
+	d.SetProd("clone", starNames("gene", "dna"))
+	return d
+}
+
+// BIOMLc returns the 3-cycle extract of Fig 15c (case 3a).
+// Constraints: n=4, m=6, c=3. Adds locus→gene to BIOMLa; cycles:
+// gene→dna→clone→gene, dna→locus→dna, gene→dna→locus→gene.
+func BIOMLc() *dtd.DTD {
+	d := BIOMLa()
+	d.SetProd("locus", starNames("dna", "gene"))
+	return d
+}
+
+// BIOMLd returns the 4-cycle extract of Fig 15d (case 3b).
+// Constraints: n=4, m=7, c=4 (Table 5). BIOMLc plus clone→dna.
+func BIOMLd() *dtd.DTD {
+	d := BIOMLc()
+	d.SetProd("clone", starNames("gene", "dna"))
+	return d
+}
+
+// BIOML returns the full 4-cycle BIOML extract of Fig 11b (cases 4a, 4b).
+// Constraints: a 4-cycle DTD over {gene, dna, clone, locus} whose strongly
+// connected component spans all 7 edges (§6.4 quotes 7 joins and 7 unions
+// per SQLGen-R iteration for case 4a); this coincides with Fig 15d's graph.
+func BIOML() *dtd.DTD { return BIOMLd() }
+
+// BIOMLCases are the Exp-4 query cases of Table 4.
+type BIOMLCase struct {
+	Name   string
+	Query  string
+	Cycles int
+	DTD    func() *dtd.DTD
+}
+
+// BIOMLCases lists Table 4: the queries run over the BIOML extracts.
+var BIOMLCases = []BIOMLCase{
+	{Name: "2a", Query: "gene//locus", Cycles: 2, DTD: BIOMLa},
+	{Name: "2b", Query: "gene//locus", Cycles: 3, DTD: BIOMLb},
+	{Name: "2c", Query: "gene//dna", Cycles: 3, DTD: BIOMLb},
+	{Name: "3a", Query: "gene//locus", Cycles: 3, DTD: BIOMLc},
+	{Name: "3b", Query: "gene//locus", Cycles: 4, DTD: BIOMLd},
+	{Name: "4a", Query: "gene//locus", Cycles: 4, DTD: BIOML},
+	{Name: "4b", Query: "gene//dna", Cycles: 4, DTD: BIOML},
+}
+
+// GedML returns the 9-cycle GedML extract of Fig 11c.
+// Constraints: n=5 nodes {Even, Sour, Data, Note, Obje}, m=11 edges, c=9
+// simple cycles (Table 5; §6.4 quotes 11 joins/unions per SQLGen-R
+// iteration, i.e. the component spans all 11 edges), every node reachable
+// from the root Even, and Even//Data answerable (Fig 17's query).
+func GedML() *dtd.DTD {
+	d := dtd.New("Even")
+	d.SetProd("Even", starNames("Obje"))
+	d.SetProd("Obje", starNames("Even", "Sour", "Note"))
+	d.SetProd("Sour", starNames("Even", "Data", "Note"))
+	d.SetProd("Data", starNames("Sour", "Note"))
+	d.SetProd("Note", starNames("Even", "Data"))
+	return d
+}
+
+// Fig3D returns DTD D of Fig 3a (Example 3.2): root r, edges r→A, A→B,
+// B→A (recursion), A→C.
+func Fig3D() *dtd.DTD {
+	d := dtd.New("r")
+	d.SetProd("r", starNames("A"))
+	d.SetProd("A", starNames("B", "C"))
+	d.SetProd("B", starNames("A"))
+	d.SetProd("C", dtd.Name{Text: true})
+	return d
+}
+
+// Fig3DPrime returns DTD D′ of Fig 3b: D plus the edge (B, C).
+func Fig3DPrime() *dtd.DTD {
+	d := Fig3D()
+	d.SetProd("B", starNames("A", "C"))
+	return d
+}
+
+// FigD1 returns the DAG DTD D1 of Fig 3c / Example 3.3: nodes A1…An with
+// edges (Ai, Aj) for all i < j, root A1. Rewriting //An over its containing
+// D2 is the exponential-blowup witness for regular XPath.
+func FigD1(n int) *dtd.DTD {
+	d := dtd.New(aName(1))
+	for i := 1; i <= n; i++ {
+		var kids []string
+		for j := i + 1; j <= n; j++ {
+			kids = append(kids, aName(j))
+		}
+		if len(kids) == 0 {
+			d.SetProd(aName(i), dtd.Name{Text: true})
+		} else {
+			d.SetProd(aName(i), starNames(kids...))
+		}
+	}
+	return d
+}
+
+// FigD2 returns D2 of Fig 3d: D1 plus node B with edges (B, An) and (Ai, B)
+// for i < n.
+func FigD2(n int) *dtd.DTD {
+	d := FigD1(n)
+	for i := 1; i < n; i++ {
+		var kids []string
+		for j := i + 1; j <= n; j++ {
+			kids = append(kids, aName(j))
+		}
+		kids = append(kids, "B")
+		d.SetProd(aName(i), starNames(kids...))
+	}
+	d.SetProd("B", starNames(aName(n)))
+	return d
+}
+
+func aName(i int) string { return "A" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

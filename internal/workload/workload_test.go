@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"xpath2sql/internal/dtd"
+)
+
+// TestWorkloadStats asserts the reconstruction constraints of every DTD:
+// the (n, m, c) statistics of Table 5 and the structural facts quoted in
+// the paper's text.
+func TestWorkloadStats(t *testing.T) {
+	cases := []struct {
+		name    string
+		d       *dtd.DTD
+		n, m, c int
+	}{
+		{"Cross", Cross(), 4, 5, 2},
+		{"BIOMLa", BIOMLa(), 4, 5, 2},
+		{"BIOMLb", BIOMLb(), 4, 6, 3},
+		{"BIOMLc", BIOMLc(), 4, 6, 3},
+		{"BIOMLd", BIOMLd(), 4, 7, 4},
+		{"GedML", GedML(), 5, 11, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.d.Check(); err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			g := tc.d.BuildGraph()
+			if got := g.NumNodes(); got != tc.n {
+				t.Errorf("nodes = %d, want %d", got, tc.n)
+			}
+			if got := g.NumEdges(); got != tc.m {
+				t.Errorf("edges = %d, want %d", got, tc.m)
+			}
+			if got := g.NumSimpleCycles(); got != tc.c {
+				t.Errorf("simple cycles = %d, want %d", got, tc.c)
+			}
+			if !g.Recursive() {
+				t.Errorf("expected recursive DTD")
+			}
+			// Every type must be reachable from the root.
+			reach := g.Reachable(g.Root)
+			for _, n := range g.Nodes {
+				if n != g.Root && !reach[n] {
+					t.Errorf("type %s unreachable from root %s", n, g.Root)
+				}
+			}
+		})
+	}
+}
+
+func TestDeptIsThreeCycle(t *testing.T) {
+	g := Dept().BuildGraph()
+	// Example 2.1: "Its dtd graph, a 3-cycle graph".
+	if got := g.NumSimpleCycles(); got != 3 {
+		t.Fatalf("dept simple cycles = %d, want 3", got)
+	}
+	if g.NumNodes() != 14 {
+		t.Fatalf("dept has %d types, want 14", g.NumNodes())
+	}
+}
+
+func TestDeptTextParses(t *testing.T) {
+	d, err := dtd.Parse(DeptText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Root != "dept" {
+		t.Fatalf("root = %q", d.Root)
+	}
+	g1 := d.BuildGraph()
+	g2 := Dept().BuildGraph()
+	if !g1.ContainedIn(g2) || !g2.ContainedIn(g1) {
+		t.Fatalf("parsed dept DTD differs from programmatic one")
+	}
+}
+
+func TestFig3Containment(t *testing.T) {
+	d := Fig3D().BuildGraph()
+	dp := Fig3DPrime().BuildGraph()
+	if !d.ContainedIn(dp) {
+		t.Fatalf("D should be contained in D'")
+	}
+	if dp.ContainedIn(d) {
+		t.Fatalf("D' should not be contained in D")
+	}
+	d1 := FigD1(4).BuildGraph()
+	d2 := FigD2(4).BuildGraph()
+	if !d1.ContainedIn(d2) {
+		t.Fatalf("D1 should be contained in D2")
+	}
+	if d1.Recursive() || d2.Recursive() {
+		t.Fatalf("Fig 3c/d graphs are acyclic")
+	}
+}

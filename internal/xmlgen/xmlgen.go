@@ -1,0 +1,230 @@
+// Package xmlgen generates random XML documents conforming to a DTD,
+// mirroring the IBM XML Generator used in the paper's experiments (§6). The
+// two control knobs match the paper's: X_L, the maximum number of levels
+// ("if a tree goes beyond X_L levels, it will add none of the optional
+// elements and only one of each of the required elements"), and X_R, the
+// maximum number of occurrences of child elements under '*' or '+' (each
+// count drawn uniformly from [0, X_R]).
+//
+// A MaxNodes budget caps document size by suppressing optional content once
+// reached, standing in for the paper's post-hoc trimming of oversized trees.
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/xmltree"
+)
+
+// Options configures generation. Zero values select the paper's defaults
+// (X_L = 4, X_R = 12, unlimited size).
+type Options struct {
+	XL       int   // maximum levels; default 4
+	XR       int   // maximum repeats under * / +; default 12
+	Seed     int64 // RNG seed; generation is deterministic per seed
+	MaxNodes int   // optional-content budget; 0 = unlimited
+	// ValueFunc produces the text value for a #PCDATA element of the given
+	// type. Defaults to "<type>-<k>" with k uniform in [0, 1000).
+	ValueFunc func(typ string, r *rand.Rand) string
+}
+
+// hardDepthSlack bounds required-content recursion beyond X_L before
+// generation aborts: a DTD whose recursion is not '*'-guarded cannot honor
+// the beyond-X_L policy.
+const hardDepthSlack = 64
+
+// Generate produces a random document conforming to d.
+func Generate(d *dtd.DTD, opts Options) (*xmltree.Document, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	if opts.XL <= 0 {
+		opts.XL = 4
+	}
+	if opts.XR < 0 {
+		return nil, fmt.Errorf("xmlgen: negative XR")
+	}
+	if opts.XR == 0 {
+		opts.XR = 12
+	}
+	if opts.ValueFunc == nil {
+		opts.ValueFunc = func(typ string, r *rand.Rand) string {
+			return fmt.Sprintf("%s-%d", typ, r.Intn(1000))
+		}
+	}
+	g := &generator{
+		d:    d,
+		opts: opts,
+		r:    rand.New(rand.NewSource(opts.Seed)),
+	}
+	// Expansion is breadth-first, as the IBM XML Generator builds trees
+	// level by level: under a node budget this yields bushy documents whose
+	// mass is spread across the whole tree instead of one deep spine.
+	root := &xmltree.Node{Label: d.Root}
+	g.count = 1
+	queue := []queued{{n: root, level: 1}}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if item.level > g.opts.XL+hardDepthSlack {
+			return nil, fmt.Errorf("xmlgen: required recursion of type %q exceeds depth %d; DTD recursion is not optional-guarded", item.n.Label, item.level)
+		}
+		minimal := item.level >= g.opts.XL || g.overBudget()
+		if err := g.content(item.n, g.d.Prods[item.n.Label], minimal); err != nil {
+			return nil, err
+		}
+		for _, c := range item.n.Children {
+			queue = append(queue, queued{n: c, level: item.level + 1})
+		}
+	}
+	return xmltree.NewDocument(root), nil
+}
+
+type queued struct {
+	n     *xmltree.Node
+	level int
+}
+
+type generator struct {
+	d     *dtd.DTD
+	opts  Options
+	r     *rand.Rand
+	count int
+}
+
+// overBudget reports whether optional content should be suppressed.
+func (g *generator) overBudget() bool {
+	return g.opts.MaxNodes > 0 && g.count >= g.opts.MaxNodes
+}
+
+// content expands a content model one level: it appends (unexpanded) child
+// nodes to n per the model. With minimal set (beyond X_L or over budget),
+// stars produce nothing and alternatives prefer their cheapest branch.
+func (g *generator) content(n *xmltree.Node, c dtd.Content, minimal bool) error {
+	switch c := c.(type) {
+	case dtd.Epsilon:
+		return nil
+	case dtd.Name:
+		if c.Text {
+			n.Val = g.opts.ValueFunc(n.Label, g.r)
+			return nil
+		}
+		child := &xmltree.Node{Label: c.Type, Parent: n}
+		g.count++
+		n.Children = append(n.Children, child)
+		return nil
+	case dtd.Seq:
+		for _, it := range c.Items {
+			if err := g.content(n, it, minimal || g.overBudget()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dtd.Alt:
+		if len(c.Items) == 0 {
+			return nil
+		}
+		if minimal {
+			return g.content(n, cheapest(c.Items), minimal)
+		}
+		return g.content(n, c.Items[g.r.Intn(len(c.Items))], minimal)
+	case dtd.Star:
+		if minimal {
+			return nil
+		}
+		k := g.r.Intn(g.opts.XR + 1)
+		for i := 0; i < k; i++ {
+			if g.overBudget() {
+				return nil
+			}
+			if err := g.content(n, c.Item, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("xmlgen: unknown content %T", c)
+}
+
+// cheapest picks the alternative with the smallest minimal expansion cost.
+func cheapest(items []dtd.Content) dtd.Content {
+	best := items[0]
+	bestCost := minCost(items[0], 8)
+	for _, it := range items[1:] {
+		if c := minCost(it, 8); c < bestCost {
+			best, bestCost = it, c
+		}
+	}
+	return best
+}
+
+// minCost estimates the minimal number of elements a content model must
+// produce, with bounded recursion depth.
+func minCost(c dtd.Content, depth int) int {
+	if depth == 0 {
+		return 1 << 20
+	}
+	switch c := c.(type) {
+	case dtd.Epsilon:
+		return 0
+	case dtd.Name:
+		if c.Text {
+			return 0
+		}
+		return 1
+	case dtd.Seq:
+		total := 0
+		for _, it := range c.Items {
+			total += minCost(it, depth-1)
+		}
+		return total
+	case dtd.Alt:
+		best := 1 << 20
+		for _, it := range c.Items {
+			if v := minCost(it, depth-1); v < best {
+				best = v
+			}
+		}
+		return best
+	case dtd.Star:
+		return 0
+	}
+	return 1 << 20
+}
+
+// MarkValues assigns value to up to n randomly chosen elements labeled typ
+// (deterministic per seed) and returns how many were marked. It supports the
+// selectivity sweeps of Exp-2, where the number of qualified elements
+// varies from 100 to 50,000.
+func MarkValues(doc *xmltree.Document, typ string, n int, value string, seed int64) int {
+	var candidates []*xmltree.Node
+	for _, node := range doc.Nodes() {
+		if node.Label == typ {
+			candidates = append(candidates, node)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	for i := 0; i < n; i++ {
+		candidates[i].Val = value
+	}
+	return n
+}
+
+// CountLabel returns the number of elements labeled typ.
+func CountLabel(doc *xmltree.Document, typ string) int {
+	c := 0
+	for _, n := range doc.Nodes() {
+		if n.Label == typ {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,180 @@
+package xmlgen
+
+import (
+	"testing"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmltree"
+)
+
+func TestGenerateConforms(t *testing.T) {
+	dtds := map[string]*dtd.DTD{
+		"dept":  workload.Dept(),
+		"cross": workload.Cross(),
+		"bioml": workload.BIOML(),
+		"gedml": workload.GedML(),
+		"fig3d": workload.Fig3D(),
+		"figd2": workload.FigD2(5),
+	}
+	for name, d := range dtds {
+		for seed := int64(0); seed < 5; seed++ {
+			doc, err := Generate(d, Options{XL: 6, XR: 3, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if err := d.Validate(doc); err != nil {
+				t.Errorf("%s seed %d: generated doc invalid: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d := workload.Cross()
+	a, err := Generate(d, Options{XL: 8, XR: 4, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(d, Options{XL: 8, XR: 4, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serialize() != b.Serialize() {
+		t.Fatalf("generation not deterministic per seed")
+	}
+	c, err := Generate(d, Options{XL: 8, XR: 4, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Serialize() == c.Serialize() && a.Size() > 2 {
+		t.Fatalf("different seeds produced identical non-trivial documents")
+	}
+}
+
+func TestXLBoundsDepth(t *testing.T) {
+	d := workload.Cross()
+	for _, xl := range []int{2, 4, 8} {
+		doc, err := Generate(d, Options{XL: xl, XR: 6, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Beyond X_L no optional content is added; the cross DTD is fully
+		// star-guarded, so height can exceed X_L by at most 1 (the level
+		// that triggered the policy adds required leaves only — none here).
+		if h := doc.Root.Height(); h > xl+1 {
+			t.Errorf("XL=%d: height %d", xl, h)
+		}
+	}
+}
+
+func TestXRBoundsFanout(t *testing.T) {
+	d := workload.Cross()
+	doc, err := Generate(d, Options{XL: 6, XR: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxFanout int
+	for _, n := range doc.Nodes() {
+		// Per starred child type, at most XR occurrences; cross types have
+		// at most two starred groups (c → b*, d*), so fanout ≤ 2·XR.
+		if len(n.Children) > maxFanout {
+			maxFanout = len(n.Children)
+		}
+	}
+	if maxFanout > 6 {
+		t.Errorf("fanout %d exceeds 2*XR", maxFanout)
+	}
+}
+
+func TestMaxNodesBudget(t *testing.T) {
+	d := workload.GedML()
+	doc, err := Generate(d, Options{XL: 30, XR: 8, Seed: 3, MaxNodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget suppresses optional content once reached; overshoot is
+	// bounded by the required content of the element in flight.
+	if doc.Size() > 600 {
+		t.Fatalf("size %d far exceeds budget", doc.Size())
+	}
+	if err := d.Validate(doc); err != nil {
+		t.Fatalf("budgeted doc invalid: %v", err)
+	}
+}
+
+func TestRequiredRecursionFails(t *testing.T) {
+	d, err := dtd.Parse(`<!ELEMENT a (b)>
+<!ELEMENT b (a)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(d, Options{XL: 3, XR: 2, Seed: 0}); err == nil {
+		t.Fatalf("unguarded recursion should fail")
+	}
+}
+
+func TestValuesAssigned(t *testing.T) {
+	d := workload.Dept()
+	doc, err := Generate(d, Options{XL: 4, XR: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// #PCDATA leaves must carry values.
+	for _, n := range doc.Nodes() {
+		if n.Label == "cno" && n.Val == "" {
+			t.Fatalf("cno without value")
+		}
+	}
+}
+
+func TestMarkValues(t *testing.T) {
+	d := workload.Cross()
+	doc, err := Generate(d, Options{XL: 10, XR: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := CountLabel(doc, "c")
+	if total < 5 {
+		t.Skip("document too small for the test")
+	}
+	n := MarkValues(doc, "c", 5, "SEL", 42)
+	if n != 5 {
+		t.Fatalf("marked %d", n)
+	}
+	count := 0
+	for _, node := range doc.Nodes() {
+		if node.Label == "c" && node.Val == "SEL" {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Fatalf("found %d marked nodes", count)
+	}
+	// Asking for more than exist marks all.
+	doc2, _ := Generate(d, Options{XL: 4, XR: 2, Seed: 2})
+	total2 := CountLabel(doc2, "d")
+	if got := MarkValues(doc2, "d", total2+100, "SEL", 1); got != total2 {
+		t.Fatalf("MarkValues overshoot = %d, want %d", got, total2)
+	}
+}
+
+func TestGrowthWithXLXR(t *testing.T) {
+	d := workload.Cross()
+	size := func(xl, xr int) int {
+		doc, err := Generate(d, Options{XL: xl, XR: xr, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc.Size()
+	}
+	// Deeper and wider settings should produce (weakly) larger documents
+	// on the same seed.
+	if size(10, 4) < size(4, 4) {
+		t.Errorf("deeper tree smaller: %d < %d", size(10, 4), size(4, 4))
+	}
+	if size(6, 8) < size(6, 2) {
+		t.Errorf("wider tree smaller: %d < %d", size(6, 8), size(6, 2))
+	}
+	_ = xmltree.VirtualRoot
+}

@@ -1,0 +1,194 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	doc, err := Parse(`<a><b>hello</b><c/><b>world</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Label != "a" {
+		t.Fatalf("root = %q", doc.Root.Label)
+	}
+	if len(doc.Root.Children) != 3 {
+		t.Fatalf("children = %d", len(doc.Root.Children))
+	}
+	if doc.Root.Children[0].Val != "hello" {
+		t.Fatalf("b.Val = %q", doc.Root.Children[0].Val)
+	}
+	if doc.Size() != 4 {
+		t.Fatalf("size = %d", doc.Size())
+	}
+}
+
+func TestParseWithPrologAndComments(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a (b*)> ]>
+<!-- a comment -->
+<a attr="x">
+  <!-- inner comment -->
+  <b k='v'>text &amp; more</b>
+</a>`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Children[0].Val != "text & more" {
+		t.Fatalf("Val = %q", doc.Root.Children[0].Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<a>",
+		"<a></b>",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"<a", "text only",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	src := `<dept><course><cno>cs11</cno><prereq><course><cno>cs66</cno><prereq/></course></prereq></course></dept>`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse(doc.Serialize())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !treeEqual(doc.Root, doc2.Root) {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", doc.Serialize(), doc2.Serialize())
+	}
+}
+
+func treeEqual(a, b *Node) bool {
+	if a.Label != b.Label || a.Val != b.Val || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !treeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPreorderIDs(t *testing.T) {
+	doc, _ := Parse(`<a><b><c/></b><d/></a>`)
+	want := []struct {
+		label string
+		id    NodeID
+	}{{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}}
+	for i, n := range doc.Nodes() {
+		if n.Label != want[i].label || n.ID != want[i].id {
+			t.Errorf("node %d = %s#%d, want %s#%d", i, n.Label, n.ID, want[i].label, want[i].id)
+		}
+	}
+	if doc.Node(3).Label != "c" {
+		t.Errorf("Node(3) = %v", doc.Node(3))
+	}
+	if doc.Node(0) != nil || doc.Node(5) != nil {
+		t.Errorf("out-of-range Node lookups should be nil")
+	}
+}
+
+func TestDepthHeightPath(t *testing.T) {
+	doc, _ := Parse(`<a><b><c/></b></a>`)
+	c := doc.Node(3)
+	if c.Depth() != 2 {
+		t.Errorf("Depth = %d", c.Depth())
+	}
+	if doc.Root.Height() != 3 {
+		t.Errorf("Height = %d", doc.Root.Height())
+	}
+	if c.Path() != "a/b/c" {
+		t.Errorf("Path = %q", c.Path())
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	doc, _ := Parse(`<a><b><c/></b><d/></a>`)
+	if got := len(doc.Root.Descendants()); got != 3 {
+		t.Errorf("Descendants = %d", got)
+	}
+	if got := len(doc.Root.DescendantsOrSelf()); got != 4 {
+		t.Errorf("DescendantsOrSelf = %d", got)
+	}
+}
+
+func TestNodeSet(t *testing.T) {
+	doc, _ := Parse(`<a><b/><c/></a>`)
+	s := NodeSet{}
+	s.Add(doc.Node(2))
+	s.Add(doc.Node(3))
+	s.Add(doc.Node(2)) // duplicate
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	ids := s.IDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	t2 := NodeSet{}
+	t2.Add(doc.Node(3))
+	t2.Add(doc.Node(2))
+	if !s.Equal(t2) {
+		t.Fatalf("sets should be equal")
+	}
+	t2.Add(doc.Node(1))
+	if s.Equal(t2) {
+		t.Fatalf("sets should differ")
+	}
+}
+
+// TestEscapeRoundtripProperty checks serialize∘parse preserves arbitrary
+// text values.
+func TestEscapeRoundtripProperty(t *testing.T) {
+	f := func(val string) bool {
+		// Strip control characters the XML dialect does not model.
+		clean := strings.Map(func(r rune) rune {
+			if r < 0x20 && r != '\t' {
+				return -1
+			}
+			return r
+		}, val)
+		clean = strings.TrimSpace(clean)
+		root := &Node{Label: "a", Val: clean}
+		doc := NewDocument(root)
+		doc2, err := Parse(doc.Serialize())
+		if err != nil {
+			return false
+		}
+		// Whitespace is trimmed/normalized by the parser; compare trimmed.
+		return doc2.Root.Val == strings.TrimSpace(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenumberAfterEdit(t *testing.T) {
+	doc, _ := Parse(`<a><b/></a>`)
+	doc.Root.AddChild("c")
+	doc.Renumber()
+	if doc.Size() != 3 {
+		t.Fatalf("size = %d", doc.Size())
+	}
+	if doc.Node(3).Label != "c" {
+		t.Fatalf("Node(3) = %v", doc.Node(3))
+	}
+	if doc.Node(3).Parent != doc.Root {
+		t.Fatalf("parent not fixed by Renumber")
+	}
+}

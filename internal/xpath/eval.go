@@ -1,0 +1,96 @@
+package xpath
+
+import (
+	"xpath2sql/internal/xmltree"
+)
+
+// Eval evaluates p at the context node v, returning v[[p]] (§2.2). It is the
+// reference semantics ("oracle") against which all translations are tested.
+func Eval(p Path, v *xmltree.Node) xmltree.NodeSet {
+	return evalSet(p, singleton(v))
+}
+
+// EvalDoc evaluates p at the virtual document root: the root element is the
+// only "child" of the document, so a query like dept//project takes its first
+// label step to the root element. This matches the shredded encoding where
+// the root element's F attribute is '_'.
+func EvalDoc(p Path, doc *xmltree.Document) xmltree.NodeSet {
+	virtual := &xmltree.Node{ID: xmltree.VirtualRoot, Label: "", Children: []*xmltree.Node{doc.Root}}
+	out := evalSet(p, singleton(virtual))
+	// The virtual root is not a document node; it can only enter the result
+	// via ε or descendant-or-self at the top level.
+	delete(out, virtual)
+	return out
+}
+
+func singleton(v *xmltree.Node) xmltree.NodeSet {
+	s := xmltree.NodeSet{}
+	s.Add(v)
+	return s
+}
+
+// evalSet evaluates p at every node of ctx and unions the results.
+func evalSet(p Path, ctx xmltree.NodeSet) xmltree.NodeSet {
+	out := xmltree.NodeSet{}
+	switch p := p.(type) {
+	case Empty:
+		for v := range ctx {
+			out.Add(v)
+		}
+	case Label:
+		for v := range ctx {
+			for _, c := range v.Children {
+				if c.Label == p.Name {
+					out.Add(c)
+				}
+			}
+		}
+	case Wildcard:
+		for v := range ctx {
+			for _, c := range v.Children {
+				out.Add(c)
+			}
+		}
+	case Seq:
+		return evalSet(p.R, evalSet(p.L, ctx))
+	case Desc:
+		dos := xmltree.NodeSet{}
+		for v := range ctx {
+			for _, d := range v.DescendantsOrSelf() {
+				dos.Add(d)
+			}
+		}
+		return evalSet(p.P, dos)
+	case Union:
+		for n := range evalSet(p.L, ctx) {
+			out.Add(n)
+		}
+		for n := range evalSet(p.R, ctx) {
+			out.Add(n)
+		}
+	case Filter:
+		for n := range evalSet(p.P, ctx) {
+			if evalQual(p.Q, n) {
+				out.Add(n)
+			}
+		}
+	}
+	return out
+}
+
+// evalQual decides whether the qualifier holds at node v.
+func evalQual(q Qual, v *xmltree.Node) bool {
+	switch q := q.(type) {
+	case QPath:
+		return len(Eval(q.P, v)) > 0
+	case QText:
+		return v.Val == q.C
+	case QNot:
+		return !evalQual(q.Q, v)
+	case QAnd:
+		return evalQual(q.L, v) && evalQual(q.R, v)
+	case QOr:
+		return evalQual(q.L, v) || evalQual(q.R, v)
+	}
+	return false
+}

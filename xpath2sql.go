@@ -1,0 +1,196 @@
+// Package xpath2sql answers XPath queries over XML stored in relations via
+// DTD-based shredding, translating XPath — descendant axis, unions and rich
+// qualifiers included — into sequences of SQL queries that need only a
+// simple single-input least-fixpoint operator, even when the DTD is
+// recursive. It implements Fan, Yu, Li, Ding and Qin, "Query Translation
+// from XPath to SQL in the Presence of Recursive DTDs" (VLDB 2005 / VLDB J.
+// 18(4), 2009).
+//
+// The pipeline:
+//
+//	dtd, _ := xpath2sql.ParseDTD(dtdText)      // recursive DTDs welcome
+//	q, _ := xpath2sql.ParseQuery("dept//project")
+//	tr, _ := xpath2sql.Translate(q, dtd, xpath2sql.DefaultOptions())
+//	fmt.Println(tr.SQL(xpath2sql.DialectDB2))  // the SQL to ship to an RDBMS
+//
+// For self-contained use, the package bundles an in-memory relational
+// engine, a shredder and an XML generator:
+//
+//	doc, _ := xpath2sql.ParseXML(xmlText)
+//	db, _ := xpath2sql.Shred(doc, dtd)
+//	ids, _, _ := tr.Execute(db)                // answer node IDs
+//
+// Three translation strategies are provided for comparison, matching the
+// paper's experiments: the extended-XPath approach with CycleEX (X, the
+// contribution), with Tarjan's CycleE (E), and the SQLGen-R baseline of
+// Krishnamurthy et al. (R), which requires the multi-relation SQL'99
+// with…recursive operator.
+package xpath2sql
+
+import (
+	"math/rand"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/expath"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/views"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+	"xpath2sql/internal/xpath"
+)
+
+// Re-exported data model types.
+type (
+	// DTD is a Document Type Definition: an extended context-free grammar
+	// with a distinguished root type (§2.1 of the paper).
+	DTD = dtd.DTD
+	// DTDGraph is the graph of a DTD: types as nodes, parent/child edges.
+	DTDGraph = dtd.Graph
+	// Document is an unordered XML element tree.
+	Document = xmltree.Document
+	// Node is an element node of a Document.
+	Node = xmltree.Node
+	// NodeID identifies a node; the virtual document root is 0.
+	NodeID = xmltree.NodeID
+	// Query is a parsed XPath query of the paper's fragment.
+	Query = xpath.Path
+	// ExtendedQuery is an extended-XPath query: equations over expressions
+	// with variables and general Kleene closure (§3.2).
+	ExtendedQuery = expath.Query
+	// DB is an in-memory shredded database: one (F, T, V) edge relation per
+	// element type.
+	DB = rdb.DB
+	// Relation is a set of (F, T, V) tuples.
+	Relation = rdb.Relation
+	// ExecStats reports the work a query execution performed.
+	ExecStats = rdb.Stats
+	// Program is a sequence of relational-algebra statements.
+	Program = ra.Program
+)
+
+// Strategy selects the translation approach.
+type Strategy = core.Strategy
+
+// Translation strategies (the paper's X / E / R).
+const (
+	StrategyCycleEX = core.StrategyCycleEX
+	StrategyCycleE  = core.StrategyCycleE
+	StrategySQLGenR = core.StrategySQLGenR
+)
+
+// Dialect selects the SQL flavor for rendering.
+type Dialect = ra.Dialect
+
+// SQL dialects for the LFP operator (Fig 4).
+const (
+	DialectDB2    = ra.DialectDB2
+	DialectOracle = ra.DialectOracle
+)
+
+// Options configures translation.
+type Options = core.Options
+
+// DefaultOptions returns the recommended configuration: the CycleEX
+// strategy with optimized ε handling and selections pushed into the LFP
+// operator (§5.2).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// ParseDTD parses <!ELEMENT …> declarations; the first declared element is
+// the root unless a "<!-- root: name -->" comment overrides it.
+func ParseDTD(src string) (*DTD, error) { return dtd.Parse(src) }
+
+// ParseXML parses an XML document (elements and text; attributes ignored).
+func ParseXML(src string) (*Document, error) { return xmltree.Parse(src) }
+
+// ParseQuery parses an XPath query of the supported fragment:
+// '/', '//', '*', '.', '|', qualifiers with 'and', 'or', 'not(…)' and
+// "text()='c'".
+func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
+
+// Translation is a translated query: the extended-XPath intermediate form
+// (when the strategy uses one) and the relational program.
+type Translation struct {
+	res *core.Result
+}
+
+// Translate rewrites an XPath query over a (possibly recursive) DTD into a
+// sequence of relational queries.
+func Translate(q Query, d *DTD, opts Options) (*Translation, error) {
+	res, err := core.Translate(q, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{res: res}, nil
+}
+
+// TranslateString parses and translates in one step.
+func TranslateString(query string, d *DTD, opts Options) (*Translation, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(q, d, opts)
+}
+
+// Strategy reports which translation strategy produced this plan.
+func (t *Translation) Strategy() Strategy { return t.res.Strategy }
+
+// ExtendedXPath returns the intermediate extended-XPath query, or nil for
+// the SQLGen-R strategy (which bypasses extended XPath).
+func (t *Translation) ExtendedXPath() *ExtendedQuery { return t.res.EQ }
+
+// Program returns the relational-algebra statement sequence.
+func (t *Translation) Program() *Program { return t.res.Program }
+
+// SQL renders the program as SQL text in the given dialect.
+func (t *Translation) SQL(d Dialect) string {
+	return t.res.Program.SQL(ra.SQLRenderOptions{Dialect: d})
+}
+
+// Execute runs the program on a shredded database, returning the answer
+// node IDs (ascending) and execution statistics.
+func (t *Translation) Execute(db *DB) ([]int, *ExecStats, error) {
+	return t.res.Execute(db)
+}
+
+// Shred maps a document into the per-type edge relations R_A(F, T, V) of
+// the paper's storage model (§2.3).
+func Shred(doc *Document, d *DTD) (*DB, error) { return shred.Shred(doc, d) }
+
+// InlineSchema derives the shared-inlining relational schema of a DTD
+// (Shanmugasundaram et al., as used in Example 2.3).
+func InlineSchema(d *DTD) []shred.RelSchema { return shred.InlineSchema(d) }
+
+// GenOptions configures the bundled XML generator (the IBM XML Generator
+// stand-in of §6): XL bounds tree depth, XR bounds per-star fanout.
+type GenOptions = xmlgen.Options
+
+// Generate produces a random document conforming to the DTD.
+func Generate(d *DTD, opts GenOptions) (*Document, error) {
+	return xmlgen.Generate(d, opts)
+}
+
+// EvalXPath evaluates a query natively on a document tree (the reference
+// semantics used to validate translations).
+func EvalXPath(q Query, doc *Document) []NodeID {
+	return xpath.EvalDoc(q, doc).IDs()
+}
+
+// AnswerOnView answers an XPath query posed against a virtual XML view
+// (defined by view DTD d1, contained in the source's DTD) directly on the
+// source document, without materializing the view (§3.4).
+func AnswerOnView(q Query, d1 *DTD, source *Document) ([]NodeID, error) {
+	return views.Answer(q, d1, source)
+}
+
+// RewriteForView computes the extended-XPath rewriting of a query over a
+// view DTD, valid over every containing DTD (§3.4, Theorem 4.2).
+func RewriteForView(q Query, d1 *DTD) (*ExtendedQuery, error) {
+	return views.Rewrite(q, d1)
+}
+
+// Seed is re-exported so examples can build deterministic value functions.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
