@@ -5,10 +5,13 @@
 // Usage:
 //
 //	benchexp [-exp all|1|2|3|4|5] [-scale small|medium|paper]
+//	         [-trace] [-timeout 0]
 //
 // Scale selects the dataset sizes: "paper" uses the publication's element
 // counts (120,000 to 5 million; minutes to hours of runtime), the default
-// "small" a ~30× reduction (seconds).
+// "small" a ~30× reduction (seconds). -timeout bounds every measured
+// execution (a tripped limit aborts the experiment with a limit error);
+// -trace prints the most expensive statements under each table row.
 package main
 
 import (
@@ -17,14 +20,22 @@ import (
 	"os"
 
 	"xpath2sql/internal/bench"
+	"xpath2sql/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4 or 5")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
+	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: bench.Scale(*scale), Out: os.Stdout}
+	cfg := bench.Config{
+		Scale:  bench.Scale(*scale),
+		Out:    os.Stdout,
+		Trace:  *trace,
+		Limits: obs.Limits{Timeout: *timeout},
+	}
 	switch bench.Scale(*scale) {
 	case bench.ScaleSmall, bench.ScaleMedium, bench.ScalePaper:
 	default:

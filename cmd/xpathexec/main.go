@@ -4,17 +4,27 @@
 // and prints the answer node IDs. With -verify it cross-checks the result
 // against the native tree evaluator.
 //
+// Execution is cancellable and bounded: -timeout budgets the wall clock,
+// -max-lfp-iters and -max-tuples cap fixpoint iterations and produced
+// tuples (exceeding a bound exits with a typed limit error), and -trace
+// prints the executed plan EXPLAIN ANALYZE style — one line per relational
+// statement with observed cardinalities, fixpoint iteration counts and wall
+// time.
+//
 // Usage:
 //
 //	xpathexec -dtd dept.dtd -xml doc.xml -query 'dept//project' [-strategy X]
-//	          [-verify] [-stats] [-paths]
+//	          [-verify] [-stats] [-paths] [-trace] [-timeout 5s]
+//	          [-max-lfp-iters n] [-max-tuples n] [-parallel n]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xpath2sql"
 )
@@ -29,6 +39,10 @@ func main() {
 	paths := flag.Bool("paths", false, "print each answer's label path")
 	workers := flag.Int("parallel", 1, "concurrent statement evaluations (>1 enables parallel execution)")
 	reconstruct := flag.Bool("reconstruct", false, "print the answers' reconstructed XML subtrees")
+	trace := flag.Bool("trace", false, "print the executed plan with observed cardinalities and timings")
+	timeout := flag.Duration("timeout", 0, "wall-clock execution budget, e.g. 500ms (0 = unlimited)")
+	maxLFPIters := flag.Int("max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
+	maxTuples := flag.Int("max-tuples", 0, "cap total tuples produced (0 = unlimited)")
 	flag.Parse()
 
 	if *dtdPath == "" || *xmlPath == "" || *query == "" {
@@ -55,32 +69,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := xpath2sql.DefaultOptions()
+	var strat xpath2sql.Strategy
 	switch strings.ToUpper(*strategy) {
 	case "X":
+		strat = xpath2sql.StrategyCycleEX
 	case "E":
-		opts.Strategy = xpath2sql.StrategyCycleE
+		strat = xpath2sql.StrategyCycleE
 	case "R":
-		opts.Strategy = xpath2sql.StrategySQLGenR
+		strat = xpath2sql.StrategySQLGenR
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
-	tr, err := xpath2sql.TranslateString(*query, d, opts)
-	if err != nil {
-		fatal(err)
-	}
-	var (
-		ids []int
-		st  *xpath2sql.ExecStats
+	eng := xpath2sql.New(d,
+		xpath2sql.WithStrategy(strat),
+		xpath2sql.WithParallelism(*workers),
+		xpath2sql.WithLimits(xpath2sql.Limits{
+			Timeout:     *timeout,
+			MaxLFPIters: *maxLFPIters,
+			MaxTuples:   *maxTuples,
+		}),
 	)
-	if *workers > 1 {
-		ids, st, err = tr.ExecuteParallel(db, *workers)
-	} else {
-		ids, st, err = tr.Execute(db)
-	}
+	ctx := context.Background()
+	tr, err := eng.TranslateString(ctx, *query)
 	if err != nil {
 		fatal(err)
 	}
+	t0 := time.Now()
+	ans, err := tr.ExecuteContext(ctx, db)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+	ids := ans.IDs
 	fmt.Printf("%d answers\n", len(ids))
 	for _, id := range ids {
 		if *paths {
@@ -90,7 +110,10 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Printf("stats: %+v\n", *st)
+		fmt.Printf("stats: %+v (%v)\n", ans.Stats, elapsed.Round(time.Microsecond))
+	}
+	if *trace {
+		fmt.Print(tr.Explain())
 	}
 	if *reconstruct {
 		res, err := xpath2sql.Reconstruct(db, ids)

@@ -1,0 +1,206 @@
+package xpath2sql
+
+import (
+	"context"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/obs"
+	"xpath2sql/internal/rdb"
+)
+
+// Re-exported observability types (internal/obs).
+type (
+	// Limits bounds the resources an execution may consume; the zero value
+	// is unlimited.
+	Limits = obs.Limits
+	// LimitError is the typed error returned when a limit is exceeded; it
+	// is matchable with errors.As and unwraps to ErrLimit.
+	LimitError = obs.LimitError
+	// Trace is the per-statement execution trace of one run.
+	Trace = obs.Trace
+	// StmtEvent is one statement's observation within a Trace.
+	StmtEvent = obs.StmtEvent
+)
+
+// ErrLimit is the sentinel every *LimitError unwraps to.
+var ErrLimit = obs.ErrLimit
+
+// Engine is the context-first entry point: a DTD plus a fixed configuration
+// — strategy, SQL dialect, resource limits, parallelism — built once with
+// functional options and reused across queries:
+//
+//	eng := xpath2sql.New(d,
+//	        xpath2sql.WithStrategy(xpath2sql.StrategyCycleEX),
+//	        xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 10_000}))
+//	tr, err := eng.Translate(ctx, q)
+//	ans, err := tr.ExecuteContext(ctx, db)
+//
+// Engines are immutable after New and safe for concurrent use.
+type Engine struct {
+	dtd     *DTD
+	opts    Options
+	dialect Dialect
+	limits  Limits
+	workers int
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// New builds an Engine for the DTD with the recommended defaults (the
+// CycleEX strategy, DB2 dialect, no limits, serial execution), then applies
+// the options.
+func New(d *DTD, options ...EngineOption) *Engine {
+	e := &Engine{dtd: d, opts: DefaultOptions(), dialect: DialectDB2, workers: 1}
+	for _, o := range options {
+		o(e)
+	}
+	return e
+}
+
+// WithStrategy selects the translation strategy (X, E or R).
+func WithStrategy(s Strategy) EngineOption {
+	return func(e *Engine) { e.opts.Strategy = s }
+}
+
+// WithDialect selects the SQL dialect Translation.SQL defaults to.
+func WithDialect(d Dialect) EngineOption {
+	return func(e *Engine) { e.dialect = d }
+}
+
+// WithLimits bounds every execution started through this engine's
+// translations; exceeding a bound returns a *LimitError.
+func WithLimits(l Limits) EngineOption {
+	return func(e *Engine) { e.limits = l }
+}
+
+// WithParallelism makes ExecuteContext evaluate up to workers independent
+// statements concurrently (workers > 1).
+func WithParallelism(workers int) EngineOption {
+	return func(e *Engine) {
+		if workers < 1 {
+			workers = 1
+		}
+		e.workers = workers
+	}
+}
+
+// WithOptions replaces the full translation options (strategy, SQL rendering
+// options, nested-recursion form) — the escape hatch for configurations the
+// narrower options don't cover.
+func WithOptions(opts Options) EngineOption {
+	return func(e *Engine) { e.opts = opts }
+}
+
+// Translate rewrites an XPath query over the engine's DTD into a sequence of
+// relational queries. The returned Translation carries the engine's limits
+// and parallelism into ExecuteContext.
+func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := core.Translate(q, e.dtd, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{res: res, limits: e.limits, workers: e.workers}, nil
+}
+
+// TranslateString parses and translates in one step.
+func (e *Engine) TranslateString(ctx context.Context, query string) (*Translation, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Translate(ctx, q)
+}
+
+// TranslateBatch translates several queries into one merged program with
+// cross-query common-sub-query sharing; the batch carries the engine's
+// limits into its ExecuteContext.
+func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := core.TranslateBatch(queries, e.dtd, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{b: b, limits: e.limits}, nil
+}
+
+// DTD returns the engine's DTD.
+func (e *Engine) DTD() *DTD { return e.dtd }
+
+// Answer is the result of one ExecuteContext call: the answer node IDs
+// (ascending), the aggregate execution statistics, and the per-statement
+// trace whose totals agree with Stats.
+type Answer struct {
+	IDs   []int
+	Stats ExecStats
+	Trace *Trace
+}
+
+// ExecuteContext runs the translated program on a shredded database under a
+// context: cancellation is honored between statements and between fixpoint
+// iterations (the run returns promptly with context.Canceled or
+// context.DeadlineExceeded), the translation's limits are enforced with
+// typed *LimitError values, and a per-statement trace is recorded. After a
+// successful run, Explain renders the annotated plan.
+func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, error) {
+	trace := &obs.Trace{}
+	var (
+		ids   []int
+		stats *rdb.Stats
+		err   error
+	)
+	if t.workers > 1 {
+		var rel *rdb.Relation
+		rel, stats, err = rdb.RunParallelCtx(ctx, db, t.res.Program, t.workers, t.limits, trace)
+		if err == nil {
+			ids = core.ExtractIDs(rel)
+		}
+	} else {
+		ids, stats, err = t.res.ExecuteCtx(ctx, db, t.limits, trace)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.lastTrace = trace
+	return &Answer{IDs: ids, Stats: *stats, Trace: trace}, nil
+}
+
+// Explain renders the translation's program EXPLAIN ANALYZE style: one line
+// per RA statement annotated — after an ExecuteContext run — with the
+// observed input/output cardinalities, tuples produced, fixpoint iteration
+// counts and wall time of the most recent execution. Statements the lazy
+// evaluation skipped are marked "not run"; before any execution the bare
+// plan is rendered. Not synchronized with concurrent ExecuteContext calls
+// on the same Translation.
+func (t *Translation) Explain() string {
+	return obs.Explain(t.res.Program, t.lastTrace)
+}
+
+// BatchAnswer is the result of one Batch.ExecuteContext call: per-query
+// answers and statistics (work is charged once, to the query that performed
+// it, so PerQuery sums to Stats), the aggregate statistics, and the
+// combined trace.
+type BatchAnswer struct {
+	IDs      [][]int
+	PerQuery []ExecStats
+	Stats    ExecStats
+	Trace    *Trace
+}
+
+// ExecuteContext answers every query of the batch within one executor
+// (shared statements are evaluated once) under a context with the batch's
+// limits; see Translation.ExecuteContext for the cancellation and limit
+// semantics.
+func (b *Batch) ExecuteContext(ctx context.Context, db *DB) (*BatchAnswer, error) {
+	trace := &obs.Trace{}
+	ids, per, total, err := b.b.ExecuteCtx(ctx, db, b.limits, trace)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchAnswer{IDs: ids, PerQuery: per, Stats: *total, Trace: trace}, nil
+}

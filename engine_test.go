@@ -1,0 +1,330 @@
+package xpath2sql_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"xpath2sql"
+)
+
+func deptSetup(t *testing.T) (*xpath2sql.DTD, *xpath2sql.Document, *xpath2sql.DB) {
+	t.Helper()
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: 12, XR: 3, Seed: 7, MaxNodes: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, doc, db
+}
+
+// TestEngineAnswerMatchesOracle: the context-first Engine agrees with both
+// the native evaluator and the deprecated entry points on the paper's
+// Example 3.5 query dept//project.
+func TestEngineAnswerMatchesOracle(t *testing.T) {
+	d, doc, db := deptSetup(t)
+	ctx := context.Background()
+	eng := xpath2sql.New(d, xpath2sql.WithStrategy(xpath2sql.StrategyCycleEX))
+	tr, err := eng.TranslateString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := tr.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := xpath2sql.ParseQuery("dept//project")
+	want := xpath2sql.EvalXPath(q, doc)
+	if len(ans.IDs) != len(want) {
+		t.Fatalf("engine %d answers, oracle %d", len(ans.IDs), len(want))
+	}
+	for i := range want {
+		if ans.IDs[i] != int(want[i]) {
+			t.Fatalf("engine %v vs oracle %v", ans.IDs, want)
+		}
+	}
+	// The deprecated path returns the same answers.
+	old, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := old.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(ans.IDs) {
+		t.Fatalf("deprecated path disagrees: %v vs %v", ids, ans.IDs)
+	}
+	if ans.Stats.StmtsRun == 0 || ans.Trace == nil {
+		t.Fatalf("answer missing stats/trace: %+v", ans)
+	}
+}
+
+// TestExplainAccountsForAllWork: Explain prints one line per RA statement,
+// executed statements carry observed cardinalities and iteration counts, and
+// the per-statement tuple counts sum exactly to Stats.TuplesOut.
+func TestExplainAccountsForAllWork(t *testing.T) {
+	d, _, db := deptSetup(t)
+	ctx := context.Background()
+	eng := xpath2sql.New(d)
+	tr, err := eng.TranslateString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any execution Explain renders the bare plan.
+	if text := tr.Explain(); !strings.Contains(text, "(not run)") {
+		t.Fatalf("pre-execution Explain:\n%s", text)
+	}
+	ans, err := tr.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := 0
+	iters := 0
+	for _, ev := range ans.Trace.Events {
+		sum += ev.Ops.TuplesOut
+		iters += ev.Ops.LFPIters
+	}
+	if sum != ans.Stats.TuplesOut {
+		t.Fatalf("per-statement tuples %d != Stats.TuplesOut %d", sum, ans.Stats.TuplesOut)
+	}
+	if len(ans.Trace.Events) != ans.Stats.StmtsRun {
+		t.Fatalf("%d events, %d statements run", len(ans.Trace.Events), ans.Stats.StmtsRun)
+	}
+	if iters != ans.Stats.LFPIters || iters == 0 {
+		t.Fatalf("trace iterations %d, stats %d", iters, ans.Stats.LFPIters)
+	}
+
+	text := tr.Explain()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	nStmts := len(tr.Program().Stmts)
+	if len(lines) != nStmts+1 { // one per statement + the result footer
+		t.Fatalf("Explain has %d lines for %d statements:\n%s", len(lines), nStmts, text)
+	}
+	ran := 0
+	for _, l := range lines[:nStmts] {
+		if strings.Contains(l, "(not run)") {
+			continue
+		}
+		ran++
+		for _, field := range []string{"in=", "out=", "tuples=", "iters="} {
+			if !strings.Contains(l, field) {
+				t.Fatalf("statement line missing %s: %q", field, l)
+			}
+		}
+	}
+	if ran != ans.Stats.StmtsRun {
+		t.Fatalf("Explain shows %d executed statements, stats say %d", ran, ans.Stats.StmtsRun)
+	}
+	if !strings.Contains(lines[nStmts], "result:") {
+		t.Fatalf("footer = %q", lines[nStmts])
+	}
+}
+
+// deepChain builds a DTD a → a and a document nested deep enough that the
+// unbounded descendant closure (quadratic in the depth) runs for seconds.
+func deepChain(t *testing.T, depth int) (*xpath2sql.DTD, *xpath2sql.DB) {
+	t.Helper()
+	d, err := xpath2sql.ParseDTD(`<!ELEMENT a (a?)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	doc, err := xpath2sql.ParseXML(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, db
+}
+
+// TestEngineCancellation: cancelling mid-fixpoint on a deeply recursive DTD
+// returns promptly with context.Canceled.
+func TestEngineCancellation(t *testing.T) {
+	d, db := deepChain(t, 3000)
+	eng := xpath2sql.New(d)
+	tr, err := eng.TranslateString(context.Background(), "//a//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = tr.ExecuteContext(ctx, db)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+}
+
+// TestEngineDeadline: a 1ms context deadline terminates the run early with
+// context.DeadlineExceeded; a 1ms Limits.Timeout with a *LimitError.
+func TestEngineDeadline(t *testing.T) {
+	d, db := deepChain(t, 3000)
+
+	tr, err := xpath2sql.New(d).TranslateString(context.Background(), "//a//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := tr.ExecuteContext(ctx, db); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v", err)
+	}
+
+	eng := xpath2sql.New(d, xpath2sql.WithLimits(xpath2sql.Limits{Timeout: time.Millisecond}))
+	tr2, err := eng.TranslateString(context.Background(), "//a//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr2.ExecuteContext(context.Background(), db)
+	var le *xpath2sql.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("timeout err = %v, want *LimitError", err)
+	}
+	if !errors.Is(err, xpath2sql.ErrLimit) {
+		t.Fatal("timeout error does not unwrap to ErrLimit")
+	}
+}
+
+// TestEngineLFPIterLimit: MaxLFPIters=1 trips on the recursive closure with a
+// typed error naming the offending statement.
+func TestEngineLFPIterLimit(t *testing.T) {
+	d, db := deepChain(t, 50)
+	eng := xpath2sql.New(d, xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 1}))
+	tr, err := eng.TranslateString(context.Background(), "a//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.ExecuteContext(context.Background(), db)
+	var le *xpath2sql.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	if le.Stmt == "" {
+		t.Fatalf("LimitError does not name the statement: %+v", le)
+	}
+	found := false
+	for _, s := range tr.Program().Stmts {
+		if s.Name == le.Stmt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("LimitError names unknown statement %q", le.Stmt)
+	}
+}
+
+// TestEngineParallelAgrees: WithParallelism executes the same program
+// concurrently and returns identical answers with a deterministic trace.
+func TestEngineParallelAgrees(t *testing.T) {
+	d, doc, db := deptSetup(t)
+	ctx := context.Background()
+	serial, err := xpath2sql.New(d).TranslateString(ctx, "dept//course[.//project]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAns, err := serial.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := xpath2sql.New(d, xpath2sql.WithParallelism(4)).TranslateString(ctx, "dept//course[.//project]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAns, err := par.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sAns.IDs) != len(pAns.IDs) {
+		t.Fatalf("serial %d answers, parallel %d", len(sAns.IDs), len(pAns.IDs))
+	}
+	for i := range sAns.IDs {
+		if sAns.IDs[i] != pAns.IDs[i] {
+			t.Fatalf("serial %v vs parallel %v", sAns.IDs, pAns.IDs)
+		}
+	}
+	if len(pAns.Trace.Events) == 0 {
+		t.Fatal("parallel run recorded no trace")
+	}
+	_ = doc
+}
+
+// TestEngineBatchPerQueryStats: batch execution reports per-query statistics
+// that sum to the aggregate (shared work charged exactly once), and each
+// query's answers match its standalone run.
+func TestEngineBatchPerQueryStats(t *testing.T) {
+	d, _, db := deptSetup(t)
+	ctx := context.Background()
+	queries := []string{"dept//project", "dept//course/cno", "dept//student"}
+	qs := make([]xpath2sql.Query, len(queries))
+	for i, s := range queries {
+		q, err := xpath2sql.ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	eng := xpath2sql.New(d)
+	batch, err := eng.TranslateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := batch.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.IDs) != len(queries) || len(ans.PerQuery) != len(queries) {
+		t.Fatalf("batch shape: %d answers, %d stats", len(ans.IDs), len(ans.PerQuery))
+	}
+	var sum xpath2sql.ExecStats
+	for _, s := range ans.PerQuery {
+		sum.Joins += s.Joins
+		sum.Unions += s.Unions
+		sum.LFPs += s.LFPs
+		sum.LFPIters += s.LFPIters
+		sum.RecFixes += s.RecFixes
+		sum.TuplesOut += s.TuplesOut
+		sum.StmtsRun += s.StmtsRun
+	}
+	if sum != ans.Stats {
+		t.Fatalf("per-query stats sum %+v != total %+v", sum, ans.Stats)
+	}
+	for i, s := range queries {
+		tr, err := eng.TranslateString(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := tr.ExecuteContext(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(solo.IDs) != len(ans.IDs[i]) {
+			t.Fatalf("query %q: batch %v vs solo %v", s, ans.IDs[i], solo.IDs)
+		}
+	}
+}

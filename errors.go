@@ -1,0 +1,27 @@
+package xpath2sql
+
+import (
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/xpath"
+)
+
+// Sentinel errors of the pipeline, matchable with errors.Is. Every error the
+// facade returns wraps at most one of these (or is a context error —
+// context.Canceled and context.DeadlineExceeded pass through unchanged — or
+// a *LimitError, matchable with errors.As and unwrapping to ErrLimit); the
+// error message always keeps the precise diagnosis.
+var (
+	// ErrDTDParse: ParseDTD rejected the DTD text.
+	ErrDTDParse = dtd.ErrParse
+	// ErrQueryParse: ParseQuery rejected the XPath text.
+	ErrQueryParse = xpath.ErrParse
+	// ErrUnsupportedQuery: the selected translation strategy cannot handle
+	// the query (today only SQLGen-R, whose fragment excludes some
+	// qualifier shapes).
+	ErrUnsupportedQuery = core.ErrUnsupportedQuery
+	// ErrNotInDTD: Shred met a document element whose type has no
+	// production in the DTD.
+	ErrNotInDTD = shred.ErrNotInDTD
+)

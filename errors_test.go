@@ -1,0 +1,89 @@
+package xpath2sql_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xpath2sql"
+)
+
+func TestErrDTDParse(t *testing.T) {
+	for _, src := range []string{
+		"<!ELEMENT",
+		"<!ELEMENT a (b,)>",
+		"<!ELEMENT a (b>",
+		"nonsense",
+	} {
+		_, err := xpath2sql.ParseDTD(src)
+		if err == nil {
+			t.Errorf("ParseDTD(%q) accepted", src)
+			continue
+		}
+		if !errors.Is(err, xpath2sql.ErrDTDParse) {
+			t.Errorf("ParseDTD(%q): %v does not match ErrDTDParse", src, err)
+		}
+		if !strings.Contains(err.Error(), "dtd") {
+			t.Errorf("ParseDTD(%q): message lost its diagnosis: %q", src, err)
+		}
+	}
+}
+
+func TestErrQueryParse(t *testing.T) {
+	for _, src := range []string{"", "a[", "a]b", "a//", "a[text()=]"} {
+		_, err := xpath2sql.ParseQuery(src)
+		if err == nil {
+			t.Errorf("ParseQuery(%q) accepted", src)
+			continue
+		}
+		if !errors.Is(err, xpath2sql.ErrQueryParse) {
+			t.Errorf("ParseQuery(%q): %v does not match ErrQueryParse", src, err)
+		}
+	}
+}
+
+func TestErrNotInDTD(t *testing.T) {
+	d, err := xpath2sql.ParseDTD(`<!ELEMENT a (b?)>
+<!ELEMENT b (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(`<a><rogue/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = xpath2sql.Shred(doc, d)
+	if !errors.Is(err, xpath2sql.ErrNotInDTD) {
+		t.Fatalf("Shred err = %v, want ErrNotInDTD", err)
+	}
+	if !strings.Contains(err.Error(), "rogue") {
+		t.Fatalf("message does not name the element: %q", err)
+	}
+}
+
+func TestErrUnsupportedQueryMatchable(t *testing.T) {
+	// The SQLGen-R rejection sites wrap this sentinel; verify the facade
+	// re-export matches through wrapping the way those sites produce it.
+	err := fmt.Errorf("core: SQLGen-R does not support qualifier: %w", xpath2sql.ErrUnsupportedQuery)
+	if !errors.Is(err, xpath2sql.ErrUnsupportedQuery) {
+		t.Fatal("wrapped ErrUnsupportedQuery not matchable")
+	}
+}
+
+func TestErrorSentinelsDistinct(t *testing.T) {
+	sentinels := []error{
+		xpath2sql.ErrDTDParse,
+		xpath2sql.ErrQueryParse,
+		xpath2sql.ErrUnsupportedQuery,
+		xpath2sql.ErrNotInDTD,
+		xpath2sql.ErrLimit,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinels %d and %d alias", i, j)
+			}
+		}
+	}
+}

@@ -39,9 +39,11 @@ func AnswerPath(db *DB, id int) (string, error) {
 }
 
 // Batch is a multi-query translation whose common sub-queries are shared
-// across queries.
+// across queries. Batches built by an Engine carry its limits into
+// ExecuteContext.
 type Batch struct {
-	b *core.BatchResult
+	b      *core.BatchResult
+	limits Limits
 }
 
 // TranslateBatch translates several queries over one DTD into a single
@@ -73,6 +75,9 @@ func (b *Batch) Program() *Program { return b.b.Program }
 
 // Execute answers every query of the batch; answers[i] belongs to the i-th
 // input query.
+//
+// Deprecated: use ExecuteContext, which adds cancellation, limits, a trace,
+// and per-query statistics.
 func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
 	return b.b.Execute(db)
 }
@@ -80,6 +85,9 @@ func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
 // ExecuteParallel runs the translation with up to workers concurrent
 // statement evaluations (independent statements — per-cycle seeds, batch
 // sections — run concurrently); answers match Execute.
+//
+// Deprecated: build the translation with New(d, WithParallelism(workers))
+// and use ExecuteContext, which adds cancellation, limits and a trace.
 func (t *Translation) ExecuteParallel(db *DB, workers int) ([]int, *ExecStats, error) {
 	rel, stats, err := rdbRunParallel(db, t.res.Program, workers)
 	if err != nil {

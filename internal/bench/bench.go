@@ -12,13 +12,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/shred"
 	"xpath2sql/internal/xmlgen"
@@ -52,6 +55,14 @@ func (s Scale) Factor() float64 {
 type Config struct {
 	Scale Scale
 	Out   io.Writer // nil discards output
+	// Limits bounds every measured execution; a tripped limit aborts the
+	// experiment with a *obs.LimitError (a cheap way to keep a runaway
+	// strategy from stalling the whole suite).
+	Limits obs.Limits
+	// Trace records a per-statement trace for each measured execution and
+	// prints the per-row breakdown (the most expensive statements) under
+	// each table row.
+	Trace bool
 }
 
 func (c Config) printf(format string, args ...any) {
@@ -125,14 +136,23 @@ type Measurement struct {
 	Seconds   float64
 	Stats     rdb.Stats
 	Answers   int
-	TransSecs float64 // translation time (excluded from Seconds)
+	TransSecs float64    // translation time (excluded from Seconds)
+	Trace     *obs.Trace // per-statement breakdown (Config.Trace runs only)
 }
 
 // Strategies are the three approaches of §6, in the paper's plot order.
 var Strategies = []core.Strategy{core.StrategySQLGenR, core.StrategyCycleEX, core.StrategyCycleE}
 
-// RunQuery translates and executes one query with one strategy.
+// RunQuery translates and executes one query with one strategy, unbounded
+// and untraced; RunQueryCfg applies a Config's limits and tracing.
 func RunQuery(ds *Dataset, query string, strategy core.Strategy) (Measurement, error) {
+	return RunQueryCfg(Config{}, ds, query, strategy)
+}
+
+// RunQueryCfg translates and executes one query with one strategy under the
+// Config's execution limits, recording a per-statement trace when
+// c.Trace is set.
+func RunQueryCfg(c Config, ds *Dataset, query string, strategy core.Strategy) (Measurement, error) {
 	q, err := xpath.Parse(query)
 	if err != nil {
 		return Measurement{}, err
@@ -145,8 +165,12 @@ func RunQuery(ds *Dataset, query string, strategy core.Strategy) (Measurement, e
 		return Measurement{}, err
 	}
 	tTrans := time.Since(t0).Seconds()
+	var trace *obs.Trace
+	if c.Trace {
+		trace = &obs.Trace{}
+	}
 	t1 := time.Now()
-	ids, stats, err := res.Execute(ds.DB)
+	ids, stats, err := res.ExecuteCtx(context.Background(), ds.DB, c.Limits, trace)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -156,6 +180,7 @@ func RunQuery(ds *Dataset, query string, strategy core.Strategy) (Measurement, e
 		Stats:     *stats,
 		Answers:   len(ids),
 		TransSecs: tTrans,
+		Trace:     trace,
 	}, nil
 }
 
@@ -190,6 +215,17 @@ func (t *Table) Print(c Config) {
 			c.printf("%10d", r.Cells[0].Answers)
 		}
 		c.printf("\n")
+		if c.Trace {
+			for _, m := range r.Cells {
+				if m.Trace == nil {
+					continue
+				}
+				c.printf("  [%s] top statements:\n", m.Strategy)
+				for _, line := range strings.Split(strings.TrimRight(m.Trace.Summary(5), "\n"), "\n") {
+					c.printf("    %s\n", line)
+				}
+			}
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/shred"
 	"xpath2sql/internal/workload"
@@ -51,7 +53,7 @@ func Exp1(c Config) ([]*Table, error) {
 				}
 				row := Row{Label: fmt.Sprintf("%s=%d", sweep.axis, v)}
 				for _, s := range Strategies {
-					m, err := RunQuery(ds, query, s)
+					m, err := RunQueryCfg(c, ds, query, s)
 					if err != nil {
 						return nil, fmt.Errorf("%s %s [%v]: %w", qname, row.Label, s, err)
 					}
@@ -121,8 +123,12 @@ func Exp2(c Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				var trace *obs.Trace
+				if c.Trace {
+					trace = &obs.Trace{}
+				}
 				t0 := time.Now()
-				ids, stats, err := res.Execute(ds.DB)
+				ids, stats, err := res.ExecuteCtx(context.Background(), ds.DB, c.Limits, trace)
 				if err != nil {
 					return nil, err
 				}
@@ -135,6 +141,7 @@ func Exp2(c Config) ([]*Table, error) {
 					Seconds:  time.Since(t0).Seconds(),
 					Stats:    *stats,
 					Answers:  len(ids),
+					Trace:    trace,
 				})
 			}
 			if err := checkAgreement(row); err != nil {
@@ -165,7 +172,7 @@ func Exp3(c Config) (*Table, error) {
 		}
 		row := Row{Label: fmt.Sprintf("%d", ds.Doc.Size())}
 		for _, s := range Strategies {
-			m, err := RunQuery(ds, "a//d", s)
+			m, err := RunQueryCfg(c, ds, "a//d", s)
 			if err != nil {
 				return nil, err
 			}
@@ -210,8 +217,12 @@ func Exp4BIOML(c Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			var trace *obs.Trace
+			if c.Trace {
+				trace = &obs.Trace{}
+			}
 			t0 := time.Now()
-			ids, stats, err := res.Execute(ds.DB)
+			ids, stats, err := res.ExecuteCtx(context.Background(), ds.DB, c.Limits, trace)
 			if err != nil {
 				return nil, err
 			}
@@ -220,6 +231,7 @@ func Exp4BIOML(c Config) (*Table, error) {
 				Seconds:  time.Since(t0).Seconds(),
 				Stats:    *stats,
 				Answers:  len(ids),
+				Trace:    trace,
 			})
 		}
 		if err := checkAgreement(row); err != nil {
@@ -266,7 +278,7 @@ func Exp4GedML(c Config) ([]*Table, error) {
 			}
 			row := Row{Label: fmt.Sprintf("%s=%d (%d el)", sweep.axis, v, ds.Doc.Size())}
 			for _, s := range Strategies {
-				m, err := RunQuery(ds, "Even//Data", s)
+				m, err := RunQueryCfg(c, ds, "Even//Data", s)
 				if err != nil {
 					return nil, err
 				}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/ra"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/xpath"
@@ -73,20 +75,34 @@ func renameStmts(p *ra.Program, prefix string) {
 // answers stripped, as in Result.Execute). All queries run within one
 // executor, so shared statements are evaluated once.
 func (b *BatchResult) Execute(db *rdb.DB) ([][]int, *rdb.Stats, error) {
+	answers, _, total, err := b.ExecuteCtx(context.Background(), db, obs.Limits{}, nil)
+	return answers, total, err
+}
+
+// ExecuteCtx runs the batch under a context with resource limits and
+// returns, besides the per-query answers, per-query execution statistics
+// alongside the executor's total. All queries share one executor (shared
+// statements are evaluated once), so the per-query stats are snapshot
+// deltas around each query's RunMore call: work is charged exactly once, to
+// the query whose evaluation performed it, and the deltas sum to the total
+// — statement stats are never double-counted across the shared executor's
+// RunMore calls. Limits.Timeout budgets each query's run separately; when
+// trace is non-nil all queries' statement events accumulate into it.
+func (b *BatchResult) ExecuteCtx(ctx context.Context, db *rdb.DB, limits obs.Limits, trace *obs.Trace) ([][]int, []rdb.Stats, *rdb.Stats, error) {
 	ex := rdb.NewExec(db)
+	ex.Limits = limits
 	answers := make([][]int, len(b.ResultNames))
+	perQuery := make([]rdb.Stats, len(b.ResultNames))
 	for i, name := range b.ResultNames {
 		prog := *b.Program
 		prog.Result = name
-		rel, err := ex.RunMore(&prog)
+		before := ex.Stats
+		rel, err := ex.RunMoreCtx(ctx, &prog, trace)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		ids := rel.TIDs()
-		if len(ids) > 0 && ids[0] == 0 {
-			ids = ids[1:]
-		}
-		answers[i] = ids
+		perQuery[i] = ex.Stats.Minus(before)
+		answers[i] = ExtractIDs(rel)
 	}
-	return answers, &ex.Stats, nil
+	return answers, perQuery, &ex.Stats, nil
 }

@@ -1,0 +1,9 @@
+package core
+
+import "errors"
+
+// ErrUnsupportedQuery is the sentinel wrapped by every "this strategy cannot
+// translate this query" error — today only the SQLGen-R baseline, whose
+// fragment excludes some qualifier shapes. Matched with
+// errors.Is(err, core.ErrUnsupportedQuery).
+var ErrUnsupportedQuery = errors.New("core: query not supported by this strategy")

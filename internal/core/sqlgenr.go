@@ -170,7 +170,7 @@ func flattenAlts(p xpath.Path) ([][]rStep, error) {
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("core: SQLGen-R does not support %T", p)
+	return nil, fmt.Errorf("core: SQLGen-R does not support %T: %w", p, ErrUnsupportedQuery)
 }
 
 type rTranslator struct {
@@ -340,7 +340,7 @@ func (t *rTranslator) applyQual(q xpath.Qual, ctx ra.Plan, curTypes []string) (r
 		}
 		return union(l, r), nil
 	}
-	return nil, fmt.Errorf("core: SQLGen-R does not support qualifier %T", q)
+	return nil, fmt.Errorf("core: SQLGen-R does not support qualifier %T: %w", q, ErrUnsupportedQuery)
 }
 
 // witness translates a qualifier path evaluated at the candidate nodes of

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xpath2sql/internal/dtd"
 	"xpath2sql/internal/expath"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/ra"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/xpath"
@@ -105,8 +107,18 @@ func Translate(q xpath.Path, d *dtd.DTD, opts Options) (*Result, error) {
 // document root (ID 0) is dropped: it can enter the result relation via ε
 // but is a context, not a document node.
 func (r *Result) Execute(db *rdb.DB) ([]int, *rdb.Stats, error) {
+	return r.ExecuteCtx(context.Background(), db, obs.Limits{}, nil)
+}
+
+// ExecuteCtx is Execute under a context with resource limits: cancellation
+// and limits are checked between statements and between fixpoint iterations,
+// returning context errors or typed *obs.LimitError values. When trace is
+// non-nil, one obs.StmtEvent per evaluated statement is recorded; its totals
+// agree with the returned stats.
+func (r *Result) ExecuteCtx(ctx context.Context, db *rdb.DB, limits obs.Limits, trace *obs.Trace) ([]int, *rdb.Stats, error) {
 	ex := rdb.NewExec(db)
-	rel, err := ex.Run(r.Program)
+	ex.Limits = limits
+	rel, err := ex.RunCtx(ctx, r.Program, trace)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,4 +127,14 @@ func (r *Result) Execute(db *rdb.DB) ([]int, *rdb.Stats, error) {
 		ids = ids[1:]
 	}
 	return ids, &ex.Stats, nil
+}
+
+// ExtractIDs pulls the answer node IDs from a result relation, dropping the
+// virtual document root (ID 0) — shared by every execution path.
+func ExtractIDs(rel *rdb.Relation) []int {
+	ids := rel.TIDs()
+	if len(ids) > 0 && ids[0] == 0 {
+		ids = ids[1:]
+	}
+	return ids
 }

@@ -1,0 +1,22 @@
+package dtd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParse is the sentinel every DTD syntax error wraps: callers match the
+// whole family with errors.Is(err, dtd.ErrParse) while the message keeps
+// the precise diagnosis.
+var ErrParse = errors.New("dtd: invalid DTD")
+
+// parseError carries a diagnosis and unwraps to ErrParse.
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+func (e *parseError) Unwrap() error { return ErrParse }
+
+// perrf builds a parse error the way fmt.Errorf would, attached to ErrParse.
+func perrf(format string, args ...any) error {
+	return &parseError{msg: fmt.Sprintf(format, args...)}
+}

@@ -29,7 +29,7 @@ func Parse(input string) (*DTD, error) {
 		if j := strings.Index(rest, "<!--"); j == i {
 			end := strings.Index(rest, "-->")
 			if end < 0 {
-				return nil, fmt.Errorf("dtd: unterminated comment")
+				return nil, perrf("dtd: unterminated comment")
 			}
 			body := strings.TrimSpace(rest[j+4 : end])
 			if strings.HasPrefix(body, "root:") {
@@ -41,7 +41,7 @@ func Parse(input string) (*DTD, error) {
 		rest = rest[i+2:]
 		end := strings.IndexByte(rest, '>')
 		if end < 0 {
-			return nil, fmt.Errorf("dtd: unterminated declaration")
+			return nil, perrf("dtd: unterminated declaration")
 		}
 		decl := strings.TrimSpace(rest[:end])
 		rest = rest[end+1:]
@@ -52,18 +52,18 @@ func Parse(input string) (*DTD, error) {
 				return nil, err
 			}
 			if _, dup := d.Prods[name]; dup {
-				return nil, fmt.Errorf("dtd: duplicate declaration of %q", name)
+				return nil, perrf("dtd: duplicate declaration of %q", name)
 			}
 			d.Prods[name] = content
 			order = append(order, name)
 		case strings.HasPrefix(decl, "ATTLIST"), strings.HasPrefix(decl, "ENTITY"), strings.HasPrefix(decl, "NOTATION"):
 			// Ignored: outside the data model of §2.
 		default:
-			return nil, fmt.Errorf("dtd: unsupported declaration <!%s>", decl)
+			return nil, perrf("dtd: unsupported declaration <!%s>", decl)
 		}
 	}
 	if len(order) == 0 {
-		return nil, fmt.Errorf("dtd: no element declarations")
+		return nil, perrf("dtd: no element declarations")
 	}
 	if root == "" {
 		root = order[0]
@@ -119,7 +119,7 @@ func parseElementDecl(s string) (string, Content, error) {
 	}
 	name := s[:i]
 	if name == "" {
-		return "", nil, fmt.Errorf("dtd: ELEMENT declaration missing name")
+		return "", nil, perrf("dtd: ELEMENT declaration missing name")
 	}
 	body := strings.TrimSpace(s[i:])
 	switch body {
@@ -135,7 +135,7 @@ func parseElementDecl(s string) (string, Content, error) {
 	}
 	p.skipSpace()
 	if p.pos < len(p.src) {
-		return "", nil, fmt.Errorf("dtd: element %s: trailing content %q", name, p.src[p.pos:])
+		return "", nil, perrf("dtd: element %s: trailing content %q", name, p.src[p.pos:])
 	}
 	return name, c, nil
 }
@@ -240,7 +240,7 @@ func (p *contentParser) parseAtom() (Content, error) {
 		}
 		p.skipSpace()
 		if p.peek() != ')' {
-			return nil, fmt.Errorf("expected ')' at offset %d", p.pos)
+			return nil, perrf("expected ')' at offset %d", p.pos)
 		}
 		p.pos++
 		return c, nil
@@ -256,7 +256,7 @@ func (p *contentParser) parseAtom() (Content, error) {
 	tok := p.src[start:p.pos]
 	switch tok {
 	case "":
-		return nil, fmt.Errorf("expected name at offset %d", start)
+		return nil, perrf("expected name at offset %d", start)
 	case "#PCDATA":
 		return Name{Text: true}, nil
 	case "EMPTY":

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xpath2sql/internal/ra"
+)
+
+// OpKind names the root operator of a plan, the Op field of StmtEvent.
+func OpKind(pl ra.Plan) string {
+	switch pl.(type) {
+	case ra.Base:
+		return "scan"
+	case ra.Temp:
+		return "temp"
+	case ra.Ident:
+		return "ident"
+	case ra.IdentOf:
+		return "identof"
+	case ra.Compose:
+		return "compose"
+	case ra.UnionAll:
+		return "union"
+	case ra.Fix:
+		return "fix"
+	case ra.SelectVal:
+		return "select"
+	case ra.SelectRoot:
+		return "selroot"
+	case ra.Semijoin:
+		return "semijoin"
+	case ra.Antijoin:
+		return "antijoin"
+	case ra.Diff:
+		return "diff"
+	case ra.RootSeed:
+		return "rootseed"
+	case ra.TypeFilter:
+		return "typefilter"
+	case ra.RecUnion:
+		return "recunion"
+	}
+	return fmt.Sprintf("%T", pl)
+}
+
+// Explain renders the program EXPLAIN ANALYZE style: one line per RA
+// statement, annotated — when the trace observed it — with input/output
+// cardinalities, tuples produced, fixpoint iteration count and wall time.
+// Statements the (lazy or pruned) execution never evaluated are marked
+// "not run". A nil trace renders the bare plan.
+func Explain(p *ra.Program, t *Trace) string {
+	var b strings.Builder
+	for i, s := range p.Stmts {
+		plan := s.Plan.String()
+		if r := []rune(plan); len(r) > 56 {
+			plan = string(r[:53]) + "..."
+		}
+		fmt.Fprintf(&b, "%3d  %-14s %-11s %-58s", i+1, s.Name, OpKind(s.Plan), plan)
+		var ev *StmtEvent
+		if t != nil {
+			ev = t.Event(s.Name)
+		}
+		if ev == nil {
+			b.WriteString("  (not run)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  in=%-8d out=%-8d tuples=%-8d iters=%-5d %v\n",
+			ev.In, ev.Out, ev.Ops.TuplesOut, ev.Ops.LFPIters, ev.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "result: %s", p.Result)
+	if t != nil {
+		tot := t.Totals()
+		fmt.Fprintf(&b, "   [%d statements run, %d tuples, %d joins, %d Φ (%d iterations), %v]",
+			tot.Stmts, tot.Ops.TuplesOut, tot.Ops.Joins, tot.Ops.LFPs, tot.Ops.LFPIters, tot.Wall.Round(time.Microsecond))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

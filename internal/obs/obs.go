@@ -1,0 +1,217 @@
+// Package obs is the execution observability and control layer: resource
+// limits with typed errors, per-statement execution traces, and an
+// EXPLAIN ANALYZE-style plan renderer. The relational engine (internal/rdb)
+// emits one StmtEvent per evaluated statement; the trace's totals subsume the
+// engine's global counters, so per-strategy work — fixpoint iterations,
+// intermediate cardinalities, statement counts (§6 of the paper) — can be
+// attributed to individual statements rather than read off as one aggregate.
+//
+// The package sits below the engine: it imports only internal/ra (for plan
+// rendering) and is imported by internal/rdb, internal/core and the facade.
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Limits bounds the resources one execution may consume. The zero value
+// imposes no bounds.
+type Limits struct {
+	// MaxTuples caps the total number of tuples produced across all
+	// operators (the engine's TuplesOut counter). 0 means unlimited.
+	MaxTuples int
+	// MaxLFPIters caps the iterations of any single fixpoint operator
+	// (Φ or the multi-relation RecUnion). 0 means unlimited. This is the
+	// guard against non-terminating or blown-up fixpoints on recursive
+	// DTDs.
+	MaxLFPIters int
+	// Timeout is the wall-clock budget for the whole execution, measured
+	// from Run/RunCtx entry. 0 means unlimited. Independent of any
+	// context deadline: exceeding Timeout yields a *LimitError, while a
+	// context deadline yields context.DeadlineExceeded.
+	Timeout time.Duration
+}
+
+// Unlimited reports whether no limit is configured.
+func (l Limits) Unlimited() bool {
+	return l.MaxTuples == 0 && l.MaxLFPIters == 0 && l.Timeout == 0
+}
+
+// ErrLimit is the sentinel all *LimitError values unwrap to, so callers can
+// errors.Is(err, obs.ErrLimit) without caring which bound tripped.
+var ErrLimit = errors.New("obs: resource limit exceeded")
+
+// LimitKind names the bound a LimitError reports.
+type LimitKind string
+
+// The bounds of Limits.
+const (
+	LimitTuples   LimitKind = "MaxTuples"
+	LimitLFPIters LimitKind = "MaxLFPIters"
+	LimitTimeout  LimitKind = "Timeout"
+)
+
+// LimitError reports a resource limit exceeded during execution. It is
+// matchable with errors.As, and errors.Is(err, ErrLimit) holds.
+type LimitError struct {
+	Kind LimitKind
+	// Stmt is the statement under evaluation when the limit tripped.
+	Stmt string
+	// Limit is the configured bound; Actual the observed value. For
+	// LimitTimeout both are nanoseconds.
+	Limit  int64
+	Actual int64
+}
+
+func (e *LimitError) Error() string {
+	switch e.Kind {
+	case LimitTimeout:
+		return fmt.Sprintf("obs: wall-clock budget %v exceeded (%v elapsed, at statement %q)",
+			time.Duration(e.Limit), time.Duration(e.Actual).Round(time.Microsecond), e.Stmt)
+	case LimitLFPIters:
+		return fmt.Sprintf("obs: fixpoint iteration limit %d exceeded at statement %q", e.Limit, e.Stmt)
+	case LimitTuples:
+		return fmt.Sprintf("obs: tuple limit %d exceeded (%d produced, at statement %q)", e.Limit, e.Actual, e.Stmt)
+	}
+	return fmt.Sprintf("obs: limit %s exceeded at statement %q", e.Kind, e.Stmt)
+}
+
+// Unwrap makes errors.Is(err, ErrLimit) hold for every LimitError.
+func (e *LimitError) Unwrap() error { return ErrLimit }
+
+// OpStats counts operator-level work, one instance per statement (exclusive:
+// work done by referenced statements is attributed to those statements). The
+// fields mirror the engine's global counters.
+type OpStats struct {
+	Joins     int // hash joins (compose/semi/anti/typefilter + fixpoint steps)
+	Unions    int // two-way unions
+	LFPs      int // Φ(R) operators evaluated
+	LFPIters  int // fixpoint iterations (Φ and RecUnion)
+	RecFixes  int // multi-relation fixpoints (SQLGen-R)
+	TuplesOut int // tuples produced
+}
+
+// Add accumulates b into s.
+func (s *OpStats) Add(b OpStats) {
+	s.Joins += b.Joins
+	s.Unions += b.Unions
+	s.LFPs += b.LFPs
+	s.LFPIters += b.LFPIters
+	s.RecFixes += b.RecFixes
+	s.TuplesOut += b.TuplesOut
+}
+
+// Sub removes b from s.
+func (s *OpStats) Sub(b OpStats) {
+	s.Joins -= b.Joins
+	s.Unions -= b.Unions
+	s.LFPs -= b.LFPs
+	s.LFPIters -= b.LFPIters
+	s.RecFixes -= b.RecFixes
+	s.TuplesOut -= b.TuplesOut
+}
+
+// StmtEvent is the observation of one evaluated RA statement.
+type StmtEvent struct {
+	// Stmt is the statement name (R_e of the program).
+	Stmt string
+	// Op is the root operator kind ("fix", "compose", "union", …).
+	Op string
+	// In is the summed cardinality of the distinct stored relations and
+	// temporaries the statement's plan reads; Out the result cardinality.
+	In, Out int
+	// Ops is the work performed by this statement alone: evaluating a
+	// referenced temporary is charged to that temporary's own event.
+	Ops OpStats
+	// Wall is the exclusive evaluation time (nested statement evaluation
+	// excluded).
+	Wall time.Duration
+}
+
+// Trace accumulates the events of one execution in completion order. It is
+// not safe for concurrent use; parallel executions record one Trace per
+// worker and Merge them.
+type Trace struct {
+	Events []StmtEvent
+}
+
+// Add appends an event.
+func (t *Trace) Add(ev StmtEvent) { t.Events = append(t.Events, ev) }
+
+// Event returns the recorded event for a statement, or nil.
+func (t *Trace) Event(stmt string) *StmtEvent {
+	for i := range t.Events {
+		if t.Events[i].Stmt == stmt {
+			return &t.Events[i]
+		}
+	}
+	return nil
+}
+
+// Totals is the aggregate roll-up of a trace; it subsumes the engine's
+// global counters (rdb.Stats): StmtsRun = Stmts, and each OpStats field
+// equals the corresponding global counter.
+type Totals struct {
+	Stmts int
+	Ops   OpStats
+	Wall  time.Duration
+}
+
+// Totals sums the trace's events.
+func (t *Trace) Totals() Totals {
+	var tot Totals
+	for _, ev := range t.Events {
+		tot.Stmts++
+		tot.Ops.Add(ev.Ops)
+		tot.Wall += ev.Wall
+	}
+	return tot
+}
+
+// Merge appends the events of every part into t, then orders all events
+// deterministically: by the given statement rank (program order) first, by
+// name second. Ranks missing from order sort last. Parallel executions use
+// it to combine per-worker traces into one reproducible sequence.
+func (t *Trace) Merge(order map[string]int, parts ...*Trace) {
+	for _, p := range parts {
+		if p != nil {
+			t.Events = append(t.Events, p.Events...)
+		}
+	}
+	rank := func(name string) int {
+		if r, ok := order[name]; ok {
+			return r
+		}
+		return int(^uint(0) >> 1) // unknown statements last
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		ri, rj := rank(t.Events[i].Stmt), rank(t.Events[j].Stmt)
+		if ri != rj {
+			return ri < rj
+		}
+		return t.Events[i].Stmt < t.Events[j].Stmt
+	})
+}
+
+// Summary renders the n most expensive statements by wall time, one line
+// each — the quick-look form used by the benchmark harness.
+func (t *Trace) Summary(n int) string {
+	if len(t.Events) == 0 {
+		return "(no statements ran)"
+	}
+	byWall := append([]StmtEvent(nil), t.Events...)
+	sort.SliceStable(byWall, func(i, j int) bool { return byWall[i].Wall > byWall[j].Wall })
+	if n > 0 && len(byWall) > n {
+		byWall = byWall[:n]
+	}
+	var b strings.Builder
+	for _, ev := range byWall {
+		fmt.Fprintf(&b, "%-24s %-10s in=%-8d out=%-8d tuples=%-8d iters=%-5d %v\n",
+			ev.Stmt, ev.Op, ev.In, ev.Out, ev.Ops.TuplesOut, ev.Ops.LFPIters, ev.Wall.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,8 +1,11 @@
 package rdb
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/ra"
 )
 
@@ -18,6 +21,32 @@ type Stats struct {
 	StmtsRun  int // statements actually evaluated (lazy evaluation skips some)
 }
 
+// Ops converts the counters to the per-statement shape of the obs layer.
+func (s Stats) Ops() obs.OpStats {
+	return obs.OpStats{
+		Joins:     s.Joins,
+		Unions:    s.Unions,
+		LFPs:      s.LFPs,
+		LFPIters:  s.LFPIters,
+		RecFixes:  s.RecFixes,
+		TuplesOut: s.TuplesOut,
+	}
+}
+
+// Minus returns the fieldwise difference a - b: the work performed between
+// two snapshots of an executor's counters.
+func (a Stats) Minus(b Stats) Stats {
+	return Stats{
+		Joins:     a.Joins - b.Joins,
+		Unions:    a.Unions - b.Unions,
+		LFPs:      a.LFPs - b.LFPs,
+		LFPIters:  a.LFPIters - b.LFPIters,
+		RecFixes:  a.RecFixes - b.RecFixes,
+		TuplesOut: a.TuplesOut - b.TuplesOut,
+		StmtsRun:  a.StmtsRun - b.StmtsRun,
+	}
+}
+
 // Exec evaluates programs against a database.
 type Exec struct {
 	DB    *DB
@@ -27,10 +56,32 @@ type Exec struct {
 	// computed only when referenced. Disabled, statements run in order.
 	Lazy bool
 
+	// Limits bounds the resources the next Run/RunCtx may consume;
+	// exceeding one returns a *obs.LimitError. The zero value is unlimited.
+	Limits obs.Limits
+
 	prog    *ra.Program
 	env     map[string]*Relation
 	ident   *Relation // cached R_id
 	running map[string]bool
+
+	// Cancellation, limit and trace state (RunCtx).
+	ctx      context.Context
+	trace    *obs.Trace
+	start    time.Time
+	deadline time.Time // from Limits.Timeout; zero = unbounded
+	cur      []string  // stack of statement names under evaluation
+	frames   []execFrame
+}
+
+// execFrame tracks one in-flight statement so per-statement trace events
+// report exclusive work: a nested statement's (inclusive) cost is charged to
+// that statement and subtracted from its parent.
+type execFrame struct {
+	snap      Stats // executor stats at statement entry
+	child     Stats // inclusive work of nested statements
+	childWall time.Duration
+	began     time.Time
 }
 
 // NewExec returns an executor with lazy (top-down) evaluation enabled.
@@ -38,34 +89,99 @@ func NewExec(db *DB) *Exec {
 	return &Exec{DB: db, Lazy: true}
 }
 
+// prepare arms the cancellation/limit/trace state for one run.
+func (e *Exec) prepare(ctx context.Context, trace *obs.Trace) {
+	e.ctx = ctx
+	e.trace = trace
+	e.start = time.Now()
+	e.deadline = time.Time{}
+	if e.Limits.Timeout > 0 {
+		e.deadline = e.start.Add(e.Limits.Timeout)
+	}
+	e.cur = e.cur[:0]
+	e.frames = e.frames[:0]
+}
+
 // RunMore evaluates a program against the executor's existing memoized
 // environment: statements computed by earlier Run/RunMore calls (by name)
 // are reused, the execution side of multi-query optimization. The caller
 // must ensure statement names agree across calls.
 func (e *Exec) RunMore(p *ra.Program) (*Relation, error) {
+	return e.RunMoreCtx(context.Background(), p, nil)
+}
+
+// RunMoreCtx is RunMore with cancellation, limits and tracing; see RunCtx.
+// The wall-clock budget of Limits.Timeout restarts at each call.
+func (e *Exec) RunMoreCtx(ctx context.Context, p *ra.Program, trace *obs.Trace) (*Relation, error) {
 	e.prog = p
 	if e.env == nil {
 		e.env = map[string]*Relation{}
 		e.running = map[string]bool{}
 	}
+	e.prepare(ctx, trace)
 	return e.stmt(p.Result)
 }
 
 // Run executes the program and returns its result relation.
 func (e *Exec) Run(p *ra.Program) (*Relation, error) {
+	return e.RunCtx(context.Background(), p, nil)
+}
+
+// RunCtx executes the program under a context: ctx.Err() is checked between
+// statements and between fixpoint iterations, so a cancelled or expired
+// context makes the run return promptly with context.Canceled or
+// context.DeadlineExceeded. The executor's Limits are enforced at the same
+// points, returning typed *obs.LimitError values. When trace is non-nil, one
+// obs.StmtEvent is recorded per evaluated statement with its exclusive
+// operator counts, cardinalities and wall time; the trace totals then agree
+// with e.Stats.
+func (e *Exec) RunCtx(ctx context.Context, p *ra.Program, trace *obs.Trace) (*Relation, error) {
 	e.prog = p
 	e.env = map[string]*Relation{}
 	e.running = map[string]bool{}
+	e.prepare(ctx, trace)
 	if !e.Lazy {
 		for _, s := range p.Stmts {
-			r, err := e.stmt(s.Name)
-			if err != nil {
+			if _, err := e.stmt(s.Name); err != nil {
 				return nil, err
 			}
-			_ = r
 		}
 	}
 	return e.stmt(p.Result)
+}
+
+// curStmt names the statement currently under evaluation ("" outside one).
+func (e *Exec) curStmt() string {
+	if len(e.cur) == 0 {
+		return ""
+	}
+	return e.cur[len(e.cur)-1]
+}
+
+// check enforces the context and the global limits. It is called between
+// statements and between fixpoint iterations — the points where execution
+// can be abandoned without leaving shared state corrupted.
+func (e *Exec) check() error {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !e.deadline.IsZero() {
+		if now := time.Now(); now.After(e.deadline) {
+			return &obs.LimitError{
+				Kind: obs.LimitTimeout, Stmt: e.curStmt(),
+				Limit: int64(e.Limits.Timeout), Actual: int64(now.Sub(e.start)),
+			}
+		}
+	}
+	if e.Limits.MaxTuples > 0 && e.Stats.TuplesOut > e.Limits.MaxTuples {
+		return &obs.LimitError{
+			Kind: obs.LimitTuples, Stmt: e.curStmt(),
+			Limit: int64(e.Limits.MaxTuples), Actual: int64(e.Stats.TuplesOut),
+		}
+	}
+	return nil
 }
 
 // stmt evaluates (or returns the memoized result of) a named statement.
@@ -80,16 +196,129 @@ func (e *Exec) stmt(name string) (*Relation, error) {
 	if pl == nil {
 		return nil, fmt.Errorf("rdb: unknown statement %q", name)
 	}
+	if err := e.check(); err != nil {
+		return nil, err
+	}
 	e.running[name] = true
-	defer delete(e.running, name)
+	e.cur = append(e.cur, name)
+	if e.trace != nil {
+		e.frames = append(e.frames, execFrame{snap: e.Stats, began: time.Now()})
+	}
 	r, err := e.eval(pl)
+	if err == nil {
+		e.Stats.StmtsRun++
+	}
+	delete(e.running, name)
+	e.cur = e.cur[:len(e.cur)-1]
+	if e.trace != nil {
+		f := e.frames[len(e.frames)-1]
+		e.frames = e.frames[:len(e.frames)-1]
+		wall := time.Since(f.began)
+		inclusive := e.Stats.Minus(f.snap)
+		exclusive := inclusive.Minus(f.child)
+		if len(e.frames) > 0 {
+			parent := &e.frames[len(e.frames)-1]
+			addStats(&parent.child, inclusive)
+			parent.childWall += wall
+		}
+		if err == nil {
+			e.trace.Add(obs.StmtEvent{
+				Stmt: name,
+				Op:   obs.OpKind(pl),
+				In:   e.inputCard(pl),
+				Out:  r.Len(),
+				Ops:  exclusive.Ops(),
+				Wall: wall - f.childWall,
+			})
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	e.Stats.StmtsRun++
 	r.Name = name
 	e.env[name] = r
 	return r, nil
+}
+
+// inputCard sums the cardinalities of the distinct stored relations and
+// temporaries a plan reads — the "input cardinality" of its trace event.
+// Temporaries are read from the memoized environment, which holds them by
+// the time the statement's own event is recorded.
+func (e *Exec) inputCard(pl ra.Plan) int {
+	seen := map[string]bool{}
+	total := 0
+	base := func(rel string) {
+		if !seen["b\x00"+rel] {
+			seen["b\x00"+rel] = true
+			total += e.DB.Rel(rel).Len()
+		}
+	}
+	var walk func(p ra.Plan)
+	walk = func(p ra.Plan) {
+		switch p := p.(type) {
+		case ra.Base:
+			base(p.Rel)
+		case ra.Temp:
+			if !seen["t\x00"+p.Name] {
+				seen["t\x00"+p.Name] = true
+				if r, ok := e.env[p.Name]; ok {
+					total += r.Len()
+				}
+			}
+		case ra.Ident:
+			if !seen["\x00id"] {
+				seen["\x00id"] = true
+				total += len(e.DB.Vals) + 1
+			}
+		case ra.RootSeed:
+			if !seen["\x00root"] {
+				seen["\x00root"] = true
+				total++
+			}
+		case ra.IdentOf:
+			walk(p.Child)
+		case ra.Compose:
+			walk(p.L)
+			walk(p.R)
+		case ra.UnionAll:
+			for _, k := range p.Kids {
+				walk(k)
+			}
+		case ra.Fix:
+			walk(p.Seed)
+			if p.Start != nil {
+				walk(p.Start)
+			}
+			if p.End != nil {
+				walk(p.End)
+			}
+		case ra.SelectVal:
+			walk(p.Child)
+		case ra.SelectRoot:
+			walk(p.Child)
+		case ra.Semijoin:
+			walk(p.L)
+			walk(p.R)
+		case ra.Antijoin:
+			walk(p.L)
+			walk(p.R)
+		case ra.Diff:
+			walk(p.L)
+			walk(p.R)
+		case ra.TypeFilter:
+			base(p.Rel)
+			walk(p.Child)
+		case ra.RecUnion:
+			for _, t := range p.Init {
+				walk(t.Plan)
+			}
+			for _, ed := range p.Edges {
+				walk(ed.Rel)
+			}
+		}
+	}
+	walk(pl)
+	return total
 }
 
 func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
@@ -332,6 +561,21 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 		}
 		return false
 	}
+	// step guards one fixpoint iteration: cancellation and limit checks
+	// happen here, between iterations, so an abandoned Φ leaves no shared
+	// state behind.
+	iters := 0
+	step := func() error {
+		iters++
+		e.Stats.LFPIters++
+		if e.Limits.MaxLFPIters > 0 && iters > e.Limits.MaxLFPIters {
+			return &obs.LimitError{
+				Kind: obs.LimitLFPIters, Stmt: e.curStmt(),
+				Limit: int64(e.Limits.MaxLFPIters), Actual: int64(iters),
+			}
+		}
+		return e.check()
+	}
 	// Path tracking (§5.2 "XML reconstruction"): the P attribute of a new
 	// tuple concatenates the extending edge onto the witnessing path.
 	track := pl.TrackPaths
@@ -373,7 +617,9 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			}
 		}
 		for len(delta) > 0 {
-			e.Stats.LFPIters++
+			if err := step(); err != nil {
+				return nil, err
+			}
 			e.Stats.Joins++
 			var next []Tuple
 			for _, d := range delta {
@@ -412,7 +658,9 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			}
 		}
 		for len(delta) > 0 {
-			e.Stats.LFPIters++
+			if err := step(); err != nil {
+				return nil, err
+			}
 			e.Stats.Joins++
 			var next []Tuple
 			for _, d := range delta {
@@ -436,7 +684,9 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			}
 		}
 		for len(delta) > 0 {
-			e.Stats.LFPIters++
+			if err := step(); err != nil {
+				return nil, err
+			}
 			e.Stats.Joins++
 			var next []Tuple
 			for _, d := range delta {
@@ -527,9 +777,20 @@ func (e *Exec) recUnion(pl ra.RecUnion) (*Relation, error) {
 		}
 		edgeRels[i] = r
 	}
+	iters := 0
 	for grew = true; grew; {
 		grew = false
+		iters++
 		e.Stats.LFPIters++
+		if e.Limits.MaxLFPIters > 0 && iters > e.Limits.MaxLFPIters {
+			return nil, &obs.LimitError{
+				Kind: obs.LimitLFPIters, Stmt: e.curStmt(),
+				Limit: int64(e.Limits.MaxLFPIters), Actual: int64(iters),
+			}
+		}
+		if err := e.check(); err != nil {
+			return nil, err
+		}
 		// One join + one union per edge relation against the whole of R:
 		// the star-shaped body of Fig 2.
 		snapshot := len(acc)

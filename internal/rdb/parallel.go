@@ -1,10 +1,13 @@
 package rdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/ra"
 )
 
@@ -19,6 +22,19 @@ import (
 // immutable snapshot of its dependencies, so plans need no internal
 // synchronization. Statistics are summed across workers.
 func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) {
+	return RunParallelCtx(context.Background(), db, p, workers, obs.Limits{}, nil)
+}
+
+// RunParallelCtx is RunParallel with cancellation, resource limits and
+// tracing. ctx.Err() is checked before each statement and between fixpoint
+// iterations inside statements. Limits.Timeout and Limits.MaxLFPIters are
+// enforced exactly as in the serial engine; Limits.MaxTuples is enforced
+// per statement while it runs and against the cross-worker total as each
+// statement completes. When trace is non-nil, each statement's evaluator
+// records its own events, merged deterministically (program order) after
+// the run, so a parallel trace is byte-for-byte reproducible regardless of
+// scheduling.
+func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, limits obs.Limits, trace *obs.Trace) (*Relation, *Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -74,10 +90,16 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 		}
 	}
 
+	start := time.Now()
+	var deadline time.Time
+	if limits.Timeout > 0 {
+		deadline = start.Add(limits.Timeout)
+	}
 	var (
 		mu      sync.Mutex
 		done    = map[string]*Relation{}
 		total   Stats
+		traces  []*obs.Trace
 		firstEr error
 		closed  bool
 	)
@@ -89,7 +111,7 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 	}
 	var wg sync.WaitGroup
 	remaining := len(deps)
-	complete := func(name string, rel *Relation, st Stats, err error) {
+	complete := func(name string, rel *Relation, st Stats, tr *obs.Trace, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil && firstEr == nil {
@@ -97,6 +119,15 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 		}
 		done[name] = rel
 		addStats(&total, st)
+		if tr != nil {
+			traces = append(traces, tr)
+		}
+		if firstEr == nil && limits.MaxTuples > 0 && total.TuplesOut > limits.MaxTuples {
+			firstEr = &obs.LimitError{
+				Kind: obs.LimitTuples, Stmt: name,
+				Limit: int64(limits.MaxTuples), Actual: int64(total.TuplesOut),
+			}
+		}
 		remaining--
 		if closed {
 			return
@@ -117,6 +148,10 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 	work := func() {
 		defer wg.Done()
 		for name := range ready {
+			if err := ctx.Err(); err != nil {
+				complete(name, nil, Stats{}, nil, err)
+				continue
+			}
 			// Snapshot the dependencies into a private environment.
 			mu.Lock()
 			env := make(map[string]*Relation, len(deps[name]))
@@ -125,11 +160,20 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 			}
 			mu.Unlock()
 			ex := NewExec(db)
+			ex.Limits = limits
 			ex.prog = &ra.Program{Stmts: []ra.Stmt{{Name: name, Plan: byName[name]}}, Result: name}
 			ex.env = env
 			ex.running = map[string]bool{}
+			ex.ctx = ctx
+			ex.start = start
+			ex.deadline = deadline
+			var tr *obs.Trace
+			if trace != nil {
+				tr = &obs.Trace{}
+				ex.trace = tr
+			}
 			rel, err := ex.stmt(name)
-			complete(name, rel, ex.Stats, err)
+			complete(name, rel, ex.Stats, tr, err)
 		}
 	}
 	wg.Add(workers)
@@ -137,6 +181,13 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 		go work()
 	}
 	wg.Wait()
+	if trace != nil {
+		order := make(map[string]int, len(p.Stmts))
+		for i, s := range p.Stmts {
+			order[s.Name] = i
+		}
+		trace.Merge(order, traces...)
+	}
 	if firstEr != nil {
 		return nil, nil, firstEr
 	}

@@ -1,0 +1,10 @@
+package shred
+
+import "errors"
+
+// ErrNotInDTD is the sentinel wrapped when a document element's type has no
+// production in the DTD being shredded against. Matched with
+// errors.Is(err, shred.ErrNotInDTD). Its text is a sentence fragment so the
+// wrap sites render the seed's original message
+// (`shred: element type "x" not in DTD`) without a doubled prefix.
+var ErrNotInDTD = errors.New("not in DTD")

@@ -39,7 +39,7 @@ func Shred(doc *xmltree.Document, d *dtd.DTD) (*rdb.DB, error) {
 	}
 	for _, n := range doc.Nodes() {
 		if !d.Has(n.Label) {
-			return nil, fmt.Errorf("shred: element type %q not in DTD", n.Label)
+			return nil, fmt.Errorf("shred: element type %q %w", n.Label, ErrNotInDTD)
 		}
 		f := 0
 		if n.Parent != nil {
@@ -274,7 +274,7 @@ func InlineShred(doc *xmltree.Document, d *dtd.DTD) (*InlineStore, error) {
 	var shred func(n *xmltree.Node, parentRootID int, code string) error
 	shred = func(n *xmltree.Node, parentRootID int, code string) error {
 		if !d.Has(n.Label) {
-			return fmt.Errorf("shred: element type %q not in DTD", n.Label)
+			return fmt.Errorf("shred: element type %q %w", n.Label, ErrNotInDTD)
 		}
 		if !roots[n.Label] {
 			return fmt.Errorf("shred: internal error: %q is not a subgraph root", n.Label)

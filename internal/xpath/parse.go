@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -36,8 +37,19 @@ type parser struct {
 	pos int
 }
 
+// ErrParse is the sentinel every XPath syntax error wraps: callers match
+// the family with errors.Is(err, xpath.ErrParse) while the message keeps
+// the offset and diagnosis.
+var ErrParse = errors.New("xpath: invalid query")
+
+// parseError carries a diagnosis and unwraps to ErrParse.
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+func (e *parseError) Unwrap() error { return ErrParse }
+
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("xpath: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+	return &parseError{msg: fmt.Sprintf("xpath: offset %d: %s", p.pos, fmt.Sprintf(format, args...))}
 }
 
 func (p *parser) skipSpace() {

@@ -111,13 +111,22 @@ func ParseXML(src string) (*Document, error) { return xmltree.Parse(src) }
 func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
 
 // Translation is a translated query: the extended-XPath intermediate form
-// (when the strategy uses one) and the relational program.
+// (when the strategy uses one) and the relational program. Translations
+// built by an Engine carry its limits and parallelism into ExecuteContext.
 type Translation struct {
-	res *core.Result
+	res     *core.Result
+	limits  Limits
+	workers int
+	// lastTrace holds the most recent ExecuteContext trace for Explain.
+	lastTrace *Trace
 }
 
 // Translate rewrites an XPath query over a (possibly recursive) DTD into a
 // sequence of relational queries.
+//
+// Deprecated: use New(d, …).Translate(ctx, q) — the context-first Engine
+// API, which adds cancellation, resource limits and execution traces. This
+// wrapper translates with an unbounded background configuration.
 func Translate(q Query, d *DTD, opts Options) (*Translation, error) {
 	res, err := core.Translate(q, d, opts)
 	if err != nil {
@@ -127,6 +136,8 @@ func Translate(q Query, d *DTD, opts Options) (*Translation, error) {
 }
 
 // TranslateString parses and translates in one step.
+//
+// Deprecated: use New(d, …).TranslateString(ctx, query); see Translate.
 func TranslateString(query string, d *DTD, opts Options) (*Translation, error) {
 	q, err := ParseQuery(query)
 	if err != nil {
@@ -152,6 +163,10 @@ func (t *Translation) SQL(d Dialect) string {
 
 // Execute runs the program on a shredded database, returning the answer
 // node IDs (ascending) and execution statistics.
+//
+// Deprecated: use ExecuteContext, which adds cancellation, resource limits
+// and a per-statement trace. Execute runs unbounded on the background
+// context.
 func (t *Translation) Execute(db *DB) ([]int, *ExecStats, error) {
 	return t.res.Execute(db)
 }
