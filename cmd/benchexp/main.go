@@ -1,11 +1,13 @@
 // Command benchexp regenerates the paper's experimental tables and figures
 // (§6): Exp-1 (Fig 12), Exp-2 (Fig 13), Exp-3 (Fig 14), Exp-4 (Fig 16 /
-// Table 4 and Fig 17) and Exp-5 (Table 5).
+// Table 4 and Fig 17) and Exp-5 (Table 5) — plus the repo's plan-cache
+// experiment (-exp cache), which reports per-request translation latency
+// uncached vs warm and the cache counters.
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5] [-scale small|medium|paper]
-//	         [-trace] [-timeout 0]
+//	benchexp [-exp all|1|2|3|4|5|cache] [-scale small|medium|paper]
+//	         [-trace] [-timeout 0] [-cache-size n]
 //
 // Scale selects the dataset sizes: "paper" uses the publication's element
 // counts (120,000 to 5 million; minutes to hours of runtime), the default
@@ -24,17 +26,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4 or 5")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5 or cache")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
+	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for the cache experiment (0 = engine default)")
 	flag.Parse()
 
 	cfg := bench.Config{
-		Scale:  bench.Scale(*scale),
-		Out:    os.Stdout,
-		Trace:  *trace,
-		Limits: obs.Limits{Timeout: *timeout},
+		Scale:     bench.Scale(*scale),
+		Out:       os.Stdout,
+		Trace:     *trace,
+		Limits:    obs.Limits{Timeout: *timeout},
+		CacheSize: *cacheSize,
 	}
 	switch bench.Scale(*scale) {
 	case bench.ScaleSmall, bench.ScaleMedium, bench.ScalePaper:
@@ -57,6 +61,8 @@ func main() {
 		}
 	case "5":
 		_, err = bench.Exp5(cfg)
+	case "cache":
+		_, err = bench.ExpCache(cfg)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,8 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 	opts.SQL.PushSelections = !*noPush
-	tr, err := xpath2sql.TranslateString(*query, d, opts)
+	eng := xpath2sql.New(d, xpath2sql.WithOptions(opts))
+	tr, err := eng.TranslateString(context.Background(), *query)
 	if err != nil {
 		fatal(err)
 	}

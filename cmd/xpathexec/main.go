@@ -9,13 +9,14 @@
 // tuples (exceeding a bound exits with a typed limit error), and -trace
 // prints the executed plan EXPLAIN ANALYZE style — one line per relational
 // statement with observed cardinalities, fixpoint iteration counts and wall
-// time.
+// time. The query is prepared through the engine's plan cache (-cache-size
+// bounds it; -stats reports the cache counters).
 //
 // Usage:
 //
 //	xpathexec -dtd dept.dtd -xml doc.xml -query 'dept//project' [-strategy X]
 //	          [-verify] [-stats] [-paths] [-trace] [-timeout 5s]
-//	          [-max-lfp-iters n] [-max-tuples n] [-parallel n]
+//	          [-max-lfp-iters n] [-max-tuples n] [-parallel n] [-cache-size n]
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock execution budget, e.g. 500ms (0 = unlimited)")
 	maxLFPIters := flag.Int("max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
 	maxTuples := flag.Int("max-tuples", 0, "cap total tuples produced (0 = unlimited)")
+	cacheSize := flag.Int("cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
 	flag.Parse()
 
 	if *dtdPath == "" || *xmlPath == "" || *query == "" {
@@ -83,6 +85,7 @@ func main() {
 	eng := xpath2sql.New(d,
 		xpath2sql.WithStrategy(strat),
 		xpath2sql.WithParallelism(*workers),
+		xpath2sql.WithCacheSize(*cacheSize),
 		xpath2sql.WithLimits(xpath2sql.Limits{
 			Timeout:     *timeout,
 			MaxLFPIters: *maxLFPIters,
@@ -90,12 +93,12 @@ func main() {
 		}),
 	)
 	ctx := context.Background()
-	tr, err := eng.TranslateString(ctx, *query)
+	prep, err := eng.PrepareString(ctx, *query)
 	if err != nil {
 		fatal(err)
 	}
 	t0 := time.Now()
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := prep.ExecuteContext(ctx, db)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,9 +114,10 @@ func main() {
 	}
 	if *stats {
 		fmt.Printf("stats: %+v (%v)\n", ans.Stats, elapsed.Round(time.Microsecond))
+		fmt.Println(eng.CacheStats())
 	}
 	if *trace {
-		fmt.Print(tr.Explain())
+		fmt.Print(ans.Explain())
 	}
 	if *reconstruct {
 		res, err := xpath2sql.Reconstruct(db, ids)

@@ -1,0 +1,163 @@
+package xpath2sql_test
+
+// This file is the only remaining caller of the deprecated facade entry
+// points — Translate, TranslateString, Translation.Execute,
+// Translation.ExecuteParallel, TranslateBatch, TranslateBatchStrings and
+// Batch.Execute. It pins their behavior to the Engine API they delegate to,
+// so the legacy surface keeps working until it is removed.
+
+import (
+	"context"
+	"testing"
+
+	"xpath2sql"
+)
+
+func deprecatedSetup(t *testing.T) (*xpath2sql.DTD, *xpath2sql.DB) {
+	t.Helper()
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, db
+}
+
+// TestDeprecatedTranslateAgreesWithEngine: the free Translate/TranslateString
+// wrappers and Translation.Execute return the same answers as Engine.Prepare
+// + ExecuteContext.
+func TestDeprecatedTranslateAgreesWithEngine(t *testing.T) {
+	d, db := deprecatedSetup(t)
+	ctx := context.Background()
+	prep, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, stats, err := old.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want.IDs) {
+		t.Fatalf("deprecated path %v vs engine %v", ids, want.IDs)
+	}
+	for i := range ids {
+		if ids[i] != want.IDs[i] {
+			t.Fatalf("deprecated path %v vs engine %v", ids, want.IDs)
+		}
+	}
+	if stats.StmtsRun == 0 {
+		t.Fatal("deprecated Execute reported no statements")
+	}
+
+	q, err := xpath2sql.ParseQuery("dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaQuery, err := xpath2sql.Translate(q, d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := viaQuery.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids2) != len(ids) {
+		t.Fatalf("Translate %v vs TranslateString %v", ids2, ids)
+	}
+}
+
+// TestDeprecatedExecuteParallelAgrees: the deprecated per-call parallel
+// entry point matches serial execution.
+func TestDeprecatedExecuteParallelAgrees(t *testing.T) {
+	d, db := deprecatedSetup(t)
+	tr, err := xpath2sql.TranslateString("dept//project | dept//student", d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := tr.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, stats, err := tr.ExecuteParallel(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel %v vs serial %v", par, serial)
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("parallel %v vs serial %v", par, serial)
+		}
+	}
+	if stats.StmtsRun == 0 {
+		t.Fatal("no statements ran")
+	}
+}
+
+// TestDeprecatedBatchAgreesWithEngine: the free batch constructors and
+// Batch.Execute answer like Engine.TranslateBatch + ExecuteContext.
+func TestDeprecatedBatchAgreesWithEngine(t *testing.T) {
+	d, db := deprecatedSetup(t)
+	queries := []string{"dept//project", "dept//course"}
+
+	old, err := xpath2sql.TranslateBatchStrings(queries, d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, _, err := old.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	qs := make([]xpath2sql.Query, len(queries))
+	for i, s := range queries {
+		q, err := xpath2sql.ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	viaQueries, err := xpath2sql.TranslateBatch(qs, d, xpath2sql.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers2, _, err := viaQueries.Execute(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := xpath2sql.New(d).TranslateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(want.IDs) || len(answers2) != len(want.IDs) {
+		t.Fatalf("batch shapes: %d / %d vs %d", len(answers), len(answers2), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if len(answers[i]) != len(want.IDs[i]) || len(answers2[i]) != len(want.IDs[i]) {
+			t.Fatalf("query %d: deprecated %v / %v vs engine %v", i, answers[i], answers2[i], want.IDs[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/obs"
+	"xpath2sql/internal/plancache"
 	"xpath2sql/internal/rdb"
 )
 
@@ -20,40 +21,62 @@ type (
 	Trace = obs.Trace
 	// StmtEvent is one statement's observation within a Trace.
 	StmtEvent = obs.StmtEvent
+	// CacheStats reports the engine's plan-cache counters: hits, misses,
+	// singleflight-coalesced lookups, evictions and resident entries.
+	CacheStats = obs.CacheStats
 )
 
 // ErrLimit is the sentinel every *LimitError unwraps to.
 var ErrLimit = obs.ErrLimit
 
+// DefaultCacheSize is the plan-cache capacity an Engine is built with when
+// WithCacheSize is not given: enough for a large query-template workload
+// while bounding memory to roughly that many translated programs.
+const DefaultCacheSize = 1024
+
 // Engine is the context-first entry point: a DTD plus a fixed configuration
-// — strategy, SQL dialect, resource limits, parallelism — built once with
-// functional options and reused across queries:
+// — strategy, SQL dialect, resource limits, parallelism, plan-cache size —
+// built once with functional options and reused across queries:
 //
 //	eng := xpath2sql.New(d,
 //	        xpath2sql.WithStrategy(xpath2sql.StrategyCycleEX),
 //	        xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 10_000}))
-//	tr, err := eng.Translate(ctx, q)
-//	ans, err := tr.ExecuteContext(ctx, db)
+//	p, err := eng.Prepare(ctx, q)
+//	ans, err := p.ExecuteContext(ctx, db)
+//
+// Translation is pure in (DTD, query, options), so the engine memoizes it:
+// Prepare and Translate resolve through a bounded, sharded LRU plan cache
+// keyed by (DTD fingerprint, canonical query, options fingerprint), with
+// singleflight deduplication — N concurrent misses for the same query run
+// exactly one translation. CacheStats reports its effectiveness.
 //
 // Engines are immutable after New and safe for concurrent use.
 type Engine struct {
-	dtd     *DTD
-	opts    Options
-	dialect Dialect
-	limits  Limits
-	workers int
+	dtd       *DTD
+	opts      Options
+	dialect   Dialect
+	limits    Limits
+	workers   int
+	cacheSize int
+	cache     *plancache.Cache
+	dtdFP     string
 }
 
 // EngineOption configures an Engine at construction.
 type EngineOption func(*Engine)
 
 // New builds an Engine for the DTD with the recommended defaults (the
-// CycleEX strategy, DB2 dialect, no limits, serial execution), then applies
-// the options.
+// CycleEX strategy, DB2 dialect, no limits, serial execution, a plan cache
+// of DefaultCacheSize entries), then applies the options. The DTD is
+// fingerprinted once here and must not be mutated afterwards.
 func New(d *DTD, options ...EngineOption) *Engine {
-	e := &Engine{dtd: d, opts: DefaultOptions(), dialect: DialectDB2, workers: 1}
+	e := &Engine{dtd: d, opts: DefaultOptions(), dialect: DialectDB2, workers: 1, cacheSize: DefaultCacheSize}
 	for _, o := range options {
 		o(e)
+	}
+	e.dtdFP = d.Fingerprint()
+	if e.cacheSize > 0 {
+		e.cache = plancache.New(e.cacheSize)
 	}
 	return e
 }
@@ -75,7 +98,8 @@ func WithLimits(l Limits) EngineOption {
 }
 
 // WithParallelism makes ExecuteContext evaluate up to workers independent
-// statements concurrently (workers > 1).
+// statements concurrently (workers > 1), for single translations and
+// batches alike.
 func WithParallelism(workers int) EngineOption {
 	return func(e *Engine) {
 		if workers < 1 {
@@ -85,6 +109,13 @@ func WithParallelism(workers int) EngineOption {
 	}
 }
 
+// WithCacheSize bounds the plan cache to n translated programs (LRU
+// eviction past the bound). n <= 0 disables caching entirely: every
+// Prepare/Translate runs a fresh translation and CacheStats stays zero.
+func WithCacheSize(n int) EngineOption {
+	return func(e *Engine) { e.cacheSize = n }
+}
+
 // WithOptions replaces the full translation options (strategy, SQL rendering
 // options, nested-recursion form) — the escape hatch for configurations the
 // narrower options don't cover.
@@ -92,18 +123,36 @@ func WithOptions(opts Options) EngineOption {
 	return func(e *Engine) { e.opts = opts }
 }
 
-// Translate rewrites an XPath query over the engine's DTD into a sequence of
-// relational queries. The returned Translation carries the engine's limits
-// and parallelism into ExecuteContext.
-func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
+// translate resolves a query to its translated plan through the plan cache
+// (when enabled): cache hits and coalesced waits skip cycle enumeration and
+// variable elimination entirely; misses translate once and publish the
+// immutable result for every later caller.
+func (e *Engine) translate(ctx context.Context, q Query) (*core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := core.Translate(q, e.dtd, e.opts)
+	if e.cache == nil {
+		return core.Translate(q, e.dtd, e.opts)
+	}
+	v, err := e.cache.Do(ctx, core.PlanKey(e.dtdFP, q, e.opts), func() (any, error) {
+		return core.Translate(q, e.dtd, e.opts)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Translation{res: res, limits: e.limits, workers: e.workers}, nil
+	return v.(*core.Result), nil
+}
+
+// Translate rewrites an XPath query over the engine's DTD into a sequence of
+// relational queries, resolving through the plan cache. The returned
+// Translation carries the engine's limits and parallelism into
+// ExecuteContext.
+func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
+	res, err := e.translate(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache}, nil
 }
 
 // TranslateString parses and translates in one step.
@@ -115,9 +164,51 @@ func (e *Engine) TranslateString(ctx context.Context, query string) (*Translatio
 	return e.Translate(ctx, q)
 }
 
+// Prepared is an immutable, concurrency-safe prepared query: a Translation
+// resolved through the engine's plan cache, intended to be built once and
+// shared across goroutines, with every ExecuteContext call keeping its own
+// per-run state (trace, statistics) in the Answer it returns. Two Prepared
+// values for semantically identical (query, options) pairs on one engine
+// alias the same underlying plan.
+type Prepared struct {
+	Translation
+}
+
+// Prepare resolves the query to an immutable prepared plan through the plan
+// cache: the compile-once half of the compile-once/execute-many serving
+// model. Preparing the same (canonicalized) query again is a cache hit, and
+// concurrent first-time preparations are deduplicated to one translation.
+func (e *Engine) Prepare(ctx context.Context, q Query) (*Prepared, error) {
+	res, err := e.translate(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache}}, nil
+}
+
+// PrepareString parses and prepares in one step. The cache key is derived
+// from the parsed query's canonical form, so spelling variants of one query
+// share a single cached plan.
+func (e *Engine) PrepareString(ctx context.Context, query string) (*Prepared, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Prepare(ctx, q)
+}
+
+// CacheStats snapshots the plan cache's counters; all zero when the cache
+// is disabled (WithCacheSize(0)).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
 // TranslateBatch translates several queries into one merged program with
 // cross-query common-sub-query sharing; the batch carries the engine's
-// limits into its ExecuteContext.
+// limits and parallelism into its ExecuteContext.
 func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -126,7 +217,7 @@ func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, e
 	if err != nil {
 		return nil, err
 	}
-	return &Batch{b: b, limits: e.limits}, nil
+	return &Batch{b: b, limits: e.limits, workers: e.workers}, nil
 }
 
 // DTD returns the engine's DTD.
@@ -134,19 +225,39 @@ func (e *Engine) DTD() *DTD { return e.dtd }
 
 // Answer is the result of one ExecuteContext call: the answer node IDs
 // (ascending), the aggregate execution statistics, and the per-statement
-// trace whose totals agree with Stats.
+// trace whose totals agree with Stats. The annotated plan rendering travels
+// with the Answer (Explain), so concurrent executions of one shared
+// Translation or Prepared never contend on shared mutable state.
 type Answer struct {
 	IDs   []int
 	Stats ExecStats
 	Trace *Trace
+
+	prog  *Program
+	cache *CacheStats
+}
+
+// Explain renders the executed plan EXPLAIN ANALYZE style: one line per RA
+// statement annotated with the observed input/output cardinalities, tuples
+// produced, fixpoint iteration counts and wall time of this run. Statements
+// the lazy evaluation skipped are marked "not run". When the translation
+// came through a caching Engine, the footer carries the plan-cache counters
+// as of this execution.
+func (a *Answer) Explain() string {
+	if a.prog == nil {
+		return "(no plan recorded)\n"
+	}
+	return obs.Explain(a.prog, a.Trace, a.cache)
 }
 
 // ExecuteContext runs the translated program on a shredded database under a
 // context: cancellation is honored between statements and between fixpoint
 // iterations (the run returns promptly with context.Canceled or
 // context.DeadlineExceeded), the translation's limits are enforced with
-// typed *LimitError values, and a per-statement trace is recorded. After a
-// successful run, Explain renders the annotated plan.
+// typed *LimitError values, and a per-statement trace is recorded in the
+// returned Answer (render it with Answer.Explain). Safe to call
+// concurrently on one shared Translation or Prepared: each run's state
+// lives entirely in its Answer.
 func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, error) {
 	trace := &obs.Trace{}
 	var (
@@ -166,19 +277,19 @@ func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, erro
 	if err != nil {
 		return nil, err
 	}
-	t.lastTrace = trace
-	return &Answer{IDs: ids, Stats: *stats, Trace: trace}, nil
+	ans := &Answer{IDs: ids, Stats: *stats, Trace: trace, prog: t.res.Program}
+	if t.cache != nil {
+		cs := t.cache.Stats()
+		ans.cache = &cs
+	}
+	return ans, nil
 }
 
-// Explain renders the translation's program EXPLAIN ANALYZE style: one line
-// per RA statement annotated — after an ExecuteContext run — with the
-// observed input/output cardinalities, tuples produced, fixpoint iteration
-// counts and wall time of the most recent execution. Statements the lazy
-// evaluation skipped are marked "not run"; before any execution the bare
-// plan is rendered. Not synchronized with concurrent ExecuteContext calls
-// on the same Translation.
+// Explain renders the translation's bare plan: one line per RA statement.
+// Execution annotations — observed cardinalities, iteration counts, wall
+// time — travel with each run's Answer; render them with Answer.Explain.
 func (t *Translation) Explain() string {
-	return obs.Explain(t.res.Program, t.lastTrace)
+	return obs.Explain(t.res.Program, nil, nil)
 }
 
 // BatchAnswer is the result of one Batch.ExecuteContext call: per-query
@@ -190,17 +301,40 @@ type BatchAnswer struct {
 	PerQuery []ExecStats
 	Stats    ExecStats
 	Trace    *Trace
+
+	prog *Program
+}
+
+// Explain renders the merged batch program with this run's per-statement
+// annotations, exactly as Answer.Explain does for a single translation.
+func (a *BatchAnswer) Explain() string {
+	if a.prog == nil {
+		return "(no plan recorded)\n"
+	}
+	return obs.Explain(a.prog, a.Trace, nil)
 }
 
 // ExecuteContext answers every query of the batch within one executor
 // (shared statements are evaluated once) under a context with the batch's
 // limits; see Translation.ExecuteContext for the cancellation and limit
-// semantics.
+// semantics. A batch built by an engine with parallelism evaluates
+// independent statements of the merged program concurrently, still
+// computing shared statements exactly once.
 func (b *Batch) ExecuteContext(ctx context.Context, db *DB) (*BatchAnswer, error) {
 	trace := &obs.Trace{}
-	ids, per, total, err := b.b.ExecuteCtx(ctx, db, b.limits, trace)
+	var (
+		ids   [][]int
+		per   []ExecStats
+		total *rdb.Stats
+		err   error
+	)
+	if b.workers > 1 {
+		ids, per, total, err = b.b.ExecuteParallelCtx(ctx, db, b.workers, b.limits, trace)
+	} else {
+		ids, per, total, err = b.b.ExecuteCtx(ctx, db, b.limits, trace)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &BatchAnswer{IDs: ids, PerQuery: per, Stats: *total, Trace: trace}, nil
+	return &BatchAnswer{IDs: ids, PerQuery: per, Stats: *total, Trace: trace, prog: b.b.Program}, nil
 }

@@ -1,0 +1,301 @@
+package xpath2sql_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpath2sql"
+)
+
+func loadTestdataDTD(t *testing.T, name string) *xpath2sql.DTD {
+	t.Helper()
+	src, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := xpath2sql.ParseDTD(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEngineCacheHitsOnEquivalentSpellings: spelling variants of one query
+// hit one cache slot (a single miss, then hits), and Prepared values for the
+// variants alias the same underlying program.
+func TestEngineCacheHitsOnEquivalentSpellings(t *testing.T) {
+	d := loadTestdataDTD(t, "dept.dtd")
+	eng := xpath2sql.New(d)
+	ctx := context.Background()
+	variants := []string{"dept//project", "  dept//project ", "(dept)//project", "dept // project"}
+	var first *xpath2sql.Prepared
+	for _, s := range variants {
+		p, err := eng.PrepareString(ctx, s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if first == nil {
+			first = p
+		} else if p.Program() != first.Program() {
+			t.Fatalf("%q prepared a distinct program", s)
+		}
+	}
+	cs := eng.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("%d misses for %d equivalent spellings: %s", cs.Misses, len(variants), cs)
+	}
+	if cs.Hits != int64(len(variants)-1) {
+		t.Fatalf("hits = %d, want %d: %s", cs.Hits, len(variants)-1, cs)
+	}
+
+	// A semantically different query misses.
+	if _, err := eng.PrepareString(ctx, "dept/project"); err != nil {
+		t.Fatal(err)
+	}
+	if cs = eng.CacheStats(); cs.Misses != 2 {
+		t.Fatalf("distinct query did not miss: %s", cs)
+	}
+	if cs.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", cs.Entries)
+	}
+}
+
+// TestEngineCachedAnswersMatchFresh: on both testdata DTDs (each recursive),
+// answers served through a warm plan cache are identical to a cache-disabled
+// engine's, query by query.
+func TestEngineCachedAnswersMatchFresh(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		dtdFile string
+		queries []string
+	}{
+		{"dept.dtd", []string{
+			"dept//project",
+			"dept//course[.//project]",
+			"dept/course[cno and not(.//project)]",
+			"dept//student[qualified//course]",
+		}},
+		{"cross.dtd", []string{"a//d", "a//c[d]", "a/b//d[not(a)]"}},
+	} {
+		d := loadTestdataDTD(t, tc.dtdFile)
+		doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: 10, XR: 3, Seed: 5, MaxNodes: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := xpath2sql.Shred(doc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := xpath2sql.New(d)
+		fresh := xpath2sql.New(d, xpath2sql.WithCacheSize(0))
+		for _, qs := range tc.queries {
+			// Twice through the caching engine: the second Prepare is a hit.
+			for round := 0; round < 2; round++ {
+				cp, err := cached.PrepareString(ctx, qs)
+				if err != nil {
+					t.Fatalf("%s %q: %v", tc.dtdFile, qs, err)
+				}
+				fp, err := fresh.PrepareString(ctx, qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cAns, err := cp.ExecuteContext(ctx, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fAns, err := fp.ExecuteContext(ctx, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cAns.IDs) != len(fAns.IDs) {
+					t.Fatalf("%s %q: cached %v vs fresh %v", tc.dtdFile, qs, cAns.IDs, fAns.IDs)
+				}
+				for i := range cAns.IDs {
+					if cAns.IDs[i] != fAns.IDs[i] {
+						t.Fatalf("%s %q: cached %v vs fresh %v", tc.dtdFile, qs, cAns.IDs, fAns.IDs)
+					}
+				}
+				// Oracle agreement, so a stale/corrupt cached plan cannot hide.
+				q, err := xpath2sql.ParseQuery(qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := xpath2sql.EvalXPath(q, doc); len(want) != len(cAns.IDs) {
+					t.Fatalf("%s %q: engine %d answers, oracle %d", tc.dtdFile, qs, len(cAns.IDs), len(want))
+				}
+			}
+		}
+		cs := cached.CacheStats()
+		if cs.Misses != int64(len(tc.queries)) {
+			t.Fatalf("%s: %d misses for %d queries: %s", tc.dtdFile, cs.Misses, len(tc.queries), cs)
+		}
+		if fs := fresh.CacheStats(); fs != (xpath2sql.CacheStats{}) {
+			t.Fatalf("disabled cache reported activity: %s", fs)
+		}
+	}
+}
+
+// TestEngineSingleflightPrepare: 16 goroutines concurrently preparing the
+// same cold query produce exactly one translation (one miss); everyone else
+// coalesces onto it or hits the published entry.
+func TestEngineSingleflightPrepare(t *testing.T) {
+	d := loadTestdataDTD(t, "dept.dtd")
+	eng := xpath2sql.New(d)
+	ctx := context.Background()
+	const n = 16
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		mu    sync.Mutex
+		progs = map[*xpath2sql.Program]bool{}
+	)
+	start.Add(1)
+	done.Add(n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			p, err := eng.PrepareString(ctx, "dept//course[.//project]")
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			progs[p.Program()] = true
+			mu.Unlock()
+		}()
+	}
+	start.Done()
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 {
+		t.Fatalf("%d distinct programs for one query", len(progs))
+	}
+	cs := eng.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("%d translations ran for %d concurrent prepares: %s", cs.Misses, n, cs)
+	}
+	if cs.Hits+cs.Coalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d != %d: %s", cs.Hits, cs.Coalesced, n-1, cs)
+	}
+}
+
+// TestEngineCacheTorture: goroutines × queries churning a deliberately tiny
+// cache — constant eviction and re-translation — while sharing one Engine
+// and executing against one DB. Run under -race this is the concurrency
+// soundness check of the tentpole; every answer is verified against the
+// native evaluator.
+func TestEngineCacheTorture(t *testing.T) {
+	d := loadTestdataDTD(t, "cross.dtd")
+	doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: 8, XR: 3, Seed: 9, MaxNodes: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"a//d", "a//b", "a//c", "a/b/c", "a//c[d]", "a/b//d", "a//d[a]", "a//b[c]"}
+	oracle := make(map[string]int, len(queries))
+	for _, qs := range queries {
+		q, err := xpath2sql.ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[qs] = len(xpath2sql.EvalXPath(q, doc))
+	}
+
+	eng := xpath2sql.New(d, xpath2sql.WithCacheSize(2)) // far below the working set
+	ctx := context.Background()
+	const (
+		goroutines = 8
+		iters      = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qs := queries[(g+i)%len(queries)]
+				p, err := eng.PrepareString(ctx, qs)
+				if err != nil {
+					errs <- fmt.Errorf("%q: %w", qs, err)
+					return
+				}
+				ans, err := p.ExecuteContext(ctx, db)
+				if err != nil {
+					errs <- fmt.Errorf("%q: %w", qs, err)
+					return
+				}
+				if len(ans.IDs) != oracle[qs] {
+					errs <- fmt.Errorf("%q: %d answers, oracle %d", qs, len(ans.IDs), oracle[qs])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cs := eng.CacheStats()
+	if cs.Lookups() != goroutines*iters {
+		t.Fatalf("lookups = %d, want %d: %s", cs.Lookups(), goroutines*iters, cs)
+	}
+	if cs.Entries > 2 {
+		t.Fatalf("cache overflowed its bound: %s", cs)
+	}
+	if cs.Evictions == 0 {
+		t.Fatalf("churning workload recorded no evictions: %s", cs)
+	}
+}
+
+// TestEngineCacheStatsInExplain: an Answer from a caching engine carries the
+// cache footer; stats rendering is stable and parsable.
+func TestEngineCacheStatsInExplain(t *testing.T) {
+	d := loadTestdataDTD(t, "dept.dtd")
+	doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: 8, XR: 3, Seed: 2, MaxNodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := xpath2sql.New(d)
+	p, err := eng.PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := ans.Explain(); !strings.Contains(text, "cache: 0 hits, 1 misses") {
+		t.Fatalf("Explain cache footer:\n%s", text)
+	}
+	// A cache-disabled engine's answers carry no cache footer.
+	p2, err := xpath2sql.New(d, xpath2sql.WithCacheSize(0)).PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans2, err := p2.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ans2.Explain(), "cache:") {
+		t.Fatal("cache-disabled Explain mentions the cache")
+	}
+}

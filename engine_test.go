@@ -52,26 +52,15 @@ func TestEngineAnswerMatchesOracle(t *testing.T) {
 			t.Fatalf("engine %v vs oracle %v", ans.IDs, want)
 		}
 	}
-	// The deprecated path returns the same answers.
-	old, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ids, _, err := old.Execute(db)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ids) != len(ans.IDs) {
-		t.Fatalf("deprecated path disagrees: %v vs %v", ids, ans.IDs)
-	}
 	if ans.Stats.StmtsRun == 0 || ans.Trace == nil {
 		t.Fatalf("answer missing stats/trace: %+v", ans)
 	}
 }
 
-// TestExplainAccountsForAllWork: Explain prints one line per RA statement,
-// executed statements carry observed cardinalities and iteration counts, and
-// the per-statement tuple counts sum exactly to Stats.TuplesOut.
+// TestExplainAccountsForAllWork: Answer.Explain prints one line per RA
+// statement, executed statements carry observed cardinalities and iteration
+// counts, and the per-statement tuple counts sum exactly to Stats.TuplesOut.
+// Translation.Explain renders the bare plan.
 func TestExplainAccountsForAllWork(t *testing.T) {
 	d, _, db := deptSetup(t)
 	ctx := context.Background()
@@ -80,9 +69,9 @@ func TestExplainAccountsForAllWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Before any execution Explain renders the bare plan.
+	// Translation.Explain always renders the bare plan.
 	if text := tr.Explain(); !strings.Contains(text, "(not run)") {
-		t.Fatalf("pre-execution Explain:\n%s", text)
+		t.Fatalf("bare-plan Explain:\n%s", text)
 	}
 	ans, err := tr.ExecuteContext(ctx, db)
 	if err != nil {
@@ -105,7 +94,7 @@ func TestExplainAccountsForAllWork(t *testing.T) {
 		t.Fatalf("trace iterations %d, stats %d", iters, ans.Stats.LFPIters)
 	}
 
-	text := tr.Explain()
+	text := ans.Explain()
 	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
 	nStmts := len(tr.Program().Stmts)
 	if len(lines) != nStmts+1 { // one per statement + the result footer
@@ -128,6 +117,14 @@ func TestExplainAccountsForAllWork(t *testing.T) {
 	}
 	if !strings.Contains(lines[nStmts], "result:") {
 		t.Fatalf("footer = %q", lines[nStmts])
+	}
+	// The translation came through a caching engine, so the footer reports
+	// the plan cache; the bare plan never does.
+	if !strings.Contains(lines[nStmts], "cache:") {
+		t.Fatalf("annotated footer missing cache stats: %q", lines[nStmts])
+	}
+	if strings.Contains(tr.Explain(), "cache:") {
+		t.Fatal("bare-plan Explain leaked cache stats")
 	}
 }
 
@@ -326,5 +323,64 @@ func TestEngineBatchPerQueryStats(t *testing.T) {
 		if len(solo.IDs) != len(ans.IDs[i]) {
 			t.Fatalf("query %q: batch %v vs solo %v", s, ans.IDs[i], solo.IDs)
 		}
+	}
+}
+
+// TestEngineBatchParallelAgrees: a batch built by a parallel engine runs the
+// merged program's DAG concurrently, returning the serial batch's answers
+// with per-query statistics that still sum to the aggregate.
+func TestEngineBatchParallelAgrees(t *testing.T) {
+	d, _, db := deptSetup(t)
+	ctx := context.Background()
+	queries := []string{"dept//project", "dept//course/cno", "dept//student[qualified//course]"}
+	qs := make([]xpath2sql.Query, len(queries))
+	for i, s := range queries {
+		q, err := xpath2sql.ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	serialBatch, err := xpath2sql.New(d).TranslateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAns, err := serialBatch.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBatch, err := xpath2sql.New(d, xpath2sql.WithParallelism(4)).TranslateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAns, err := parBatch.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if len(pAns.IDs[i]) != len(sAns.IDs[i]) {
+			t.Fatalf("query %q: parallel %v vs serial %v", queries[i], pAns.IDs[i], sAns.IDs[i])
+		}
+		for j := range pAns.IDs[i] {
+			if pAns.IDs[i][j] != sAns.IDs[i][j] {
+				t.Fatalf("query %q: parallel %v vs serial %v", queries[i], pAns.IDs[i], sAns.IDs[i])
+			}
+		}
+	}
+	var sum xpath2sql.ExecStats
+	for _, s := range pAns.PerQuery {
+		sum.Joins += s.Joins
+		sum.Unions += s.Unions
+		sum.LFPs += s.LFPs
+		sum.LFPIters += s.LFPIters
+		sum.RecFixes += s.RecFixes
+		sum.TuplesOut += s.TuplesOut
+		sum.StmtsRun += s.StmtsRun
+	}
+	if sum != pAns.Stats {
+		t.Fatalf("parallel per-query stats sum %+v != total %+v", sum, pAns.Stats)
+	}
+	if len(pAns.Trace.Events) == 0 {
+		t.Fatal("parallel batch recorded no trace")
 	}
 }

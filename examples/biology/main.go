@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -52,32 +53,36 @@ func main() {
 	}
 	fmt.Printf("dataset: %d elements\n\n", doc.Size())
 
+	ctx := context.Background()
+	eng := xpath2sql.New(dtd)
 	for _, qs := range []string{"gene//locus", "gene//dna", "gene//clone[dna and not(gene)]"} {
-		tr, err := xpath2sql.TranslateString(qs, dtd, xpath2sql.DefaultOptions())
+		prep, err := eng.PrepareString(ctx, qs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t0 := time.Now()
-		ids, _, err := tr.Execute(db)
+		ans, err := prep.ExecuteContext(ctx, db)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-36s %6d answers in %7.2fms\n", qs, len(ids), ms(time.Since(t0)))
+		fmt.Printf("%-36s %6d answers in %7.2fms\n", qs, len(ans.IDs), ms(time.Since(t0)))
 	}
 
 	// Push-selection ablation (§5.2 / Fig 13): a highly selective head
-	// qualifier, with and without seeding the fixpoint from it.
+	// qualifier, with and without seeding the fixpoint from it. The push
+	// flag changes the produced plan, so each variant needs its own engine
+	// (one engine's cache is keyed on a fixed option set).
 	selective := "gene[text()='BRCA']//locus"
 	fmt.Printf("\npush-selection ablation on %s:\n", selective)
 	for _, push := range []bool{true, false} {
 		opts := xpath2sql.DefaultOptions()
 		opts.SQL.PushSelections = push
-		tr, err := xpath2sql.TranslateString(selective, dtd, opts)
+		prep, err := xpath2sql.New(dtd, xpath2sql.WithOptions(opts)).PrepareString(ctx, selective)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t0 := time.Now()
-		ids, stats, err := tr.Execute(db)
+		ans, err := prep.ExecuteContext(ctx, db)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +91,7 @@ func main() {
 			mode = "plain selection          "
 		}
 		fmt.Printf("  %s  %6d answers in %7.2fms  (%d tuples produced)\n",
-			mode, len(ids), ms(time.Since(t0)), stats.TuplesOut)
+			mode, len(ans.IDs), ms(time.Since(t0)), ans.Stats.TuplesOut)
 	}
 }
 

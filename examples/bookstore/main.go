@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,6 +76,7 @@ func main() {
 		"store/section//section[not(title)]", // structural sections only
 		"store//section/title",               // chapter titles
 	}
+	ctx := context.Background()
 	for _, qs := range queries {
 		q, err := xpath2sql.ParseQuery(qs)
 		if err != nil {
@@ -84,12 +86,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids, _, err := tr.Execute(db)
+		ans, err := tr.ExecuteContext(ctx, db)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-40s -> %d answers\n", qs, len(ids))
-		for _, id := range ids {
+		fmt.Printf("%-40s -> %d answers\n", qs, len(ans.IDs))
+		for _, id := range ans.IDs {
 			path, _ := xpath2sql.AnswerPath(db, id)
 			n := doc.Node(xpath2sql.NodeID(id))
 			if n.Val != "" {
@@ -106,11 +108,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ids, _, err := tr.Execute(db)
+	ans, err := tr.ExecuteContext(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := xpath2sql.Reconstruct(db, ids)
+	res, err := xpath2sql.Reconstruct(db, ans.IDs)
 	if err != nil {
 		log.Fatal(err)
 	}

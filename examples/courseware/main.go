@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -78,31 +79,36 @@ func main() {
 		{"E (extended XPath + Tarjan's CycleE)", xpath2sql.StrategyCycleE},
 		{"R (SQLGen-R with SQL'99 with…recursive)", xpath2sql.StrategySQLGenR},
 	}
+	// One engine per strategy; each prepares every query through its own
+	// plan cache and executes with cancellation support.
+	ctx := context.Background()
+	engines := make([]*xpath2sql.Engine, len(strategies))
+	for i, st := range strategies {
+		engines[i] = xpath2sql.New(dtd, xpath2sql.WithStrategy(st.s))
+	}
 	for _, qq := range queries {
 		fmt.Println(qq.name)
 		fmt.Printf("  %s\n", qq.q)
 		var first []int
-		for _, st := range strategies {
-			opts := xpath2sql.DefaultOptions()
-			opts.Strategy = st.s
-			tr, err := xpath2sql.TranslateString(qq.q, dtd, opts)
+		for i, st := range strategies {
+			prep, err := engines[i].PrepareString(ctx, qq.q)
 			if err != nil {
 				log.Fatal(err)
 			}
 			t0 := time.Now()
-			ids, stats, err := tr.Execute(db)
+			ans, err := prep.ExecuteContext(ctx, db)
 			if err != nil {
 				log.Fatal(err)
 			}
 			elapsed := time.Since(t0)
 			agree := ""
 			if first == nil {
-				first = ids
-			} else if len(ids) != len(first) {
+				first = ans.IDs
+			} else if len(ans.IDs) != len(first) {
 				agree = "  !! DISAGREES"
 			}
 			fmt.Printf("  %-52s %5d answers  %8.2fms  (%d joins, %d LFP iters)%s\n",
-				st.name, len(ids), float64(elapsed.Microseconds())/1000, stats.Joins, stats.LFPIters, agree)
+				st.name, len(ans.IDs), float64(elapsed.Microseconds())/1000, ans.Stats.Joins, ans.Stats.LFPIters, agree)
 		}
 		fmt.Println()
 	}

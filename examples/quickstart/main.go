@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,8 +76,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Translate Q1 = dept//project (Example 2.2) and show each stage.
-	tr, err := xpath2sql.TranslateString("dept//project", dtd, xpath2sql.DefaultOptions())
+	// 3. Build an engine and prepare Q1 = dept//project (Example 2.2);
+	// preparing resolves through the engine's plan cache, so repeated
+	// queries translate once. Show each stage of the translation.
+	ctx := context.Background()
+	eng := xpath2sql.New(dtd)
+	tr, err := eng.PrepareString(ctx, "dept//project")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,19 +93,19 @@ func main() {
 	fmt.Print(tr.SQL(xpath2sql.DialectDB2))
 
 	// 4. Execute against the engine and cross-check with the tree oracle.
-	ids, stats, err := tr.Execute(db)
+	ans, err := tr.ExecuteContext(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n== answers ==")
-	for _, id := range ids {
+	for _, id := range ans.IDs {
 		n := doc.Node(xpath2sql.NodeID(id))
 		fmt.Printf("  project #%d at %s\n", id, n.Path())
 	}
 	fmt.Printf("(%d joins, %d unions, %d LFP iterations)\n",
-		stats.Joins, stats.Unions, stats.LFPIters)
+		ans.Stats.Joins, ans.Stats.Unions, ans.Stats.LFPIters)
 
 	q, _ := xpath2sql.ParseQuery("dept//project")
 	oracle := xpath2sql.EvalXPath(q, doc)
-	fmt.Printf("native evaluator agrees: %v\n", len(oracle) == len(ids))
+	fmt.Printf("native evaluator agrees: %v\n", len(oracle) == len(ans.IDs))
 }

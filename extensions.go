@@ -5,6 +5,7 @@ import (
 
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/cost"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/shred"
 	"xpath2sql/internal/specialized"
@@ -39,16 +40,21 @@ func AnswerPath(db *DB, id int) (string, error) {
 }
 
 // Batch is a multi-query translation whose common sub-queries are shared
-// across queries. Batches built by an Engine carry its limits into
-// ExecuteContext.
+// across queries. Batches built by an Engine carry its limits and
+// parallelism into ExecuteContext. Like Translation, a Batch is immutable
+// and safe for concurrent use.
 type Batch struct {
-	b      *core.BatchResult
-	limits Limits
+	b       *core.BatchResult
+	limits  Limits
+	workers int
 }
 
 // TranslateBatch translates several queries over one DTD into a single
 // program with cross-query common-sub-query sharing; Execute runs them all
 // within one session so shared temporaries are computed once.
+//
+// Deprecated: use New(d, WithOptions(opts)).TranslateBatch(ctx, queries) —
+// the Engine form carries limits and parallelism into ExecuteContext.
 func TranslateBatch(queries []Query, d *DTD, opts Options) (*Batch, error) {
 	b, err := core.TranslateBatch(queries, d, opts)
 	if err != nil {
@@ -58,6 +64,9 @@ func TranslateBatch(queries []Query, d *DTD, opts Options) (*Batch, error) {
 }
 
 // TranslateBatchStrings parses and batch-translates the query strings.
+//
+// Deprecated: parse the queries and use Engine.TranslateBatch; see
+// TranslateBatch.
 func TranslateBatchStrings(queries []string, d *DTD, opts Options) (*Batch, error) {
 	qs := make([]Query, len(queries))
 	for i, s := range queries {
@@ -72,6 +81,13 @@ func TranslateBatchStrings(queries []string, d *DTD, opts Options) (*Batch, erro
 
 // Program returns the merged statement sequence.
 func (b *Batch) Program() *Program { return b.b.Program }
+
+// Explain renders the merged program's bare plan: one line per RA
+// statement, shared sub-queries appearing once. Per-run annotations travel
+// with each execution's BatchAnswer; render them with BatchAnswer.Explain.
+func (b *Batch) Explain() string {
+	return obs.Explain(b.b.Program, nil, nil)
+}
 
 // Execute answers every query of the batch; answers[i] belongs to the i-th
 // input query.

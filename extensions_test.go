@@ -1,6 +1,7 @@
 package xpath2sql_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,14 +12,16 @@ func TestReconstructFacade(t *testing.T) {
 	d, _ := xpath2sql.ParseDTD(deptDTD)
 	doc, _ := xpath2sql.ParseXML(deptXML)
 	db, _ := xpath2sql.Shred(doc, d)
-	tr, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	ctx := context.Background()
+	tr, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, _, err := tr.Execute(db)
+	ans, err := tr.ExecuteContext(ctx, db)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := ans.IDs
 	res, err := xpath2sql.Reconstruct(db, ids)
 	if err != nil {
 		t.Fatal(err)
@@ -40,20 +43,37 @@ func TestBatchFacade(t *testing.T) {
 	d, _ := xpath2sql.ParseDTD(deptDTD)
 	doc, _ := xpath2sql.ParseXML(deptXML)
 	db, _ := xpath2sql.Shred(doc, d)
-	batch, err := xpath2sql.TranslateBatchStrings(
-		[]string{"dept//project", "dept//course"}, d, xpath2sql.DefaultOptions())
+	ctx := context.Background()
+	qs := make([]xpath2sql.Query, 2)
+	for i, s := range []string{"dept//project", "dept//course"} {
+		q, err := xpath2sql.ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	batch, err := xpath2sql.New(d).TranslateBatch(ctx, qs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	answers, _, err := batch.Execute(db)
+	ans, err := batch.ExecuteContext(ctx, db)
 	if err != nil {
 		t.Fatal(err)
 	}
+	answers := ans.IDs
 	if len(answers) != 2 || len(answers[0]) != 1 || len(answers[1]) != 2 {
 		t.Fatalf("answers = %v", answers)
 	}
 	if batch.Program() == nil {
 		t.Fatal("missing program")
+	}
+	// The bare-plan Explain lists every merged statement; the run's Explain
+	// annotates them.
+	if bare := batch.Explain(); !strings.Contains(bare, "result:") {
+		t.Fatalf("batch Explain:\n%s", bare)
+	}
+	if ann := ans.Explain(); !strings.Contains(ann, "tuples=") {
+		t.Fatalf("batch answer Explain not annotated:\n%s", ann)
 	}
 }
 
@@ -65,8 +85,11 @@ func TestCostFacade(t *testing.T) {
 	if stats.Nodes != doc.Size() {
 		t.Fatalf("stats nodes = %d", stats.Nodes)
 	}
-	tr, _ := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
-	est := xpath2sql.EstimateCost(tr, stats)
+	tr, err := xpath2sql.New(d).PrepareString(context.Background(), "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := xpath2sql.EstimateCost(&tr.Translation, stats)
 	if est.Cost <= 0 {
 		t.Fatalf("cost = %f", est.Cost)
 	}
@@ -106,10 +129,11 @@ func TestSpecializedFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, _, err := tr.Execute(db)
+	ans, err := tr.ExecuteContext(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := ans.IDs
 	want := xpath2sql.EvalXPath(q, doc)
 	if len(ids) != len(want) || len(ids) != 2 {
 		t.Fatalf("got %v, oracle %v", ids, want)
@@ -120,24 +144,32 @@ func TestParallelExecuteFacade(t *testing.T) {
 	d, _ := xpath2sql.ParseDTD(deptDTD)
 	doc, _ := xpath2sql.ParseXML(deptXML)
 	db, _ := xpath2sql.Shred(doc, d)
-	tr, _ := xpath2sql.TranslateString("dept//project | dept//student", d, xpath2sql.DefaultOptions())
-	serial, _, err := tr.Execute(db)
+	ctx := context.Background()
+	serial, err := xpath2sql.New(d).PrepareString(ctx, "dept//project | dept//student")
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, stats, err := tr.ExecuteParallel(db, 4)
+	sAns, err := serial.ExecuteContext(ctx, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(par) != len(serial) {
-		t.Fatalf("parallel %v vs serial %v", par, serial)
+	parallel, err := xpath2sql.New(d, xpath2sql.WithParallelism(4)).PrepareString(ctx, "dept//project | dept//student")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range par {
-		if par[i] != serial[i] {
-			t.Fatalf("parallel %v vs serial %v", par, serial)
+	pAns, err := parallel.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pAns.IDs) != len(sAns.IDs) {
+		t.Fatalf("parallel %v vs serial %v", pAns.IDs, sAns.IDs)
+	}
+	for i := range pAns.IDs {
+		if pAns.IDs[i] != sAns.IDs[i] {
+			t.Fatalf("parallel %v vs serial %v", pAns.IDs, sAns.IDs)
 		}
 	}
-	if stats.StmtsRun == 0 {
+	if pAns.Stats.StmtsRun == 0 {
 		t.Fatal("no statements ran")
 	}
 }
@@ -178,13 +210,20 @@ func TestSaveLoadFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, _ := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
-	a, _, _ := tr.Execute(db)
-	b, _, err := tr.Execute(db2)
+	ctx := context.Background()
+	tr, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a) != len(b) {
-		t.Fatalf("answers differ after reload: %v vs %v", a, b)
+	a, err := tr.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.ExecuteContext(ctx, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.IDs) != len(b.IDs) {
+		t.Fatalf("answers differ after reload: %v vs %v", a.IDs, b.IDs)
 	}
 }

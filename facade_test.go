@@ -1,6 +1,7 @@
 package xpath2sql_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,18 +48,20 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := xpath2sql.TranslateString("dept//project", d, xpath2sql.DefaultOptions())
+	ctx := context.Background()
+	tr, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, stats, err := tr.Execute(db)
+	ans, err := tr.ExecuteContext(ctx, db)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := ans.IDs
 	if len(ids) != 1 {
 		t.Fatalf("answers = %v", ids)
 	}
-	if stats.StmtsRun == 0 {
+	if ans.Stats.StmtsRun == 0 {
 		t.Fatal("no statements ran")
 	}
 	// Oracle agreement.
@@ -84,20 +87,19 @@ func TestStrategiesAgreeViaFacade(t *testing.T) {
 	d, _ := xpath2sql.ParseDTD(deptDTD)
 	doc, _ := xpath2sql.ParseXML(deptXML)
 	db, _ := xpath2sql.Shred(doc, d)
+	ctx := context.Background()
 	for _, q := range []string{"dept//course", "dept/course[not(.//project)]", "//cno"} {
 		var results [][]int
 		for _, s := range []xpath2sql.Strategy{xpath2sql.StrategyCycleEX, xpath2sql.StrategyCycleE, xpath2sql.StrategySQLGenR} {
-			opts := xpath2sql.DefaultOptions()
-			opts.Strategy = s
-			tr, err := xpath2sql.TranslateString(q, d, opts)
+			tr, err := xpath2sql.New(d, xpath2sql.WithStrategy(s)).PrepareString(ctx, q)
 			if err != nil {
 				t.Fatalf("[%v] %s: %v", s, q, err)
 			}
-			ids, _, err := tr.Execute(db)
+			ans, err := tr.ExecuteContext(ctx, db)
 			if err != nil {
 				t.Fatalf("[%v] %s: %v", s, q, err)
 			}
-			results = append(results, ids)
+			results = append(results, ans.IDs)
 		}
 		for i := 1; i < len(results); i++ {
 			if len(results[i]) != len(results[0]) {

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/obs"
+	"xpath2sql/internal/plancache"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// CacheRow is one row of the plan-cache experiment: per-query translation
+// latency with the cache disabled (every request translates from scratch)
+// and with a warm cache (requests resolve to the memoized plan), over one
+// DTD's query workload.
+type CacheRow struct {
+	DTD     string
+	Queries int
+	// ColdNs / WarmNs are average per-request latencies in nanoseconds.
+	ColdNs, WarmNs float64
+	Speedup        float64
+	Stats          obs.CacheStats
+}
+
+// cacheWorkloads are the recursive-DTD query sets the experiment replays:
+// the paper's dept workload (Example 2.2-style queries) and the Exp-1
+// cross-cycle queries.
+func cacheWorkloads() []struct {
+	name    string
+	d       *dtd.DTD
+	queries []string
+} {
+	return []struct {
+		name    string
+		d       *dtd.DTD
+		queries []string
+	}{
+		{"dept (Fig 1)", workload.Dept(), []string{
+			"dept//project",
+			"dept//course",
+			"dept/course[cno and not(.//project)]",
+			"dept//student[qualified//course]",
+			"dept/course/prereq//course/prereq/course",
+		}},
+		{"cross (Fig 11a)", workload.Cross(), []string{
+			workload.CrossQueries["Qa"],
+			workload.CrossQueries["Qb"],
+			workload.CrossQueries["Qc"],
+			workload.CrossQueries["Qd"],
+		}},
+	}
+}
+
+// ExpCache measures the prepared-plan cache: each workload's queries are
+// requested rounds times; the uncached series translates every request from
+// scratch (what a cache-disabled engine does), the cached series resolves
+// through a plan cache warmed by the first round. The reported speedup is
+// the serving-path win of compile-once/execute-many: recursive-DTD
+// translation runs cycle enumeration and variable elimination, a cache hit
+// is a map lookup.
+func ExpCache(c Config) ([]CacheRow, error) {
+	const rounds = 50
+	ctx := context.Background()
+	size := c.CacheSize
+	if size <= 0 {
+		size = 1024
+	}
+	var rows []CacheRow
+	for _, w := range cacheWorkloads() {
+		opts := core.DefaultOptions()
+		fp := w.d.Fingerprint()
+		qs := make([]xpath.Path, len(w.queries))
+		for i, s := range w.queries {
+			q, err := xpath.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", s, err)
+			}
+			qs[i] = q
+		}
+
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, q := range qs {
+				if _, err := core.Translate(q, w.d, opts); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cold := float64(time.Since(t0).Nanoseconds()) / float64(rounds*len(qs))
+
+		cache := plancache.New(size)
+		translate := func(q xpath.Path) error {
+			_, err := cache.Do(ctx, core.PlanKey(fp, q, opts), func() (any, error) {
+				return core.Translate(q, w.d, opts)
+			})
+			return err
+		}
+		for _, q := range qs { // warm the cache
+			if err := translate(q); err != nil {
+				return nil, err
+			}
+		}
+		t1 := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, q := range qs {
+				if err := translate(q); err != nil {
+					return nil, err
+				}
+			}
+		}
+		warm := float64(time.Since(t1).Nanoseconds()) / float64(rounds*len(qs))
+
+		rows = append(rows, CacheRow{
+			DTD: w.name, Queries: len(qs),
+			ColdNs: cold, WarmNs: warm, Speedup: cold / warm,
+			Stats: cache.Stats(),
+		})
+	}
+	c.printf("\nPlan cache — per-request translation latency, uncached vs warm (%d rounds)\n", rounds)
+	c.printf("%-18s %8s %14s %14s %10s    %s\n", "DTD", "queries", "uncached", "warm", "speedup", "cache")
+	for _, r := range rows {
+		c.printf("%-18s %8d %13.1fµs %13.2fµs %9.0fx    %s\n",
+			r.DTD, r.Queries, r.ColdNs/1e3, r.WarmNs/1e3, r.Speedup, r.Stats)
+	}
+	return rows, nil
+}

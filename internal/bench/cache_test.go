@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/plancache"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// TestExpCacheSpeedup: the acceptance bar of the plan cache — a warm cache
+// serves translations at least 10x faster than translating from scratch,
+// with a hit rate reflecting the warmed workload.
+func TestExpCacheSpeedup(t *testing.T) {
+	rows, err := ExpCache(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no cache rows")
+	}
+	for _, r := range rows {
+		if r.Speedup < 10 {
+			t.Errorf("%s: warm cache only %.1fx faster than uncached (cold %.1fµs, warm %.1fµs)",
+				r.DTD, r.Speedup, r.ColdNs/1e3, r.WarmNs/1e3)
+		}
+		if r.Stats.Misses != int64(r.Queries) {
+			t.Errorf("%s: %d misses for %d distinct queries", r.DTD, r.Stats.Misses, r.Queries)
+		}
+		if r.Stats.Hits == 0 {
+			t.Errorf("%s: warm rounds recorded no hits: %s", r.DTD, r.Stats)
+		}
+	}
+}
+
+// BenchmarkTranslationCached/disabled vs warm: the per-request serving-path
+// cost with and without the plan cache, on the dept workload's recursive
+// descendant query.
+func BenchmarkTranslationCached(b *testing.B) {
+	d := workload.Dept()
+	q := xpath.MustParse("dept//project")
+	opts := core.DefaultOptions()
+
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Translate(q, d, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := plancache.New(16)
+		key := core.PlanKey(d.Fingerprint(), q, opts)
+		ctx := context.Background()
+		compute := func() (any, error) { return core.Translate(q, d, opts) }
+		if _, err := cache.Do(ctx, key, compute); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Do(ctx, key, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -398,5 +398,8 @@ func RunAll(c Config) error {
 	if _, err := Exp5(c); err != nil {
 		return fmt.Errorf("exp5: %w", err)
 	}
+	if _, err := ExpCache(c); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
 	return nil
 }

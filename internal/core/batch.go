@@ -106,3 +106,72 @@ func (b *BatchResult) ExecuteCtx(ctx context.Context, db *rdb.DB, limits obs.Lim
 	}
 	return answers, perQuery, &ex.Stats, nil
 }
+
+// ExecuteParallelCtx answers every query of the batch in one parallel pass:
+// the merged program's statement DAG is scheduled across up to workers
+// concurrent evaluators (rdb.RunParallelMultiCtx), so shared sub-queries are
+// evaluated exactly once and independent per-query sections run
+// concurrently. Per-query statistics are recovered from the statement trace
+// by charging each executed statement to the first (lowest-index) query
+// whose result reaches it — the same owner the serial executor's lazy
+// memoization produces when every reachable statement is needed — so the
+// per-query stats again sum to the total. Cancellation, limits and trace
+// determinism follow RunParallelMultiCtx.
+func (b *BatchResult) ExecuteParallelCtx(ctx context.Context, db *rdb.DB, workers int, limits obs.Limits, trace *obs.Trace) ([][]int, []rdb.Stats, *rdb.Stats, error) {
+	if trace == nil {
+		trace = &obs.Trace{} // attribution needs the per-statement events
+	}
+	rels, total, err := rdb.RunParallelMultiCtx(ctx, db, b.Program, b.ResultNames, workers, limits, trace)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	answers := make([][]int, len(rels))
+	for i, rel := range rels {
+		answers[i] = ExtractIDs(rel)
+	}
+	return answers, b.attributeStats(trace), total, nil
+}
+
+// attributeStats charges each traced statement event to the first query (in
+// batch order) whose result statement reaches it through temp references,
+// and rolls the events up into per-query statistics that sum to the run's
+// aggregate counters.
+func (b *BatchResult) attributeStats(trace *obs.Trace) []rdb.Stats {
+	byName := map[string]ra.Plan{}
+	for _, s := range b.Program.Stmts {
+		byName[s.Name] = s.Plan
+	}
+	owner := map[string]int{}
+	var claim func(name string, q int)
+	claim = func(name string, q int) {
+		if _, taken := owner[name]; taken {
+			return
+		}
+		plan, ok := byName[name]
+		if !ok {
+			return
+		}
+		owner[name] = q
+		for _, dep := range ra.TempRefs(plan) {
+			claim(dep, q)
+		}
+	}
+	for i, name := range b.ResultNames {
+		claim(name, i)
+	}
+	per := make([]rdb.Stats, len(b.ResultNames))
+	for _, ev := range trace.Events {
+		q, ok := owner[ev.Stmt]
+		if !ok {
+			continue // statement outside every query's cone (cannot happen)
+		}
+		per[q].Joins += ev.Ops.Joins
+		per[q].Unions += ev.Ops.Unions
+		per[q].LFPs += ev.Ops.LFPs
+		per[q].LFPIters += ev.Ops.LFPIters
+		per[q].RecFixes += ev.Ops.RecFixes
+		per[q].TuplesOut += ev.Ops.TuplesOut
+		per[q].StmtsRun++
+	}
+	return per
+}

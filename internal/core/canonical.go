@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"xpath2sql/internal/xpath"
+)
+
+// This file defines the canonical forms the prepared-query plan cache keys
+// on. Translation is pure in (DTD, query, options), so two lookups may share
+// a cached plan exactly when all three canonical components agree; anything
+// semantics-bearing must appear in the key, and nothing format-bearing may.
+
+// CanonicalQuery renders a parsed query in its canonical concrete syntax:
+// the printer's normal form, which is invariant under the formatting freedom
+// the parser accepts (whitespace, redundant parentheses). Parsing the
+// returned string yields a structurally identical AST, so queries that
+// differ only in spelling share one cache slot while structurally different
+// queries never collide.
+func CanonicalQuery(q xpath.Path) string { return q.String() }
+
+// FingerprintOptions encodes every semantics-bearing field of Options into a
+// stable string: flipping any field that can change the produced program
+// yields a different fingerprint, and options constructed differently but
+// equal field-by-field fingerprint identically. SQLOptions.RelName is a
+// function and cannot be compared by value; a custom mapping is keyed by
+// function identity, which is conservative — two distinct closures with
+// equal behavior get distinct slots — but never wrong.
+func FingerprintOptions(o Options) string {
+	rel := "default"
+	if o.SQL.RelName != nil {
+		rel = fmt.Sprintf("custom:%p", o.SQL.RelName)
+	}
+	return fmt.Sprintf("strategy=%s;nested=%t;atroot=%t;userid=%t;push=%t;rel=%s",
+		o.Strategy, o.NestedRec, o.SQL.AtRoot, o.SQL.UseRid, o.SQL.PushSelections, rel)
+}
+
+// PlanKey combines the three canonical components into the plan-cache key
+// for translating query q over the DTD identified by dtdFP with options
+// opts. The separator cannot occur in any component (fingerprints are
+// hex/identifier text and the canonical query never contains a control
+// byte), so distinct component triples never produce colliding keys.
+func PlanKey(dtdFP string, q xpath.Path, opts Options) string {
+	return dtdFP + "\x1f" + FingerprintOptions(opts) + "\x1f" + CanonicalQuery(q)
+}

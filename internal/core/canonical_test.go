@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// TestCanonicalQueryNormalizesFormatting: spellings that parse to the same
+// AST share one canonical form (and therefore one cache slot).
+func TestCanonicalQueryNormalizesFormatting(t *testing.T) {
+	groups := [][]string{
+		{"dept//project", "  dept//project  ", "(dept)//project", "dept // project"},
+		{"dept/course[cno and title]", "dept/course[ cno  and  title ]"},
+		{"a | b", "a|b", "(a) | (b)"},
+		{"dept/course[not(.//project)]", "dept/course[ not( .//project ) ]"},
+	}
+	for _, g := range groups {
+		var first string
+		for i, s := range g {
+			q, err := xpath.Parse(s)
+			if err != nil {
+				t.Fatalf("parse %q: %v", s, err)
+			}
+			c := CanonicalQuery(q)
+			if i == 0 {
+				first = c
+				// The canonical form must itself reparse to the same form.
+				q2, err := xpath.Parse(c)
+				if err != nil {
+					t.Fatalf("canonical form %q does not reparse: %v", c, err)
+				}
+				if CanonicalQuery(q2) != c {
+					t.Fatalf("canonical form not a fixpoint: %q -> %q", c, CanonicalQuery(q2))
+				}
+				continue
+			}
+			if c != first {
+				t.Errorf("%q canonicalizes to %q, want %q", s, c, first)
+			}
+		}
+	}
+	// Structurally different queries must not share a canonical form.
+	distinct := []string{"dept//project", "dept/project", "dept//project[pno]", "//project"}
+	seen := map[string]string{}
+	for _, s := range distinct {
+		c := CanonicalQuery(xpath.MustParse(s))
+		if prev, dup := seen[c]; dup {
+			t.Errorf("%q and %q share canonical form %q", s, prev, c)
+		}
+		seen[c] = s
+	}
+}
+
+// TestFingerprintOptionsCoversEverySemanticFlip: the fingerprint separates
+// every semantics-bearing option value from the default, and equal options
+// built through different paths fingerprint identically.
+func TestFingerprintOptionsCoversEverySemanticFlip(t *testing.T) {
+	base := DefaultOptions()
+	flips := map[string]Options{}
+	o := base
+	o.Strategy = StrategyCycleE
+	flips["Strategy=E"] = o
+	o = base
+	o.Strategy = StrategySQLGenR
+	flips["Strategy=R"] = o
+	o = base
+	o.NestedRec = true
+	flips["NestedRec"] = o
+	o = base
+	o.SQL.AtRoot = false
+	flips["AtRoot"] = o
+	o = base
+	o.SQL.UseRid = true
+	flips["UseRid"] = o
+	o = base
+	o.SQL.PushSelections = false
+	flips["PushSelections"] = o
+	o = base
+	o.SQL.RelName = shred.RelName // explicit default-behavior custom func
+	flips["RelName"] = o
+
+	baseFP := FingerprintOptions(base)
+	seen := map[string]string{baseFP: "base"}
+	for name, opts := range flips {
+		fp := FingerprintOptions(opts)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("flip %s collides with %s: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// Field-by-field reconstruction fingerprints identically.
+	rebuilt := Options{
+		SQL:      SQLOptions{AtRoot: true, PushSelections: true},
+		Strategy: StrategyCycleEX,
+	}
+	if FingerprintOptions(rebuilt) != baseFP {
+		t.Fatalf("equal options fingerprint differently:\n%q\n%q",
+			FingerprintOptions(rebuilt), baseFP)
+	}
+}
+
+// TestPlanKeySeparatesComponents: keys collide iff DTD, canonical query and
+// options all agree.
+func TestPlanKeySeparatesComponents(t *testing.T) {
+	dept := workload.Dept()
+	cross := workload.Cross()
+	q1 := xpath.MustParse("dept//project")
+	q1b := xpath.MustParse("  (dept)//project ")
+	q2 := xpath.MustParse("dept//course")
+	opts := DefaultOptions()
+	optsE := opts
+	optsE.Strategy = StrategyCycleE
+
+	same := PlanKey(dept.Fingerprint(), q1, opts)
+	if got := PlanKey(dept.Fingerprint(), q1b, opts); got != same {
+		t.Fatalf("formatting variant changed the key:\n%q\n%q", got, same)
+	}
+	for name, other := range map[string]string{
+		"different DTD":     PlanKey(cross.Fingerprint(), q1, opts),
+		"different query":   PlanKey(dept.Fingerprint(), q2, opts),
+		"different options": PlanKey(dept.Fingerprint(), q1, optsE),
+	} {
+		if other == same {
+			t.Errorf("%s did not change the key", name)
+		}
+	}
+}
+
+// TestPlanKeySharingIsSound: two queries that share a plan-cache key
+// translate to byte-identical programs — the safety direction of key
+// canonicalization, checked on a recursive DTD.
+func TestPlanKeySharingIsSound(t *testing.T) {
+	d := workload.Dept()
+	fp := d.Fingerprint()
+	variants := []string{"dept//project", " dept//project", "(dept)//project"}
+	opts := DefaultOptions()
+	var wantKey, wantProg string
+	for i, s := range variants {
+		q := xpath.MustParse(s)
+		key := PlanKey(fp, q, opts)
+		res, err := Translate(q, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := res.Program.String()
+		if i == 0 {
+			wantKey, wantProg = key, prog
+			continue
+		}
+		if key != wantKey {
+			t.Fatalf("%q: key %q != %q", s, key, wantKey)
+		}
+		if prog != wantProg {
+			t.Fatalf("%q: same key, different program:\n%s\nvs\n%s", s, prog, wantProg)
+		}
+	}
+}

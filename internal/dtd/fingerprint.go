@@ -1,0 +1,25 @@
+package dtd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the DTD, suitable as a cache
+// key component: two DTDs fingerprint equal iff they have the same root and
+// the same productions. The hash is computed over the canonical rendering —
+// root first, remaining types in sorted order — so declaration order,
+// parsing route (text vs. programmatic construction) and map iteration
+// order do not matter. The root type is hashed explicitly: DTDs with
+// identical productions but different roots are different grammars.
+//
+// The fingerprint is recomputed on every call (a DTD is mutable through
+// SetProd); callers that treat a DTD as frozen — the Engine facade does —
+// should compute it once and reuse it.
+func (d *DTD) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte("root=" + d.Root + "\n"))
+	h.Write([]byte(d.String()))
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

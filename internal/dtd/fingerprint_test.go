@@ -1,0 +1,62 @@
+package dtd
+
+import "testing"
+
+func TestFingerprintStableAcrossDeclarationOrder(t *testing.T) {
+	a, err := Parse(`<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, prereq)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT cno (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same grammar, declarations permuted (root pinned by the comment).
+	b, err := Parse(`<!-- root: dept -->
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, prereq)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("declaration order changed the fingerprint:\n%s\nvs\n%s", a, b)
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := `<!ELEMENT a (b*)>
+<!ELEMENT b (#PCDATA)>`
+	d1, err := Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A production change must change the fingerprint.
+	d2, err := Parse(`<!ELEMENT a (b?)>
+<!ELEMENT b (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Fingerprint() == d2.Fingerprint() {
+		t.Fatal("content-model change not reflected in fingerprint")
+	}
+	// A root change over identical productions must change the fingerprint.
+	d3, err := Parse(`<!-- root: b -->
+<!ELEMENT a (b*)>
+<!ELEMENT b (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Fingerprint() == d3.Fingerprint() {
+		t.Fatal("root change not reflected in fingerprint")
+	}
+	// Mutation through SetProd is visible on the next call.
+	before := d1.Fingerprint()
+	d1.SetProd("b", Name{Type: "a"})
+	if d1.Fingerprint() == before {
+		t.Fatal("SetProd mutation not reflected in fingerprint")
+	}
+}

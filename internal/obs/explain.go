@@ -49,8 +49,10 @@ func OpKind(pl ra.Plan) string {
 // statement, annotated — when the trace observed it — with input/output
 // cardinalities, tuples produced, fixpoint iteration count and wall time.
 // Statements the (lazy or pruned) execution never evaluated are marked
-// "not run". A nil trace renders the bare plan.
-func Explain(p *ra.Program, t *Trace) string {
+// "not run". A nil trace renders the bare plan. A non-nil cache adds the
+// plan-cache counters to the footer, so a trace read in isolation shows
+// whether its translation was served from the prepared-query cache.
+func Explain(p *ra.Program, t *Trace, cache *CacheStats) string {
 	var b strings.Builder
 	for i, s := range p.Stmts {
 		plan := s.Plan.String()
@@ -74,6 +76,9 @@ func Explain(p *ra.Program, t *Trace) string {
 		tot := t.Totals()
 		fmt.Fprintf(&b, "   [%d statements run, %d tuples, %d joins, %d Φ (%d iterations), %v]",
 			tot.Stmts, tot.Ops.TuplesOut, tot.Ops.Joins, tot.Ops.LFPs, tot.Ops.LFPIters, tot.Wall.Round(time.Microsecond))
+	}
+	if cache != nil {
+		fmt.Fprintf(&b, "   [%s]", cache)
 	}
 	b.WriteString("\n")
 	return b.String()

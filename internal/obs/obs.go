@@ -197,6 +197,41 @@ func (t *Trace) Merge(order map[string]int, parts ...*Trace) {
 	})
 }
 
+// CacheStats reports the effectiveness counters of a prepared-query plan
+// cache (internal/plancache): lookup outcomes, singleflight coalescing and
+// LRU eviction pressure. It travels with Answers produced through a caching
+// Engine and is rendered in the Explain header.
+type CacheStats struct {
+	// Hits and Misses count Do lookups that found, respectively started
+	// computing, a plan. Coalesced counts lookups that arrived while the
+	// same key was already being computed and waited for that computation
+	// instead of starting their own.
+	Hits, Misses, Coalesced int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the number of plans currently cached.
+	Entries int
+}
+
+// Lookups is the total number of cache lookups observed.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRate is the fraction of lookups served without running a translation
+// (hits and coalesced waits), in [0, 1]; 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits+s.Coalesced) / float64(n)
+	}
+	return 0
+}
+
+// String renders the counters in the compact form used by CLI reporting and
+// the Explain header.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache: %d hits, %d misses, %d coalesced, %d evicted, %d entries (%.0f%% hit rate)",
+		s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Entries, 100*s.HitRate())
+}
+
 // Summary renders the n most expensive statements by wall time, one line
 // each — the quick-look form used by the benchmark harness.
 func (t *Trace) Summary(n int) string {

@@ -143,14 +143,14 @@ func TestOpKindAndExplain(t *testing.T) {
 	tr.Add(StmtEvent{Stmt: "tc", Op: "fix", In: 7, Out: 28,
 		Ops: OpStats{LFPs: 1, LFPIters: 6, TuplesOut: 28}, Wall: time.Millisecond})
 	tr.Add(StmtEvent{Stmt: "result", Op: "temp", In: 28, Out: 28})
-	text := Explain(p, &tr)
+	text := Explain(p, &tr, nil)
 	for _, want := range []string{"tc", "fix", "in=7", "out=28", "iters=6", "(not run)", "result:"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("Explain missing %q:\n%s", want, text)
 		}
 	}
 	// Without a trace, Explain still renders the plan shape.
-	if text := Explain(p, nil); !strings.Contains(text, "tc") {
+	if text := Explain(p, nil, nil); !strings.Contains(text, "tc") {
 		t.Fatalf("traceless Explain = %q", text)
 	}
 }

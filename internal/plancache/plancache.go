@@ -1,0 +1,189 @@
+// Package plancache is the prepared-query plan cache: a bounded, sharded
+// LRU keyed by opaque strings, with singleflight deduplication so that N
+// concurrent misses for the same key run exactly one computation while the
+// other N-1 callers wait for (and share) its result.
+//
+// The cache stores immutable values — the engine puts translated plans
+// (*core.Result) in it and every Prepared handed out afterwards aliases the
+// same plan — so values must never be mutated after insertion. Counters
+// (hits, misses, evictions, coalesced waits) are reported as obs.CacheStats
+// and surfaced through the facade's Engine.CacheStats and the Explain
+// header.
+//
+// Concurrency model: the key space is split across power-of-two shards by
+// FNV-1a hash; each shard owns its slice of the LRU under one mutex, so
+// unrelated keys never contend. In-flight computations are tracked per
+// shard; a waiter blocks on the flight's done channel (or its context) and
+// never holds the shard lock while waiting, so a slow translation cannot
+// stall hits on other keys of the same shard.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"xpath2sql/internal/obs"
+)
+
+// defaultShards is the shard count for caches large enough to split; small
+// caches use a single shard so the configured capacity stays meaningful.
+const defaultShards = 16
+
+// Cache is a bounded, sharded, concurrency-safe LRU with singleflight
+// computation. The zero value is not usable; construct with New.
+type Cache struct {
+	shards []*shard
+	mask   uint32
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; elements hold *entry
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	// Counters, guarded by mu.
+	hits, misses, evictions, coalesced int64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds a cache holding at most capacity entries. Capacities of 16 and
+// above are split across 16 shards (rounding the bound down to a multiple of
+// 16); smaller capacities use a single shard so tiny caches still evict at
+// exactly the configured size. New panics on capacity < 1 — callers model
+// "cache disabled" as a nil *Cache, not a zero-capacity one.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		panic("plancache: capacity must be >= 1")
+	}
+	n := defaultShards
+	if capacity < defaultShards {
+		n = 1
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: capacity / n,
+			lru:      list.New(),
+			byKey:    map[string]*list.Element{},
+			inflight: map[string]*flight{},
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()&c.mask]
+}
+
+// Do returns the cached value for key, or computes it. Concurrent Do calls
+// for the same key are coalesced: exactly one runs compute, the rest wait
+// for its result (counted as coalesced; a cancelled waiter returns its
+// context error without disturbing the computation). Errors are returned to
+// every coalesced caller but never cached, so the next miss retries.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.misses++
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed && f.err == nil {
+			// compute panicked: release waiters with an error, keep the
+			// cache clean, and let the panic propagate to this caller.
+			f.err = errors.New("plancache: compute panicked")
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if completed && f.err == nil {
+			s.insert(key, f.val)
+		}
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	completed = true
+	return f.val, f.err
+}
+
+// insert adds key at the LRU front, evicting from the back past capacity.
+// Caller holds s.mu.
+func (s *shard) insert(key string, val any) {
+	if el, ok := s.byKey[key]; ok { // lost a race with another key writer
+		s.lru.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	s.byKey[key] = s.lru.PushFront(&entry{key: key, val: val})
+	for s.lru.Len() > s.capacity {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.byKey, back.Value.(*entry).key)
+		s.evictions++
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters across all shards.
+func (c *Cache) Stats() obs.CacheStats {
+	var st obs.CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Coalesced += s.coalesced
+		st.Entries += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,211 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHitMissEvict(t *testing.T) {
+	c := New(2) // single shard: capacity < 16
+	ctx := context.Background()
+	compute := func(v string) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	if v, err := c.Do(ctx, "a", compute("A")); err != nil || v != "A" {
+		t.Fatalf("miss a: %v %v", v, err)
+	}
+	if v, err := c.Do(ctx, "a", compute("never")); err != nil || v != "A" {
+		t.Fatalf("hit a: %v %v", v, err)
+	}
+	if _, err := c.Do(ctx, "b", compute("B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(ctx, "c", compute("C")); err != nil { // evicts a (LRU back)
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// a was evicted: computing again is a miss (evicting b, the LRU back);
+	// c, the most recent insert, survives.
+	if v, err := c.Do(ctx, "a", compute("A2")); err != nil || v != "A2" {
+		t.Fatalf("re-miss a: %v %v", v, err)
+	}
+	if v, err := c.Do(ctx, "c", compute("never")); err != nil || v != "C" {
+		t.Fatalf("hit c after evictions: %v %v", v, err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom }
+	if _, err := c.Do(ctx, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Do(ctx, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("failed computation was cached: %d calls", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSingleflight: 16 concurrent misses for one key run exactly one
+// computation; the computation blocks until every goroutine has entered Do,
+// so all 16 are provably concurrent.
+func TestSingleflight(t *testing.T) {
+	const n = 16
+	c := New(8)
+	var (
+		entered  atomic.Int64
+		computed atomic.Int64
+	)
+	compute := func() (any, error) {
+		computed.Add(1)
+		// Hold the flight open until all n callers are at (or past) Do.
+		for entered.Load() < n {
+			time.Sleep(100 * time.Microsecond)
+		}
+		return "plan", nil
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			entered.Add(1)
+			vals[i], errs[i] = c.Do(context.Background(), "hot", compute)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("computed %d times, want exactly 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i] != "plan" {
+			t.Fatalf("caller %d: %v %v", i, vals[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d (stats %+v)", st.Hits+st.Coalesced, n-1, st)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context is cancelled while a
+// computation is in flight returns promptly with the context error; the
+// computation itself completes and is cached.
+func TestWaiterCancellation(t *testing.T) {
+	c := New(4)
+	release := make(chan struct{})
+	inFlight := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "slow", func() (any, error) {
+			close(inFlight)
+			<-release
+			return "done", nil
+		})
+	}()
+	<-inFlight
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	if _, err := c.Do(ctx, "slow", func() (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	// The leader's result lands in the cache despite the cancelled waiter.
+	v, err := c.Do(context.Background(), "slow", func() (any, error) { return "recomputed", nil })
+	if err != nil || v != "done" {
+		t.Fatalf("post-cancel lookup: %v %v", v, err)
+	}
+}
+
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), "p", func() (any, error) { panic("kaboom") })
+	}()
+	// The key is computable again and nothing was cached.
+	v, err := c.Do(context.Background(), "p", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("after panic: %v %v", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTorture hammers a small cache from many goroutines over many keys —
+// far more keys than capacity, so hits, misses, evictions and coalesced
+// waits all occur concurrently. Run under -race this is the memory-safety
+// proof for the sharded LRU + singleflight combination.
+func TestTorture(t *testing.T) {
+	const (
+		goroutines = 16
+		keys       = 64
+		iters      = 400
+	)
+	c := New(16) // 16 shards x capacity 1
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g*31 + i*17) % keys
+				key := fmt.Sprintf("q%d", k)
+				want := fmt.Sprintf("plan-%d", k)
+				v, err := c.Do(context.Background(), key, func() (any, error) {
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					return
+				}
+				if v != want {
+					t.Errorf("Do(%s) = %v, want %v", key, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Lookups(); got != goroutines*iters {
+		t.Fatalf("lookups = %d, want %d (stats %+v)", got, goroutines*iters, st)
+	}
+	if st.Entries > 16 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("torture run saw no mixture of outcomes: %+v", st)
+	}
+}

@@ -58,7 +58,7 @@ func TestTraceEventsMatchStats(t *testing.T) {
 		t.Fatalf("union charged nested work: %+v", res.Ops)
 	}
 	// Explain renders one line per statement plus a footer.
-	text := obs.Explain(traceProg(), &tr)
+	text := obs.Explain(traceProg(), &tr, nil)
 	for _, want := range []string{"tc", "hop", "result", "fix", "union", "iters"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("Explain missing %q:\n%s", want, text)

@@ -35,6 +35,33 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 // the run, so a parallel trace is byte-for-byte reproducible regardless of
 // scheduling.
 func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, limits obs.Limits, trace *obs.Trace) (*Relation, *Stats, error) {
+	done, stats, err := runParallelRoots(ctx, db, p, []string{p.Result}, workers, limits, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return done[p.Result], stats, nil
+}
+
+// RunParallelMultiCtx evaluates the program once with up to workers
+// concurrent statement evaluations and returns the relation of every named
+// result, in order. Statements shared between results — the cross-query
+// common sub-queries of a batch — are scheduled and evaluated exactly once.
+// Cancellation, limits and tracing behave as in RunParallelCtx.
+func RunParallelMultiCtx(ctx context.Context, db *DB, p *ra.Program, results []string, workers int, limits obs.Limits, trace *obs.Trace) ([]*Relation, *Stats, error) {
+	done, stats, err := runParallelRoots(ctx, db, p, results, workers, limits, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	rels := make([]*Relation, len(results))
+	for i, name := range results {
+		rels[i] = done[name]
+	}
+	return rels, stats, nil
+}
+
+// runParallelRoots is the shared scheduler: it evaluates every statement
+// reachable from any root and returns the completed relations by name.
+func runParallelRoots(ctx context.Context, db *DB, p *ra.Program, roots []string, workers int, limits obs.Limits, trace *obs.Trace) (map[string]*Relation, *Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -45,11 +72,13 @@ func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, lim
 		}
 		byName[s.Name] = s.Plan
 	}
-	if _, ok := byName[p.Result]; !ok {
-		return nil, nil, fmt.Errorf("rdb: unknown result statement %q", p.Result)
+	for _, root := range roots {
+		if _, ok := byName[root]; !ok {
+			return nil, nil, fmt.Errorf("rdb: unknown result statement %q", root)
+		}
 	}
 
-	// Dependencies restricted to statements reachable from the result.
+	// Dependencies restricted to statements reachable from some root.
 	deps := map[string][]string{}
 	var reach func(name string) error
 	visiting := map[string]int{} // 0 new, 1 visiting, 2 done
@@ -76,8 +105,10 @@ func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, lim
 		visiting[name] = 2
 		return nil
 	}
-	if err := reach(p.Result); err != nil {
-		return nil, nil, err
+	for _, root := range roots {
+		if err := reach(root); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Reverse edges and indegrees for scheduling.
@@ -191,7 +222,7 @@ func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, lim
 	if firstEr != nil {
 		return nil, nil, firstEr
 	}
-	return done[p.Result], &total, nil
+	return done, &total, nil
 }
 
 func addStats(total *Stats, s Stats) {

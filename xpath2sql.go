@@ -6,19 +6,20 @@
 // from XPath to SQL in the Presence of Recursive DTDs" (VLDB 2005 / VLDB J.
 // 18(4), 2009).
 //
-// The pipeline:
+// The pipeline — build an Engine once, prepare queries through its plan
+// cache, execute many times:
 //
 //	dtd, _ := xpath2sql.ParseDTD(dtdText)      // recursive DTDs welcome
-//	q, _ := xpath2sql.ParseQuery("dept//project")
-//	tr, _ := xpath2sql.Translate(q, dtd, xpath2sql.DefaultOptions())
-//	fmt.Println(tr.SQL(xpath2sql.DialectDB2))  // the SQL to ship to an RDBMS
+//	eng := xpath2sql.New(dtd)
+//	p, _ := eng.PrepareString(ctx, "dept//project")
+//	fmt.Println(p.SQL(xpath2sql.DialectDB2))   // the SQL to ship to an RDBMS
 //
 // For self-contained use, the package bundles an in-memory relational
 // engine, a shredder and an XML generator:
 //
 //	doc, _ := xpath2sql.ParseXML(xmlText)
 //	db, _ := xpath2sql.Shred(doc, dtd)
-//	ids, _, _ := tr.Execute(db)                // answer node IDs
+//	ans, _ := p.ExecuteContext(ctx, db)        // ans.IDs: answer node IDs
 //
 // Three translation strategies are provided for comparison, matching the
 // paper's experiments: the extended-XPath approach with CycleEX (X, the
@@ -33,6 +34,7 @@ import (
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/dtd"
 	"xpath2sql/internal/expath"
+	"xpath2sql/internal/plancache"
 	"xpath2sql/internal/ra"
 	"xpath2sql/internal/rdb"
 	"xpath2sql/internal/shred"
@@ -113,12 +115,15 @@ func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
 // Translation is a translated query: the extended-XPath intermediate form
 // (when the strategy uses one) and the relational program. Translations
 // built by an Engine carry its limits and parallelism into ExecuteContext.
+// A Translation is immutable and safe for concurrent use; per-run state
+// (trace, statistics) lives in the Answer each ExecuteContext returns.
 type Translation struct {
 	res     *core.Result
 	limits  Limits
 	workers int
-	// lastTrace holds the most recent ExecuteContext trace for Explain.
-	lastTrace *Trace
+	// cache, when the translation came through a caching Engine, lets each
+	// Answer snapshot the plan-cache counters for its Explain footer.
+	cache *plancache.Cache
 }
 
 // Translate rewrites an XPath query over a (possibly recursive) DTD into a
