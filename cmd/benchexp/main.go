@@ -2,36 +2,59 @@
 // (§6): Exp-1 (Fig 12), Exp-2 (Fig 13), Exp-3 (Fig 14), Exp-4 (Fig 16 /
 // Table 4 and Fig 17) and Exp-5 (Table 5) — plus the repo's plan-cache
 // experiment (-exp cache), which reports per-request translation latency
-// uncached vs warm and the cache counters.
+// uncached vs warm and the cache counters, and the data-plane
+// micro-benchmarks (-exp rdb), which measure the compact join/fixpoint
+// kernels against the retained seed-faithful naive evaluator at 1/2/4
+// workers and can serialize the results (-json, the committed
+// BENCH_rdb.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache] [-scale small|medium|paper]
-//	         [-trace] [-timeout 0] [-cache-size n]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb] [-scale small|medium|paper]
+//	         [-trace] [-timeout 0] [-cache-size n] [-json file]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // Scale selects the dataset sizes: "paper" uses the publication's element
 // counts (120,000 to 5 million; minutes to hours of runtime), the default
 // "small" a ~30× reduction (seconds). -timeout bounds every measured
 // execution (a tripped limit aborts the experiment with a limit error);
 // -trace prints the most expensive statements under each table row.
+// -cpuprofile and -memprofile write pprof profiles covering the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xpath2sql/internal/bench"
 	"xpath2sql/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5 or cache")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache or rdb")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
 	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for the cache experiment (0 = engine default)")
+	jsonOut := flag.String("json", "", "write the rdb micro-benchmark report to this file (-exp rdb only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := bench.Config{
 		Scale:     bench.Scale(*scale),
@@ -63,11 +86,31 @@ func main() {
 		_, err = bench.Exp5(cfg)
 	case "cache":
 		_, err = bench.ExpCache(cfg)
+	case "rdb":
+		var report *bench.MicroReport
+		if report, err = bench.RunMicro(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
 	}
 }
 

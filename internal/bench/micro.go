@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+)
+
+// Micro-benchmarks of the rdb data plane: the compact morsel-parallel
+// kernels (hash join, least-fixpoint) against the retained seed-faithful
+// naive evaluator (rdb.NaiveExec). The naive engine is the "seed" baseline
+// every speedup in BENCH_rdb.json is measured against — it preserves the
+// pre-compaction storage (string tuples, map dedup, lazy map indexes
+// invalidated on every insert), so the comparison is machine-consistent:
+// both engines run on the same hardware in the same process.
+
+// MicroResult is one engine/worker-count measurement of one workload.
+type MicroResult struct {
+	Engine        string  `json:"engine"`  // "seed" (naive) or "compact"
+	Workers       int     `json:"workers"` // intra-operator parallelism (1 for seed)
+	NsPerOp       int64   `json:"ns_per_op"`
+	TuplesPerSec  float64 `json:"tuples_per_sec"` // output tuples / second
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SpeedupVsSeed float64 `json:"speedup_vs_seed"` // seed ns/op ÷ this ns/op
+}
+
+// MicroWorkload is one benchmarked workload with all its measurements.
+type MicroWorkload struct {
+	Name       string        `json:"name"`
+	InputRows  int           `json:"input_rows"`  // tuples scanned per op
+	OutputRows int           `json:"output_rows"` // tuples produced per op
+	Results    []MicroResult `json:"results"`
+}
+
+// MicroReport is the serialized form of BENCH_rdb.json.
+type MicroReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Workloads   []MicroWorkload `json:"workloads"`
+}
+
+// JSON renders the report, indented, with a trailing newline.
+func (r *MicroReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// microJoinDB builds the hash-join workload: two relations of n random
+// tuples over a key domain sized for ~2 matches per probe.
+func microJoinDB(n int) (*rdb.DB, *ra.Program) {
+	r := rand.New(rand.NewSource(42))
+	db := rdb.NewDB()
+	dom := n / 2
+	for i := 0; i < n; i++ {
+		db.Insert("L", r.Intn(dom), 1+r.Intn(dom), "")
+		db.Insert("R", r.Intn(dom), 1+r.Intn(dom), "")
+	}
+	p := &ra.Program{
+		Stmts:  []ra.Stmt{{Name: "j", Plan: ra.Compose{L: ra.Base{Rel: "L"}, R: ra.Base{Rel: "R"}}}},
+		Result: "j",
+	}
+	return db, p
+}
+
+// microLFPDB builds the fixpoint workload: the transitive closure of a
+// chain with skip edges — O(n²/2) closure tuples, many Φ iterations.
+func microLFPDB(n int) (*rdb.DB, *ra.Program) {
+	r := rand.New(rand.NewSource(42))
+	db := rdb.NewDB()
+	for i := 1; i < n; i++ {
+		db.Insert("E", i, i+1, "")
+		if i%7 == 0 {
+			db.Insert("E", i, 1+r.Intn(n), "")
+		}
+	}
+	p := &ra.Program{
+		Stmts:  []ra.Stmt{{Name: "c", Plan: ra.Fix{Seed: ra.Base{Rel: "E"}}}},
+		Result: "c",
+	}
+	return db, p
+}
+
+// inputRows sums the cardinalities of the program's base relations.
+func inputRows(db *rdb.DB) int {
+	n := 0
+	for _, rel := range db.Rels {
+		n += rel.Len()
+	}
+	return n
+}
+
+// runSeed measures the naive evaluator on the workload. Base-relation
+// conversion out of the compact store is primed before timing starts.
+func runSeed(db *rdb.DB, p *ra.Program, rels ...string) (testing.BenchmarkResult, int) {
+	ex := rdb.NewNaiveExec(db)
+	ex.Prime(rels...)
+	out := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := ex.Run(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = r.Len()
+		}
+	})
+	return res, out
+}
+
+// runCompact measures the compact engine at the given intra-operator
+// parallelism.
+func runCompact(db *rdb.DB, p *ra.Program, workers int) (testing.BenchmarkResult, int) {
+	out := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex := rdb.NewExec(db)
+			ex.Parallelism = workers
+			r, err := ex.Run(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = r.Len()
+		}
+	})
+	return res, out
+}
+
+func toResult(engine string, workers int, r testing.BenchmarkResult, outRows int, seedNs int64) MicroResult {
+	ns := r.NsPerOp()
+	m := MicroResult{
+		Engine:      engine,
+		Workers:     workers,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		m.TuplesPerSec = float64(outRows) * 1e9 / float64(ns)
+	}
+	if seedNs > 0 && ns > 0 {
+		m.SpeedupVsSeed = float64(seedNs) / float64(ns)
+	}
+	return m
+}
+
+// MicroWorkers are the intra-operator parallelism levels measured for the
+// compact engine.
+var MicroWorkers = []int{1, 2, 4}
+
+// RunMicro runs the join and LFP microbenchmarks — the seed baseline, then
+// the compact engine at every MicroWorkers level — and returns the report
+// serialized into BENCH_rdb.json. The workload sizes follow c.Scale.
+func RunMicro(c Config) (*MicroReport, error) {
+	type workload struct {
+		name string
+		db   *rdb.DB
+		p    *ra.Program
+		rels []string
+	}
+	joinN := c.size(120_000)
+	lfpN := c.size(36_000) / 24 // chain length; closure is O(n²/2) tuples
+	jdb, jp := microJoinDB(joinN)
+	ldb, lp := microLFPDB(lfpN)
+	workloads := []workload{
+		{"join", jdb, jp, []string{"L", "R"}},
+		{"lfp", ldb, lp, []string{"E"}},
+	}
+
+	report := &MicroReport{GeneratedBy: "benchexp -exp rdb"}
+	for _, w := range workloads {
+		c.printf("\n%s: %d input tuples\n", w.name, inputRows(w.db))
+		seedRes, seedOut := runSeed(w.db, w.p, w.rels...)
+		seedNs := seedRes.NsPerOp()
+		mw := MicroWorkload{Name: w.name, InputRows: inputRows(w.db), OutputRows: seedOut}
+		mw.Results = append(mw.Results, toResult("seed", 1, seedRes, seedOut, seedNs))
+		c.printf("  %-8s w=%d  %12d ns/op  %10.0f tuples/s  %9d allocs/op\n",
+			"seed", 1, seedNs, mw.Results[0].TuplesPerSec, seedRes.AllocsPerOp())
+		for _, wk := range MicroWorkers {
+			res, out := runCompact(w.db, w.p, wk)
+			if out != seedOut {
+				return nil, fmt.Errorf("bench: %s at %d workers produced %d tuples, seed produced %d",
+					w.name, wk, out, seedOut)
+			}
+			m := toResult("compact", wk, res, out, seedNs)
+			mw.Results = append(mw.Results, m)
+			c.printf("  %-8s w=%d  %12d ns/op  %10.0f tuples/s  %9d allocs/op  %5.2fx vs seed\n",
+				"compact", wk, m.NsPerOp, m.TuplesPerSec, m.AllocsPerOp, m.SpeedupVsSeed)
+		}
+		report.Workloads = append(report.Workloads, mw)
+	}
+	return report, nil
+}

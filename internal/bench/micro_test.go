@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"xpath2sql/internal/rdb"
+)
+
+// Standard go-test benchmarks over the micro workloads:
+//
+//	go test ./internal/bench -bench 'Join|LFP' -benchmem
+//
+// Each workload runs the seed-faithful naive engine once and the compact
+// engine at 1, 2 and 4 workers.
+
+func BenchmarkJoin(b *testing.B) {
+	db, p := microJoinDB(20_000)
+	b.Run("seed", func(b *testing.B) {
+		ex := rdb.NewNaiveExec(db)
+		ex.Prime("L", "R")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range MicroWorkers {
+		b.Run(fmt.Sprintf("compact/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ex := rdb.NewExec(db)
+				ex.Parallelism = w
+				if _, err := ex.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLFP(b *testing.B) {
+	db, p := microLFPDB(700)
+	b.Run("seed", func(b *testing.B) {
+		ex := rdb.NewNaiveExec(db)
+		ex.Prime("E")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range MicroWorkers {
+		b.Run(fmt.Sprintf("compact/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ex := rdb.NewExec(db)
+				ex.Parallelism = w
+				if _, err := ex.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestMicroSmoke runs the tiny-scale micro report end to end, checking the
+// engines agree and the report serializes.
+func TestMicroSmoke(t *testing.T) {
+	report, err := RunMicro(Config{Scale: ScaleSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(report.Workloads))
+	}
+	for _, w := range report.Workloads {
+		if len(w.Results) != 1+len(MicroWorkers) {
+			t.Fatalf("%s: results = %d, want %d", w.Name, len(w.Results), 1+len(MicroWorkers))
+		}
+		if w.OutputRows == 0 {
+			t.Fatalf("%s: no output rows", w.Name)
+		}
+	}
+	if _, err := report.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

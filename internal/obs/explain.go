@@ -68,14 +68,21 @@ func Explain(p *ra.Program, t *Trace, cache *CacheStats) string {
 			b.WriteString("  (not run)\n")
 			continue
 		}
-		fmt.Fprintf(&b, "  in=%-8d out=%-8d tuples=%-8d iters=%-5d %v\n",
+		fmt.Fprintf(&b, "  in=%-8d out=%-8d tuples=%-8d iters=%-5d %v",
 			ev.In, ev.Out, ev.Ops.TuplesOut, ev.Ops.LFPIters, ev.Wall.Round(time.Microsecond))
+		if ev.Ops.Morsels > 0 {
+			fmt.Fprintf(&b, " morsels=%d", ev.Ops.Morsels)
+		}
+		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "result: %s", p.Result)
 	if t != nil {
 		tot := t.Totals()
 		fmt.Fprintf(&b, "   [%d statements run, %d tuples, %d joins, %d Φ (%d iterations), %v]",
 			tot.Stmts, tot.Ops.TuplesOut, tot.Ops.Joins, tot.Ops.LFPs, tot.Ops.LFPIters, tot.Wall.Round(time.Microsecond))
+		if tot.Ops.Morsels > 0 {
+			fmt.Fprintf(&b, "   [%d morsels scanned in parallel operators]", tot.Ops.Morsels)
+		}
 	}
 	if cache != nil {
 		fmt.Fprintf(&b, "   [%s]", cache)

@@ -93,6 +93,7 @@ type OpStats struct {
 	LFPIters  int // fixpoint iterations (Φ and RecUnion)
 	RecFixes  int // multi-relation fixpoints (SQLGen-R)
 	TuplesOut int // tuples produced
+	Morsels   int // morsels scanned by intra-operator parallel sections
 }
 
 // Add accumulates b into s.
@@ -103,6 +104,7 @@ func (s *OpStats) Add(b OpStats) {
 	s.LFPIters += b.LFPIters
 	s.RecFixes += b.RecFixes
 	s.TuplesOut += b.TuplesOut
+	s.Morsels += b.Morsels
 }
 
 // Sub removes b from s.
@@ -113,6 +115,7 @@ func (s *OpStats) Sub(b OpStats) {
 	s.LFPIters -= b.LFPIters
 	s.RecFixes -= b.RecFixes
 	s.TuplesOut -= b.TuplesOut
+	s.Morsels -= b.Morsels
 }
 
 // StmtEvent is the observation of one evaluated RA statement.

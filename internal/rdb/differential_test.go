@@ -1,0 +1,293 @@
+package rdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xpath2sql/internal/ra"
+)
+
+// The differential property tests: random ra.Programs run through the
+// compact morsel-parallel engine (serial, intra-operator parallel with tiny
+// forced morsels, and the statement-level scheduler) must produce (F, T, V)
+// sets identical to the retained naive seed evaluator (naive.go).
+
+// randDB builds a random database over nRels edge relations with node IDs
+// in [1, n] and values from a tiny vocabulary.
+func randDB(r *rand.Rand, n, nRels int) *DB {
+	db := NewDB()
+	vocab := []string{"", "a", "b", "c"}
+	for ri := 0; ri < nRels; ri++ {
+		name := fmt.Sprintf("R%d", ri)
+		db.Rel(name) // declare even if it stays empty
+		edges := r.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			f := r.Intn(n + 1) // 0 = virtual root allowed
+			t := 1 + r.Intn(n)
+			db.Insert(name, f, t, vocab[r.Intn(len(vocab))])
+		}
+	}
+	return db
+}
+
+// randPlan generates a random plan of bounded depth over the database's
+// relations and the program's earlier statements.
+func randPlan(r *rand.Rand, depth, nRels int, temps []string) ra.Plan {
+	baseRel := func() string { return fmt.Sprintf("R%d", r.Intn(nRels)) }
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			if len(temps) > 0 {
+				return ra.Temp{Name: temps[r.Intn(len(temps))]}
+			}
+			return ra.Base{Rel: baseRel()}
+		case 1:
+			return ra.RootSeed{}
+		default:
+			return ra.Base{Rel: baseRel()}
+		}
+	}
+	child := func() ra.Plan { return randPlan(r, depth-1, nRels, temps) }
+	switch r.Intn(12) {
+	case 0:
+		return ra.Compose{L: child(), R: child()}
+	case 1:
+		kids := []ra.Plan{child(), child()}
+		if r.Intn(2) == 0 {
+			kids = append(kids, child())
+		}
+		return ra.UnionAll{Kids: kids}
+	case 2:
+		fx := ra.Fix{Seed: child(), TrackPaths: r.Intn(3) == 0}
+		if r.Intn(2) == 0 {
+			fx.Start = child()
+		}
+		if r.Intn(2) == 0 {
+			fx.End = child()
+		}
+		return fx
+	case 3:
+		return ra.SelectVal{Child: child(), Val: []string{"a", "b", "z"}[r.Intn(3)]}
+	case 4:
+		return ra.SelectRoot{Child: child()}
+	case 5:
+		return ra.Semijoin{L: child(), R: child()}
+	case 6:
+		return ra.Antijoin{L: child(), R: child()}
+	case 7:
+		return ra.Diff{L: child(), R: child()}
+	case 8:
+		return ra.TypeFilter{Child: child(), Rel: baseRel(), OnF: r.Intn(2) == 0}
+	case 9:
+		return ra.IdentOf{Child: child(), OnF: r.Intn(2) == 0}
+	case 10:
+		rec := ra.RecUnion{
+			Init: []ra.Tagged{{Tag: "a", Plan: child()}},
+			Edges: []ra.RecEdge{
+				{FromTag: "a", ToTag: "b", Rel: ra.Base{Rel: baseRel()}},
+				{FromTag: "b", ToTag: "a", Rel: ra.Base{Rel: baseRel()}},
+			},
+			Pairs: r.Intn(2) == 0,
+		}
+		if r.Intn(2) == 0 {
+			rec.ResultTag = "b"
+		}
+		return rec
+	default:
+		return ra.Ident{}
+	}
+}
+
+func randProgram(r *rand.Rand, nRels int) *ra.Program {
+	nStmts := 1 + r.Intn(4)
+	var stmts []ra.Stmt
+	var temps []string
+	for i := 0; i < nStmts; i++ {
+		name := fmt.Sprintf("s%d", i)
+		stmts = append(stmts, ra.Stmt{Name: name, Plan: randPlan(r, 1+r.Intn(3), nRels, temps)})
+		temps = append(temps, name)
+	}
+	return &ra.Program{Stmts: stmts, Result: temps[len(temps)-1]}
+}
+
+// canon renders a relation's content as a canonical sorted triple list.
+func canonTuples(tuples []Tuple) []Tuple {
+	out := append([]Tuple(nil), tuples...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].F != out[j].F {
+			return out[i].F < out[j].F
+		}
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+func sameTuples(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca, cb := canonTuples(a), canonTuples(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forceTinyMorsels shrinks the morsel size so even the small differential
+// databases cross the fan-out threshold and exercise the parallel kernels.
+func forceTinyMorsels(t *testing.T) {
+	t.Helper()
+	old := morselRows
+	morselRows = 4
+	t.Cleanup(func() { morselRows = old })
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	forceTinyMorsels(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nRels := 1 + r.Intn(3)
+		db := randDB(r, 3+r.Intn(20), nRels)
+		p := randProgram(r, nRels)
+
+		want, err := NewNaiveExec(db).Run(p)
+		if err != nil {
+			t.Logf("naive: %v", err)
+			return false
+		}
+
+		serial, err := NewExec(db).Run(p)
+		if err != nil {
+			t.Logf("serial: %v", err)
+			return false
+		}
+		par := NewExec(db)
+		par.Parallelism = 4
+		parRel, err := par.Run(p)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		sched, _, err := RunParallel(db, p, 4)
+		if err != nil {
+			t.Logf("scheduler: %v", err)
+			return false
+		}
+
+		for name, got := range map[string]*Relation{"serial": serial, "morsel": parRel, "sched": sched} {
+			if !sameTuples(want.Tuples(), got.Tuples()) {
+				t.Logf("%s: tuples differ from naive (seed=%d)\nnaive: %v\n%s: %v",
+					name, seed, canonTuples(want.Tuples()), name, canonTuples(got.Tuples()))
+				return false
+			}
+			if !sameIDs(want.TIDs(), got.TIDs()) {
+				t.Logf("%s: TIDs differ from naive (seed=%d)", name, seed)
+				return false
+			}
+		}
+		// The morsel engine must agree with the serial engine on operator
+		// accounting (everything except the morsel counter itself).
+		se, pe := NewExec(db), NewExec(db)
+		pe.Parallelism = 4
+		if _, err := se.Run(p); err != nil {
+			return false
+		}
+		if _, err := pe.Run(p); err != nil {
+			return false
+		}
+		ss, ps := se.Stats, pe.Stats
+		ss.Morsels, ps.Morsels = 0, 0
+		if ss != ps {
+			t.Logf("stats differ (seed=%d): serial %+v parallel %+v", seed, ss, ps)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialFixPaths: constrained, path-tracking fixpoints on random
+// graphs — identical (F, T) sets against the naive reference, and every
+// tracked path must be a valid edge walk ending at T.
+func TestDifferentialFixPaths(t *testing.T) {
+	forceTinyMorsels(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(25)
+		db := NewDB()
+		for i := 0; i < 3*n; i++ {
+			db.Insert("E", 1+r.Intn(n), 1+r.Intn(n), "")
+		}
+		for i := 0; i < 4; i++ {
+			db.Insert("S", 1+r.Intn(n), 1+r.Intn(n), "")
+		}
+		fx := ra.Fix{Seed: ra.Base{Rel: "E"}, TrackPaths: true}
+		switch r.Intn(4) {
+		case 1:
+			fx.Start = ra.Base{Rel: "S"}
+		case 2:
+			fx.End = ra.Base{Rel: "S"}
+		case 3:
+			fx.Start = ra.Base{Rel: "S"}
+			fx.End = ra.Base{Rel: "S"}
+		}
+		p := &ra.Program{Stmts: []ra.Stmt{{Name: "result", Plan: fx}}, Result: "result"}
+
+		want, err := NewNaiveExec(db).Run(p)
+		if err != nil {
+			return false
+		}
+		par := NewExec(db)
+		par.Parallelism = 4
+		got, err := par.Run(p)
+		if err != nil {
+			return false
+		}
+		if !sameTuples(want.Tuples(), got.Tuples()) {
+			t.Logf("tuples differ (seed=%d)", seed)
+			return false
+		}
+		edge := db.Rel("E")
+		for _, tp := range got.Tuples() {
+			path := got.PathOf(tp.F, tp.T)
+			if len(path) == 0 || path[len(path)-1] != tp.T {
+				t.Logf("bad path %v for %+v (seed=%d)", path, tp, seed)
+				return false
+			}
+			prev := tp.F
+			for _, node := range path {
+				if !edge.Has(prev, node) {
+					t.Logf("path %v uses non-edge %d→%d (seed=%d)", path, prev, node, seed)
+					return false
+				}
+				prev = node
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ type Stats struct {
 	RecFixes  int // multi-relation fixpoints evaluated (SQLGen-R)
 	TuplesOut int // tuples produced across all operators
 	StmtsRun  int // statements actually evaluated (lazy evaluation skips some)
+	Morsels   int // morsels scanned by intra-operator parallel sections
 }
 
 // Ops converts the counters to the per-statement shape of the obs layer.
@@ -30,6 +31,7 @@ func (s Stats) Ops() obs.OpStats {
 		LFPIters:  s.LFPIters,
 		RecFixes:  s.RecFixes,
 		TuplesOut: s.TuplesOut,
+		Morsels:   s.Morsels,
 	}
 }
 
@@ -44,6 +46,7 @@ func (a Stats) Minus(b Stats) Stats {
 		RecFixes:  a.RecFixes - b.RecFixes,
 		TuplesOut: a.TuplesOut - b.TuplesOut,
 		StmtsRun:  a.StmtsRun - b.StmtsRun,
+		Morsels:   a.Morsels - b.Morsels,
 	}
 }
 
@@ -55,6 +58,12 @@ type Exec struct {
 	// Lazy enables the top-down evaluation strategy of §5.2: a statement is
 	// computed only when referenced. Disabled, statements run in order.
 	Lazy bool
+
+	// Parallelism is the number of worker goroutines morsel-driven operators
+	// (hash joins, fixpoint delta expansion) may fan out to. Values below 2
+	// keep every operator single-threaded. Results are identical at any
+	// setting: morsel buffers are merged deterministically.
+	Parallelism int
 
 	// Limits bounds the resources the next Run/RunCtx may consume;
 	// exceeding one returns a *obs.LimitError. The zero value is unlimited.
@@ -84,9 +93,16 @@ type execFrame struct {
 	began     time.Time
 }
 
-// NewExec returns an executor with lazy (top-down) evaluation enabled.
+// NewExec returns an executor with lazy (top-down) evaluation enabled and
+// single-threaded operators.
 func NewExec(db *DB) *Exec {
-	return &Exec{DB: db, Lazy: true}
+	return &Exec{DB: db, Lazy: true, Parallelism: 1}
+}
+
+// newRel returns an empty temporary sharing the database interner, so every
+// relation an execution touches moves V symbols without string traffic.
+func (e *Exec) newRel(name string) *Relation {
+	return newRelation(name, e.DB.Syms)
 }
 
 // prepare arms the cancellation/limit/trace state for one run.
@@ -128,13 +144,13 @@ func (e *Exec) Run(p *ra.Program) (*Relation, error) {
 }
 
 // RunCtx executes the program under a context: ctx.Err() is checked between
-// statements and between fixpoint iterations, so a cancelled or expired
-// context makes the run return promptly with context.Canceled or
-// context.DeadlineExceeded. The executor's Limits are enforced at the same
-// points, returning typed *obs.LimitError values. When trace is non-nil, one
-// obs.StmtEvent is recorded per evaluated statement with its exclusive
-// operator counts, cardinalities and wall time; the trace totals then agree
-// with e.Stats.
+// statements, between fixpoint iterations and per morsel inside parallel
+// operators, so a cancelled or expired context makes the run return promptly
+// with context.Canceled or context.DeadlineExceeded. The executor's Limits
+// are enforced at the same points, returning typed *obs.LimitError values.
+// When trace is non-nil, one obs.StmtEvent is recorded per evaluated
+// statement with its exclusive operator counts, cardinalities and wall time;
+// the trace totals then agree with e.Stats.
 func (e *Exec) RunCtx(ctx context.Context, p *ra.Program, trace *obs.Trace) (*Relation, error) {
 	e.prog = p
 	e.env = map[string]*Relation{}
@@ -334,15 +350,18 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewRelation("")
-		if pl.OnF {
-			for f := range child.FSet() {
-				out.Add(f, f, e.DB.Vals[f])
+		out := e.newRel("")
+		seen := make(map[int32]struct{}, child.distinctHint(nil))
+		for i := range child.rows {
+			id := child.rows[i].t
+			if pl.OnF {
+				id = child.rows[i].f
 			}
-		} else {
-			for t := range child.TSet() {
-				out.Add(t, t, e.DB.Vals[t])
+			if _, dup := seen[id]; dup {
+				continue
 			}
+			seen[id] = struct{}{}
+			out.addRow(row{f: id, t: id, v: e.valSym(int(id))})
 		}
 		e.Stats.TuplesOut += out.Len()
 		return out, nil
@@ -355,9 +374,9 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.compose(l, r), nil
+		return e.compose(l, r)
 	case ra.UnionAll:
-		out := NewRelation("")
+		out := e.newRel("")
 		for i, k := range pl.Kids {
 			kr, err := e.eval(k)
 			if err != nil {
@@ -366,8 +385,8 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			if i > 0 {
 				e.Stats.Unions++
 			}
-			for _, t := range kr.Tuples() {
-				if out.Add(t.F, t.T, t.V) {
+			for _, w := range kr.rows {
+				if out.addFrom(kr, w) {
 					e.Stats.TuplesOut++
 				}
 			}
@@ -380,10 +399,12 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewRelation("")
-		for _, t := range child.Tuples() {
-			if t.V == pl.Val {
-				out.Add(t.F, t.T, t.V)
+		out := e.newRel("")
+		if sym, ok := child.symOf(pl.Val); ok {
+			for _, w := range child.rows {
+				if w.v == sym {
+					out.addFrom(child, w)
+				}
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
@@ -393,10 +414,10 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewRelation("")
-		for _, t := range child.Tuples() {
-			if t.F == 0 {
-				out.Add(t.F, t.T, t.V)
+		out := e.newRel("")
+		for _, w := range child.rows {
+			if w.f == 0 {
+				out.addFrom(child, w)
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
@@ -411,11 +432,11 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			return nil, err
 		}
 		e.Stats.Joins++
-		wit := r.FSet()
-		out := NewRelation("")
-		for _, t := range l.Tuples() {
-			if _, ok := wit[t.T]; ok {
-				out.Add(t.F, t.T, t.V)
+		wit := r.fIndex()
+		out := e.newRel("")
+		for _, w := range l.rows {
+			if wit.contains(w.t) {
+				out.addFrom(l, w)
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
@@ -430,11 +451,11 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			return nil, err
 		}
 		e.Stats.Joins++
-		wit := r.FSet()
-		out := NewRelation("")
-		for _, t := range l.Tuples() {
-			if _, ok := wit[t.T]; !ok {
-				out.Add(t.F, t.T, t.V)
+		wit := r.fIndex()
+		out := e.newRel("")
+		for _, w := range l.rows {
+			if !wit.contains(w.t) {
+				out.addFrom(l, w)
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
@@ -448,17 +469,17 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := NewRelation("")
-		for _, t := range l.Tuples() {
-			if !r.Has(t.F, t.T) {
-				out.Add(t.F, t.T, t.V)
+		out := e.newRel("")
+		for _, w := range l.rows {
+			if !r.set.has(packPair(w.f, w.t)) {
+				out.addFrom(l, w)
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
 		return out, nil
 	case ra.RootSeed:
-		out := NewRelation("")
-		out.Add(0, 0, "")
+		out := e.newRel("")
+		out.addRow(row{})
 		return out, nil
 	case ra.TypeFilter:
 		child, err := e.eval(pl.Child)
@@ -466,15 +487,15 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			return nil, err
 		}
 		e.Stats.Joins++
-		typed := e.DB.Rel(pl.Rel).TSet()
-		out := NewRelation("")
-		for _, t := range child.Tuples() {
-			col := t.T
+		typed := e.DB.Rel(pl.Rel).tIndex()
+		out := e.newRel("")
+		for _, w := range child.rows {
+			col := w.t
 			if pl.OnF {
-				col = t.F
+				col = w.f
 			}
-			if _, ok := typed[col]; ok {
-				out.Add(t.F, t.T, t.V)
+			if typed.contains(col) {
+				out.addFrom(child, w)
 			}
 		}
 		e.Stats.TuplesOut += out.Len()
@@ -485,77 +506,155 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 	return nil, fmt.Errorf("rdb: unsupported plan %T", pl)
 }
 
+// valSym returns the interned symbol of a stored node's value ("" for
+// unknown nodes, e.g. the virtual root).
+func (e *Exec) valSym(id int) int32 {
+	v, ok := e.DB.Vals[id]
+	if !ok || v == "" {
+		return 0
+	}
+	return e.DB.Syms.Intern(v)
+}
+
 // identRel materializes R_id: (v, v, v.val) for every stored node, plus the
 // virtual document root (0, 0) so that ε holds at the top-level context.
 // A query answer of node 0 is filtered out at extraction time — the virtual
 // root is a context, never a result.
 func (e *Exec) identRel() *Relation {
 	if e.ident == nil {
-		r := NewRelation("Rid")
-		r.Add(0, 0, "")
+		r := e.newRel("Rid")
+		r.grow(len(e.DB.Vals) + 1)
+		r.addRow(row{})
 		for id, v := range e.DB.Vals {
-			r.Add(id, id, v)
+			var sym int32
+			if v != "" {
+				sym = e.DB.Syms.Intern(v)
+			}
+			r.addRow(row{f: int32(id), t: int32(id), v: sym})
 		}
 		e.ident = r
 	}
 	return e.ident
 }
 
-// compose performs the path join π_{l.F, r.T, r.V}(l ⋈_{l.T=r.F} r).
-func (e *Exec) compose(l, r *Relation) *Relation {
+// compose performs the path join π_{l.F, r.T, r.V}(l ⋈_{l.T=r.F} r): the
+// smaller side is scanned as the probe, the larger side's CSR index is the
+// build side. Large probes run morsel-parallel.
+func (e *Exec) compose(l, r *Relation) (*Relation, error) {
 	e.Stats.Joins++
-	out := NewRelation("")
-	// Probe the smaller side's index.
+	out := e.newRel("")
+	var scan func(lo, hi int, buf []cand) []cand
+	var n int
 	if l.Len() <= r.Len() {
-		for _, lt := range l.Tuples() {
-			for _, pos := range r.ByF(lt.T) {
-				rt := r.Tuples()[pos]
-				if out.Add(lt.F, rt.T, rt.V) {
-					e.Stats.TuplesOut++
+		idx := r.fIndex()
+		lrows, rrows := l.rows, r.rows
+		n = len(lrows)
+		scan = func(lo, hi int, buf []cand) []cand {
+			for i := lo; i < hi; i++ {
+				lt := lrows[i]
+				snap, over := idx.lookup(lt.t)
+				for _, pos := range snap {
+					rt := rrows[pos]
+					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
+				}
+				for _, pos := range over {
+					rt := rrows[pos]
+					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
 				}
 			}
+			return buf
 		}
 	} else {
-		for _, rt := range r.Tuples() {
-			for _, pos := range l.ByT(rt.F) {
-				lt := l.Tuples()[pos]
-				if out.Add(lt.F, rt.T, rt.V) {
+		idx := l.tIndex()
+		lrows, rrows := l.rows, r.rows
+		n = len(rrows)
+		scan = func(lo, hi int, buf []cand) []cand {
+			for i := lo; i < hi; i++ {
+				rt := rrows[i]
+				snap, over := idx.lookup(rt.f)
+				for _, pos := range snap {
+					lt := lrows[pos]
+					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
+				}
+				for _, pos := range over {
+					lt := lrows[pos]
+					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
+				}
+			}
+			return buf
+		}
+	}
+	if workers := e.parWorkers(n); workers > 1 {
+		bufs, err := e.scanMorsels(n, workers, scan)
+		if err != nil {
+			return nil, err
+		}
+		for _, buf := range bufs {
+			for _, c := range buf {
+				if out.addRow(c.out) {
 					e.Stats.TuplesOut++
 				}
 			}
 		}
+		return out, nil
+	}
+	buf := scan(0, n, nil)
+	for _, c := range buf {
+		if out.addRow(c.out) {
+			e.Stats.TuplesOut++
+		}
+	}
+	return out, nil
+}
+
+// tColumnSet / fColumnSet collect the distinct values of one column as an
+// int32 membership set for fixpoint constraints.
+func tColumnSet(r *Relation) map[int32]struct{} {
+	out := make(map[int32]struct{}, r.distinctHint(r.idxT))
+	for i := range r.rows {
+		out[r.rows[i].t] = struct{}{}
+	}
+	return out
+}
+
+func fColumnSet(r *Relation) map[int32]struct{} {
+	out := make(map[int32]struct{}, r.distinctHint(r.idxF))
+	for i := range r.rows {
+		out[r.rows[i].f] = struct{}{}
 	}
 	return out
 }
 
 // fix evaluates Φ(R) (Eq. 2): the transitive closure of the seed relation,
 // with optional pushed start/end constraints (§5.2). Semi-naive: each
-// iteration joins only the previous delta against the seed.
+// iteration joins only the previous delta against the seed's CSR index;
+// large deltas expand morsel-parallel, with the per-worker candidate buffers
+// merged in morsel order so results and statistics match a serial run.
 func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 	seed, err := e.eval(pl.Seed)
 	if err != nil {
 		return nil, err
 	}
 	e.Stats.LFPs++
-	var startSet, endSet map[int]struct{}
+	var startSet, endSet map[int32]struct{}
 	if pl.Start != nil {
 		s, err := e.eval(pl.Start)
 		if err != nil {
 			return nil, err
 		}
-		startSet = s.TSet()
+		startSet = tColumnSet(s)
 	}
 	if pl.End != nil {
 		s, err := e.eval(pl.End)
 		if err != nil {
 			return nil, err
 		}
-		endSet = s.FSet()
+		endSet = fColumnSet(s)
 	}
 
-	out := NewRelation("")
-	addOut := func(f, t int, v string) bool {
-		if out.Add(f, t, v) {
+	out := e.newRel("")
+	addOut := func(w row) bool {
+		if out.addRow(w) {
 			e.Stats.TuplesOut++
 			return true
 		}
@@ -579,68 +678,137 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 	// Path tracking (§5.2 "XML reconstruction"): the P attribute of a new
 	// tuple concatenates the extending edge onto the witnessing path.
 	track := pl.TrackPaths
-	setSeedPath := func(t Tuple) {
+	setSeedPath := func(w row) {
 		if track {
-			out.SetPath(t.F, t.T, []int{t.T})
+			out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
 		}
 	}
-	extendPath := func(base Tuple, newT int) {
+	extendPath := func(baseF, baseT, newT int32) {
 		if track {
-			prev := out.PathOf(base.F, base.T)
+			prev := out.PathOf(int(baseF), int(baseT))
 			path := make([]int, len(prev)+1)
 			copy(path, prev)
-			path[len(prev)] = newT
-			out.SetPath(base.F, newT, path)
+			path[len(prev)] = int(newT)
+			out.SetPath(int(baseF), int(newT), path)
 		}
 	}
-	prependPath := func(newF int, base Tuple) {
+	prependPath := func(newF, baseF, baseT int32) {
 		if track {
-			prev := out.PathOf(base.F, base.T)
+			prev := out.PathOf(int(baseF), int(baseT))
 			path := make([]int, 0, len(prev)+1)
-			path = append(path, base.F)
+			path = append(path, int(baseF))
 			path = append(path, prev...)
-			out.SetPath(newF, base.T, path)
+			out.SetPath(int(newF), int(baseT), path)
 		}
+	}
+
+	// expand runs one semi-naive iteration: every delta row probes the seed
+	// index and the candidates (new row + the delta row that produced it)
+	// are folded into out in scan order.
+	type direction int
+	const (
+		forward  direction = iota // probe seed.F with delta.T; new (d.F, s.T)
+		backward                  // probe seed.T with delta.F; new (s.F, d.T)
+	)
+	expand := func(delta []row, dir direction) ([]row, error) {
+		var idx *colIndex
+		if dir == forward {
+			idx = seed.fIndex()
+		} else {
+			idx = seed.tIndex()
+		}
+		srows := seed.rows
+		scan := func(lo, hi int, buf []cand) []cand {
+			for i := lo; i < hi; i++ {
+				d := delta[i]
+				var key int32
+				if dir == forward {
+					key = d.t
+				} else {
+					key = d.f
+				}
+				snap, over := idx.lookup(key)
+				for _, part := range [2][]int32{snap, over} {
+					for _, pos := range part {
+						st := srows[pos]
+						var nw row
+						if dir == forward {
+							nw = row{f: d.f, t: st.t, v: st.v}
+						} else {
+							nw = row{f: st.f, t: d.t, v: d.v}
+						}
+						buf = append(buf, cand{out: nw, baseF: d.f, baseT: d.t})
+					}
+				}
+			}
+			return buf
+		}
+		merge := func(buf []cand, next []row) []row {
+			for _, c := range buf {
+				if addOut(c.out) {
+					if dir == forward {
+						extendPath(c.baseF, c.baseT, c.out.t)
+					} else {
+						prependPath(c.out.f, c.baseF, c.baseT)
+					}
+					next = append(next, c.out)
+				}
+			}
+			return next
+		}
+		if workers := e.parWorkers(len(delta)); workers > 1 {
+			bufs, err := e.scanMorsels(len(delta), workers, scan)
+			if err != nil {
+				return nil, err
+			}
+			var next []row
+			for _, buf := range bufs {
+				next = merge(buf, next)
+			}
+			return next, nil
+		}
+		return merge(scan(0, len(delta), nil), nil), nil
+	}
+
+	runLoop := func(delta []row, dir direction) error {
+		for len(delta) > 0 {
+			if err := step(); err != nil {
+				return err
+			}
+			e.Stats.Joins++
+			next, err := expand(delta, dir)
+			if err != nil {
+				return err
+			}
+			e.Stats.Unions++
+			delta = next
+		}
+		return nil
 	}
 
 	switch {
 	case startSet != nil:
 		// Forward iteration from the constrained frontier:
 		// C = R.F ∈ π_T(Start) ∧ R_{i-1}.T = R_0.F.
-		var delta []Tuple
-		for _, t := range seed.Tuples() {
-			if _, ok := startSet[t.F]; ok {
-				if addOut(t.F, t.T, t.V) {
-					setSeedPath(t)
-					delta = append(delta, t)
+		var delta []row
+		for _, w := range seed.rows {
+			if _, ok := startSet[w.f]; ok {
+				if addOut(w) {
+					setSeedPath(w)
+					delta = append(delta, w)
 				}
 			}
 		}
-		for len(delta) > 0 {
-			if err := step(); err != nil {
-				return nil, err
-			}
-			e.Stats.Joins++
-			var next []Tuple
-			for _, d := range delta {
-				for _, pos := range seed.ByF(d.T) {
-					st := seed.Tuples()[pos]
-					if addOut(d.F, st.T, st.V) {
-						extendPath(d, st.T)
-						next = append(next, Tuple{F: d.F, T: st.T, V: st.V})
-					}
-				}
-			}
-			e.Stats.Unions++
-			delta = next
+		if err := runLoop(delta, forward); err != nil {
+			return nil, err
 		}
 		if endSet != nil {
-			filtered := NewRelation("")
-			for _, t := range out.Tuples() {
-				if _, ok := endSet[t.T]; ok {
-					filtered.Add(t.F, t.T, t.V)
+			filtered := e.newRel("")
+			for _, w := range out.rows {
+				if _, ok := endSet[w.t]; ok {
+					filtered.addRow(w)
 					if track {
-						filtered.SetPath(t.F, t.T, out.PathOf(t.F, t.T))
+						filtered.SetPath(int(w.f), int(w.t), out.PathOf(int(w.f), int(w.t)))
 					}
 				}
 			}
@@ -648,58 +816,29 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 		}
 	case endSet != nil:
 		// Backward iteration: C = R.T ∈ π_F(End) ∧ R_{i-1}.F = R_0.T.
-		var delta []Tuple
-		for _, t := range seed.Tuples() {
-			if _, ok := endSet[t.T]; ok {
-				if addOut(t.F, t.T, t.V) {
-					setSeedPath(t)
-					delta = append(delta, t)
+		var delta []row
+		for _, w := range seed.rows {
+			if _, ok := endSet[w.t]; ok {
+				if addOut(w) {
+					setSeedPath(w)
+					delta = append(delta, w)
 				}
 			}
 		}
-		for len(delta) > 0 {
-			if err := step(); err != nil {
-				return nil, err
-			}
-			e.Stats.Joins++
-			var next []Tuple
-			for _, d := range delta {
-				for _, pos := range seed.ByT(d.F) {
-					st := seed.Tuples()[pos]
-					if addOut(st.F, d.T, d.V) {
-						prependPath(st.F, d)
-						next = append(next, Tuple{F: st.F, T: d.T, V: d.V})
-					}
-				}
-			}
-			e.Stats.Unions++
-			delta = next
+		if err := runLoop(delta, backward); err != nil {
+			return nil, err
 		}
 	default:
 		// Unconstrained transitive closure.
-		delta := append([]Tuple(nil), seed.Tuples()...)
-		for _, t := range delta {
-			if addOut(t.F, t.T, t.V) {
-				setSeedPath(t)
+		delta := make([]row, 0, len(seed.rows))
+		for _, w := range seed.rows {
+			if addOut(w) {
+				setSeedPath(w)
+				delta = append(delta, w)
 			}
 		}
-		for len(delta) > 0 {
-			if err := step(); err != nil {
-				return nil, err
-			}
-			e.Stats.Joins++
-			var next []Tuple
-			for _, d := range delta {
-				for _, pos := range seed.ByF(d.T) {
-					st := seed.Tuples()[pos]
-					if addOut(d.F, st.T, st.V) {
-						extendPath(d, st.T)
-						next = append(next, Tuple{F: d.F, T: st.T, V: st.V})
-					}
-				}
-			}
-			e.Stats.Unions++
-			delta = next
+		if err := runLoop(delta, forward); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -716,47 +855,52 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 // little to optimize the operations inside the with…recursion expression",
 // §3.1), so no delta optimization is applied — that asymmetry against the
 // single-input Φ(R), which CONNECT BY evaluates level by level, is exactly
-// the effect the paper's experiments measure.
+// the effect the paper's experiments measure. The per-edge scan of the
+// accumulated relation does run morsel-parallel (an engine-level freedom the
+// black box leaves open), with the same join/union accounting.
 func (e *Exec) recUnion(pl ra.RecUnion) (*Relation, error) {
 	e.Stats.RecFixes++
 	type tagged struct {
-		t   Tuple
-		tag string
+		w   row
+		tag int32
 	}
-	tagIdx := map[string]int{}
-	tagOf := func(tag string) int {
+	tagIdx := map[string]int32{}
+	tagOf := func(tag string) int32 {
 		i, ok := tagIdx[tag]
 		if !ok {
-			i = len(tagIdx)
+			i = int32(len(tagIdx))
 			tagIdx[tag] = i
 		}
 		return i
 	}
-	type tkey struct {
-		tag  int
-		f, t int
-	}
-	seen := map[tkey]struct{}{}
-	all := NewRelation("")
+	// seen deduplicates (tag, F, T) with one open-addressing pair set per
+	// tag — tags are few (one per DTD type on a cycle).
+	var seen []pairSet
+	all := e.newRel("")
 	result := all
 	if pl.ResultTag != "" {
-		result = NewRelation("")
+		result = e.newRel("")
+	}
+	resultTag := int32(-1)
+	if pl.ResultTag != "" {
+		resultTag = tagOf(pl.ResultTag)
 	}
 	// acc is the growing star-center relation R of Eq. (1)/Fig 2.
 	var acc []tagged
 	grew := false
-	add := func(tag string, t Tuple) {
-		k := tkey{tag: tagOf(tag), f: t.F, t: t.T}
-		if _, dup := seen[k]; dup {
+	add := func(tag int32, w row) {
+		for int(tag) >= len(seen) {
+			seen = append(seen, pairSet{})
+		}
+		if !seen[tag].insert(packPair(w.f, w.t)) {
 			return
 		}
-		seen[k] = struct{}{}
-		all.Add(t.F, t.T, t.V)
-		if pl.ResultTag != "" && tag == pl.ResultTag {
-			result.Add(t.F, t.T, t.V)
+		all.addRow(w)
+		if tag == resultTag {
+			result.addRow(w)
 		}
 		e.Stats.TuplesOut++
-		acc = append(acc, tagged{t: t, tag: tag})
+		acc = append(acc, tagged{w: w, tag: tag})
 		grew = true
 	}
 	for _, init := range pl.Init {
@@ -764,18 +908,26 @@ func (e *Exec) recUnion(pl ra.RecUnion) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, t := range r.Tuples() {
-			add(init.Tag, t)
+		tag := tagOf(init.Tag)
+		for _, w := range r.rows {
+			if r.syms != all.syms && w.v != 0 {
+				w.v = all.interner().Intern(r.interner().Str(w.v))
+			}
+			add(tag, w)
 		}
 	}
 	// Pre-evaluate edge relations (they are base tables in SQLGen-R plans).
 	edgeRels := make([]*Relation, len(pl.Edges))
+	edgeFrom := make([]int32, len(pl.Edges))
+	edgeTo := make([]int32, len(pl.Edges))
 	for i, ed := range pl.Edges {
 		r, err := e.eval(ed.Rel)
 		if err != nil {
 			return nil, err
 		}
 		edgeRels[i] = r
+		edgeFrom[i] = tagOf(ed.FromTag)
+		edgeTo[i] = tagOf(ed.ToTag)
 	}
 	iters := 0
 	for grew = true; grew; {
@@ -794,24 +946,49 @@ func (e *Exec) recUnion(pl ra.RecUnion) (*Relation, error) {
 		// One join + one union per edge relation against the whole of R:
 		// the star-shaped body of Fig 2.
 		snapshot := len(acc)
-		for i, ed := range pl.Edges {
+		for i := range pl.Edges {
 			e.Stats.Joins++
 			e.Stats.Unions++
 			rel := edgeRels[i]
-			for j := 0; j < snapshot; j++ {
-				d := acc[j]
-				if d.tag != ed.FromTag {
-					continue
-				}
-				for _, pos := range rel.ByF(d.t.T) {
-					et := rel.Tuples()[pos]
-					if pl.Pairs {
-						// Keep the origin: (d.F, edge.T).
-						add(ed.ToTag, Tuple{F: d.t.F, T: et.T, V: et.V})
-					} else {
-						// Fig 2: insert the edge's own (F, T).
-						add(ed.ToTag, et)
+			idx := rel.fIndex()
+			rrows := rel.rows
+			from, to := edgeFrom[i], edgeTo[i]
+			pairs := pl.Pairs
+			scan := func(lo, hi int, buf []cand) []cand {
+				for j := lo; j < hi; j++ {
+					d := acc[j]
+					if d.tag != from {
+						continue
 					}
+					snap, over := idx.lookup(d.w.t)
+					for _, part := range [2][]int32{snap, over} {
+						for _, pos := range part {
+							et := rrows[pos]
+							if pairs {
+								// Keep the origin: (d.F, edge.T).
+								buf = append(buf, cand{out: row{f: d.w.f, t: et.t, v: et.v}})
+							} else {
+								// Fig 2: insert the edge's own (F, T).
+								buf = append(buf, cand{out: et})
+							}
+						}
+					}
+				}
+				return buf
+			}
+			if workers := e.parWorkers(snapshot); workers > 1 {
+				bufs, err := e.scanMorsels(snapshot, workers, scan)
+				if err != nil {
+					return nil, err
+				}
+				for _, buf := range bufs {
+					for _, c := range buf {
+						add(to, c.out)
+					}
+				}
+			} else {
+				for _, c := range scan(0, snapshot, nil) {
+					add(to, c.out)
 				}
 			}
 		}

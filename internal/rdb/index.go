@@ -1,0 +1,110 @@
+package rdb
+
+// colIndex maps a column value (F or T) to the positions of the tuples
+// holding it. It replaces the seed's lazy map[int][]int32 indexes, which were
+// discarded on every insert and rebuilt from scratch on the next probe.
+//
+// The index is built once over a snapshot of the relation, in CSR form when
+// the key range is dense (offsets into one shared position array — the usual
+// case, node IDs are dense) and as a single-build map when it is sparse.
+// Tuples appended after the build — the delta rows a semi-naive fixpoint
+// adds while probing — extend the index incrementally through a small
+// overflow table instead of invalidating it.
+type colIndex struct {
+	// Dense (CSR) form: bucket k holds pos[offs[k]:offs[k+1]].
+	offs []int32
+	pos  []int32
+	// Sparse form, used when max(key) ≫ tuple count.
+	sparse map[int32][]int32
+	// built is the number of leading tuples the snapshot covers; positions
+	// appended afterwards live in extra.
+	built    int
+	extra    map[int32][]int32
+	distinct int // number of distinct keys at build time
+}
+
+// denseLimit: build CSR when maxKey is within this factor of the tuple
+// count; beyond it the offsets array would dominate memory.
+const denseLimit = 8
+
+// buildColIndex indexes rows[0:len(rows)] on the given column
+// (keyOf returns the column value of row i).
+func buildColIndex(n int, keyOf func(i int) int32) *colIndex {
+	idx := &colIndex{built: n}
+	maxKey := int32(-1)
+	sparse := false
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		if k < 0 {
+			sparse = true
+			break
+		}
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	if !sparse && int(maxKey)+2 > denseLimit*n+64 {
+		sparse = true
+	}
+	if sparse {
+		m := make(map[int32][]int32, n)
+		for i := 0; i < n; i++ {
+			k := keyOf(i)
+			m[k] = append(m[k], int32(i))
+		}
+		idx.sparse = m
+		idx.distinct = len(m)
+		return idx
+	}
+	offs := make([]int32, int(maxKey)+2)
+	for i := 0; i < n; i++ {
+		offs[keyOf(i)+1]++
+	}
+	distinct := 0
+	for k := 1; k < len(offs); k++ {
+		if offs[k] > 0 {
+			distinct++
+		}
+		offs[k] += offs[k-1]
+	}
+	pos := make([]int32, n)
+	fill := make([]int32, len(offs)-1)
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		pos[offs[k]+fill[k]] = int32(i)
+		fill[k]++
+	}
+	idx.offs, idx.pos, idx.distinct = offs, pos, distinct
+	return idx
+}
+
+// lookup returns the snapshot positions and the overflow positions for a
+// key, in insertion order (all overflow positions follow all snapshot
+// positions). Callers iterate both slices; keeping them separate avoids an
+// allocation on the hot probe path.
+func (idx *colIndex) lookup(k int32) (snap, over []int32) {
+	if idx.sparse != nil {
+		snap = idx.sparse[k]
+	} else if k >= 0 && int(k)+1 < len(idx.offs) {
+		snap = idx.pos[idx.offs[k]:idx.offs[k+1]]
+	}
+	if idx.extra != nil {
+		over = idx.extra[k]
+	}
+	return snap, over
+}
+
+// contains reports whether any tuple holds the key — the membership probe
+// semijoin-style operators use instead of materializing a value set.
+func (idx *colIndex) contains(k int32) bool {
+	snap, over := idx.lookup(k)
+	return len(snap) > 0 || len(over) > 0
+}
+
+// add extends the index with one appended tuple.
+func (idx *colIndex) add(k int32, pos int32) {
+	if idx.extra == nil {
+		idx.extra = map[int32][]int32{}
+	}
+	idx.extra[k] = append(idx.extra[k], pos)
+}

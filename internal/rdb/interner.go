@@ -1,0 +1,69 @@
+package rdb
+
+import "sync"
+
+// Interner dictionary-encodes strings as dense int32 symbol IDs so relations
+// store three machine words per tuple instead of carrying string headers.
+// Symbol 0 is always the empty string. One Interner is shared by every
+// relation of a DB (stored and temporary), so joins move symbols around
+// without ever touching string data; equality on V becomes an int32 compare.
+//
+// The interner is safe for concurrent use: the statement-level scheduler
+// (RunParallel) and the morsel workers inside operators may intern and
+// resolve symbols from multiple goroutines. After a database is loaded the
+// working set of strings is almost always already present, so Intern is a
+// read-locked lookup on the hot path.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]int32
+	strs []string
+}
+
+// NewInterner returns an interner holding only the empty string (symbol 0).
+func NewInterner() *Interner {
+	return &Interner{ids: map[string]int32{"": 0}, strs: []string{""}}
+}
+
+// Intern returns the symbol for s, assigning a new one on first sight.
+func (in *Interner) Intern(s string) int32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok = in.ids[s]; ok {
+		return id
+	}
+	id = int32(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Lookup returns the symbol for s without assigning one. A miss means no
+// stored tuple carries s, so a selection on s is empty.
+func (in *Interner) Lookup(s string) (int32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Str resolves a symbol back to its string.
+func (in *Interner) Str(id int32) string {
+	in.mu.RLock()
+	s := in.strs[id]
+	in.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of distinct strings interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	n := len(in.strs)
+	in.mu.RUnlock()
+	return n
+}

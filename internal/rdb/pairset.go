@@ -1,0 +1,121 @@
+package rdb
+
+import "math/bits"
+
+// pairSet is an open-addressing hash set of packed (F, T) pairs — the dedup
+// structure behind Relation.Add. Compared with the seed's
+// map[uint64]struct{} it stores one uint64 per slot, probes linearly with a
+// Fibonacci-hashed start slot, and never allocates per insert, which matters
+// because every tuple an operator produces passes through it.
+//
+// The empty-slot sentinel is ^uint64(0); the one key equal to the sentinel
+// (F = T = -1, which node IDs never produce) is tracked by a side flag so
+// the set is still total over all uint64 keys.
+type pairSet struct {
+	slots   []uint64
+	shift   uint // 64 - log2(len(slots))
+	used    int
+	maxUsed int // grow threshold: 7/8 of len(slots)
+	hasMax  bool
+}
+
+const pairEmpty = ^uint64(0)
+
+// packPair packs two node IDs into the set's key. It matches the seed's
+// tupleKey truncation to 32 bits per column.
+func packPair(f, t int32) uint64 {
+	return uint64(uint32(f))<<32 | uint64(uint32(t))
+}
+
+func newPairSet(capHint int) pairSet {
+	n := 16
+	for n < capHint*8/7+1 {
+		n <<= 1
+	}
+	s := pairSet{slots: make([]uint64, n)}
+	s.shift = uint(64 - bits.TrailingZeros(uint(n)))
+	s.maxUsed = n * 7 / 8
+	for i := range s.slots {
+		s.slots[i] = pairEmpty
+	}
+	return s
+}
+
+func (s *pairSet) slot(k uint64) int {
+	return int((k * 0x9E3779B97F4A7C15) >> s.shift)
+}
+
+// has reports membership.
+func (s *pairSet) has(k uint64) bool {
+	if k == pairEmpty {
+		return s.hasMax
+	}
+	if len(s.slots) == 0 {
+		return false
+	}
+	mask := len(s.slots) - 1
+	for i := s.slot(k); ; i = (i + 1) & mask {
+		switch s.slots[i] {
+		case k:
+			return true
+		case pairEmpty:
+			return false
+		}
+	}
+}
+
+// insert adds k and reports whether it was new.
+func (s *pairSet) insert(k uint64) bool {
+	if k == pairEmpty {
+		if s.hasMax {
+			return false
+		}
+		s.hasMax = true
+		return true
+	}
+	if len(s.slots) == 0 {
+		*s = newPairSet(16)
+	}
+	mask := len(s.slots) - 1
+	i := s.slot(k)
+	for {
+		switch s.slots[i] {
+		case k:
+			return false
+		case pairEmpty:
+			s.slots[i] = k
+			s.used++
+			if s.used >= s.maxUsed {
+				s.grow()
+			}
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *pairSet) grow() {
+	old := s.slots
+	next := newPairSet(s.used * 2)
+	next.hasMax = s.hasMax
+	mask := len(next.slots) - 1
+	for _, k := range old {
+		if k == pairEmpty {
+			continue
+		}
+		i := next.slot(k)
+		for next.slots[i] != pairEmpty {
+			i = (i + 1) & mask
+		}
+		next.slots[i] = k
+		next.used++
+	}
+	*s = next
+}
+
+// clone returns a deep copy.
+func (s *pairSet) clone() pairSet {
+	c := *s
+	c.slots = append([]uint64(nil), s.slots...)
+	return c
+}

@@ -18,9 +18,10 @@ import (
 // the per-query sections of a batch — run concurrently. Only statements
 // reachable from the result are evaluated (the top-down strategy of §5.2).
 //
-// Every statement runs in its own single-threaded evaluator over an
-// immutable snapshot of its dependencies, so plans need no internal
-// synchronization. Statistics are summed across workers.
+// Every statement runs in its own evaluator over an immutable snapshot of
+// its dependencies; inside a statement, large joins and fixpoint deltas may
+// additionally fan out morsel-parallel (Exec.Parallelism is set to the same
+// worker count). Statistics are summed across workers.
 func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) {
 	return RunParallelCtx(context.Background(), db, p, workers, obs.Limits{}, nil)
 }
@@ -192,6 +193,7 @@ func runParallelRoots(ctx context.Context, db *DB, p *ra.Program, roots []string
 			mu.Unlock()
 			ex := NewExec(db)
 			ex.Limits = limits
+			ex.Parallelism = workers
 			ex.prog = &ra.Program{Stmts: []ra.Stmt{{Name: name, Plan: byName[name]}}, Result: name}
 			ex.env = env
 			ex.running = map[string]bool{}
@@ -233,4 +235,5 @@ func addStats(total *Stats, s Stats) {
 	total.RecFixes += s.RecFixes
 	total.TuplesOut += s.TuplesOut
 	total.StmtsRun += s.StmtsRun
+	total.Morsels += s.Morsels
 }

@@ -9,6 +9,13 @@
 // joins throughout, and exposes execution statistics (join/union/LFP
 // iteration counts, tuples produced) so benchmarks can report the cost
 // drivers the paper discusses.
+//
+// Storage is compact: V strings are dictionary-encoded into int32 symbols by
+// a DB-level Interner, tuples are stored as three int32 columns in one row
+// array, (F, T) dedup runs through an open-addressing pair set, and the
+// per-column indexes are CSR offset/position arrays built once per snapshot
+// and extended incrementally as fixpoint deltas append rows. Operators may
+// run morsel-parallel; see exec.go and morsel.go.
 package rdb
 
 import (
@@ -18,107 +25,263 @@ import (
 
 // Tuple is one row of an (F, T, V) relation: F is the parent ("from") node
 // ID, T the node's own ID, V its text value. F == 0 encodes the virtual
-// document root '_'.
+// document root '_'. It is the exchange form used at the package boundary;
+// internally rows hold an interned symbol instead of the string.
 type Tuple struct {
 	F, T int
 	V    string
+}
+
+// row is the stored form of a tuple: three machine words of which the third
+// is the interned V symbol.
+type row struct {
+	f, t, v int32
 }
 
 // Relation is a set of tuples, deduplicated on (F, T). V is functionally
 // determined by T in every relation the translation produces, so (F, T)
 // dedup is exact.
 type Relation struct {
-	Name   string
-	tuples []Tuple
-	key    map[uint64]struct{}
-	byF    map[int][]int32 // lazy index: F -> tuple positions
-	byT    map[int][]int32 // lazy index: T -> tuple positions
+	Name string
+
+	syms *Interner // shared with the owning DB; lazily private otherwise
+	rows []row
+	set  pairSet
+
+	idxF, idxT *colIndex
+	idxBuilds  int // index snapshot builds performed (regression stat)
+
 	// paths, when non-nil, holds the P attribute of §5.2: per (F, T) pair
 	// the node sequence of one witnessing path (excluding F, including T).
 	paths map[uint64][]int
 }
 
-func tupleKey(f, t int) uint64 {
-	return uint64(uint32(f))<<32 | uint64(uint32(t))
+// NewRelation returns an empty relation with the given name. Relations
+// created through a DB share its interner; standalone relations get a
+// private one on first insert.
+func NewRelation(name string) *Relation {
+	return &Relation{Name: name}
 }
 
-// NewRelation returns an empty relation with the given name.
-func NewRelation(name string) *Relation {
-	return &Relation{Name: name, key: map[uint64]struct{}{}}
+// newRelation returns an empty relation sharing an interner, so symbols can
+// be copied between relations without resolving strings.
+func newRelation(name string, syms *Interner) *Relation {
+	return &Relation{Name: name, syms: syms}
+}
+
+func (r *Relation) interner() *Interner {
+	if r.syms == nil {
+		r.syms = NewInterner()
+	}
+	return r.syms
 }
 
 // Add inserts (f, t, v), ignoring duplicates on (f, t). It reports whether
 // the tuple was new.
 func (r *Relation) Add(f, t int, v string) bool {
-	k := tupleKey(f, t)
-	if _, dup := r.key[k]; dup {
+	var sym int32
+	if v != "" {
+		sym = r.interner().Intern(v)
+	}
+	return r.addRow(row{f: int32(f), t: int32(t), v: sym})
+}
+
+// addRow inserts a stored-form row whose v symbol is already in r's
+// interner. It extends any built index incrementally instead of discarding
+// it — the fix for the seed's invalidate-on-every-insert behavior.
+func (r *Relation) addRow(w row) bool {
+	if !r.set.insert(packPair(w.f, w.t)) {
 		return false
 	}
-	r.key[k] = struct{}{}
-	r.tuples = append(r.tuples, Tuple{F: f, T: t, V: v})
-	r.byF, r.byT = nil, nil // invalidate indexes
+	pos := int32(len(r.rows))
+	r.rows = append(r.rows, w)
+	if r.idxF != nil {
+		r.idxF.add(w.f, pos)
+	}
+	if r.idxT != nil {
+		r.idxT.add(w.t, pos)
+	}
 	return true
+}
+
+// addFrom inserts the i-th row of src, translating the V symbol only when
+// the two relations do not share an interner.
+func (r *Relation) addFrom(src *Relation, w row) bool {
+	if r.syms == src.syms || w.v == 0 {
+		return r.addRow(w)
+	}
+	return r.Add(int(w.f), int(w.t), src.interner().Str(w.v))
+}
+
+// grow reserves capacity for about n additional tuples.
+func (r *Relation) grow(n int) {
+	if cap(r.rows)-len(r.rows) < n {
+		rows := make([]row, len(r.rows), len(r.rows)+n)
+		copy(rows, r.rows)
+		r.rows = rows
+	}
+	if r.set.used+n >= r.set.maxUsed {
+		need := r.set.used + n
+		s := newPairSet(need)
+		s.hasMax = r.set.hasMax
+		for _, k := range r.set.slots {
+			if k != pairEmpty {
+				s.insert(k)
+			}
+		}
+		r.set = s
+	}
 }
 
 // Has reports whether (f, t) is present.
 func (r *Relation) Has(f, t int) bool {
-	_, ok := r.key[tupleKey(f, t)]
-	return ok
+	return r.set.has(packPair(int32(f), int32(t)))
 }
 
 // Len returns the tuple count.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return len(r.rows) }
 
-// Tuples returns the backing slice; callers must not modify it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
-
-// ByF returns the positions of tuples with the given F value.
-func (r *Relation) ByF(f int) []int32 {
-	if r.byF == nil {
-		r.byF = map[int][]int32{}
-		for i := range r.tuples {
-			r.byF[r.tuples[i].F] = append(r.byF[r.tuples[i].F], int32(i))
-		}
+// valStr resolves a stored V symbol.
+func (r *Relation) valStr(sym int32) string {
+	if sym == 0 {
+		return ""
 	}
-	return r.byF[f]
+	return r.interner().Str(sym)
+}
+
+// symOf returns the symbol for v in r's interner, reporting whether any
+// stored string equals it — a miss means a selection on v is empty.
+func (r *Relation) symOf(v string) (int32, bool) {
+	if v == "" {
+		return 0, true
+	}
+	if r.syms == nil {
+		return 0, false
+	}
+	return r.syms.Lookup(v)
+}
+
+// Tuples materializes the relation as exchange-form tuples, resolving V
+// symbols to strings. The result is a fresh slice in insertion order;
+// operators never call this on a hot path.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	for i, w := range r.rows {
+		out[i] = Tuple{F: int(w.f), T: int(w.t), V: r.valStr(w.v)}
+	}
+	return out
+}
+
+// IndexBuilds reports how many index snapshot builds the relation has
+// performed — the regression stat guarding against the seed behavior of
+// discarding indexes on every insert and rebuilding them per probe.
+func (r *Relation) IndexBuilds() int { return r.idxBuilds }
+
+// fIndex returns the F-column index, building the snapshot on first use.
+func (r *Relation) fIndex() *colIndex {
+	if r.idxF == nil {
+		rows := r.rows
+		r.idxF = buildColIndex(len(rows), func(i int) int32 { return rows[i].f })
+		r.idxBuilds++
+	}
+	return r.idxF
+}
+
+// tIndex returns the T-column index, building the snapshot on first use.
+func (r *Relation) tIndex() *colIndex {
+	if r.idxT == nil {
+		rows := r.rows
+		r.idxT = buildColIndex(len(rows), func(i int) int32 { return rows[i].t })
+		r.idxBuilds++
+	}
+	return r.idxT
+}
+
+// ByF returns the positions of tuples with the given F value, in insertion
+// order. When rows were appended after the index snapshot the two parts are
+// merged; hot paths use fIndex().lookup directly to avoid the copy.
+func (r *Relation) ByF(f int) []int32 {
+	snap, over := r.fIndex().lookup(int32(f))
+	return mergedPositions(snap, over)
 }
 
 // ByT returns the positions of tuples with the given T value.
 func (r *Relation) ByT(t int) []int32 {
-	if r.byT == nil {
-		r.byT = map[int][]int32{}
-		for i := range r.tuples {
-			r.byT[r.tuples[i].T] = append(r.byT[r.tuples[i].T], int32(i))
-		}
-	}
-	return r.byT[t]
+	snap, over := r.tIndex().lookup(int32(t))
+	return mergedPositions(snap, over)
 }
 
-// FSet returns the distinct F values.
+func mergedPositions(snap, over []int32) []int32 {
+	if len(over) == 0 {
+		return snap
+	}
+	out := make([]int32, 0, len(snap)+len(over))
+	out = append(out, snap...)
+	return append(out, over...)
+}
+
+// FSet returns the distinct F values. The map is sized by the indexed
+// distinct count when known, avoiding the seed's len(tuples) over-allocation
+// for sets that are usually far smaller.
 func (r *Relation) FSet() map[int]struct{} {
-	out := make(map[int]struct{}, len(r.tuples))
-	for i := range r.tuples {
-		out[r.tuples[i].F] = struct{}{}
+	out := make(map[int]struct{}, r.distinctHint(r.idxF))
+	for i := range r.rows {
+		out[int(r.rows[i].f)] = struct{}{}
 	}
 	return out
 }
 
 // TSet returns the distinct T values.
 func (r *Relation) TSet() map[int]struct{} {
-	out := make(map[int]struct{}, len(r.tuples))
-	for i := range r.tuples {
-		out[r.tuples[i].T] = struct{}{}
+	out := make(map[int]struct{}, r.distinctHint(r.idxT))
+	for i := range r.rows {
+		out[int(r.rows[i].t)] = struct{}{}
 	}
 	return out
 }
 
+// distinctHint estimates the distinct-key count of a column: exact when its
+// index snapshot exists and covers all rows, a fraction of the tuple count
+// otherwise.
+func (r *Relation) distinctHint(idx *colIndex) int {
+	if idx != nil && idx.built == len(r.rows) {
+		return idx.distinct
+	}
+	return len(r.rows)/4 + 8
+}
+
 // TIDs returns the sorted distinct T values: the answer node IDs when the
-// relation is a query result.
+// relation is a query result. With a dense T index the keys come out of the
+// CSR offsets already sorted, so no re-sort (or oversized map) is needed;
+// callers must not sort the result again.
 func (r *Relation) TIDs() []int {
-	set := r.TSet()
-	out := make([]int, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+	idx := r.tIndex()
+	if idx.offs != nil {
+		out := make([]int, 0, idx.distinct+len(idx.extra))
+		for k := 0; k+1 < len(idx.offs); k++ {
+			if idx.offs[k+1] > idx.offs[k] {
+				out = append(out, k)
+			}
+		}
+		if len(idx.extra) == 0 {
+			return out
+		}
+		for k := range idx.extra {
+			if int(k)+1 >= len(idx.offs) || idx.offs[k+1] == idx.offs[k] {
+				out = append(out, int(k))
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	out := make([]int, 0, len(idx.sparse)+len(idx.extra))
+	for k := range idx.sparse {
+		out = append(out, int(k))
+	}
+	for k := range idx.extra {
+		if _, dup := idx.sparse[k]; !dup {
+			out = append(out, int(k))
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -129,32 +292,34 @@ func (r *Relation) SetPath(f, t int, path []int) {
 	if r.paths == nil {
 		r.paths = map[uint64][]int{}
 	}
-	r.paths[tupleKey(f, t)] = path
+	r.paths[packPair(int32(f), int32(t))] = path
 }
 
 // PathOf returns the recorded witnessing path for (f, t), or nil.
 func (r *Relation) PathOf(f, t int) []int {
-	return r.paths[tupleKey(f, t)]
+	return r.paths[packPair(int32(f), int32(t))]
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy sharing the interner.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.Name)
-	c.tuples = append([]Tuple(nil), r.tuples...)
-	for k := range r.key {
-		c.key[k] = struct{}{}
-	}
+	c := newRelation(r.Name, r.syms)
+	c.rows = append([]row(nil), r.rows...)
+	c.set = r.set.clone()
 	return c
 }
 
 func (r *Relation) String() string {
-	return fmt.Sprintf("%s(%d tuples)", r.Name, len(r.tuples))
+	return fmt.Sprintf("%s(%d tuples)", r.Name, len(r.rows))
 }
 
 // DB is a shredded database: one stored relation per element type plus the
 // node-value catalog used to materialize identity relations.
 type DB struct {
 	Rels map[string]*Relation
+	// Syms dictionary-encodes every V string stored in the database; all
+	// relations of the DB — stored and temporary — share it, so operator
+	// pipelines move int32 symbols instead of strings.
+	Syms *Interner
 	// Vals maps every stored node ID to its text value; it defines the
 	// domain of the R_id identity relation (§5.1).
 	Vals map[int]string
@@ -168,7 +333,13 @@ type DB struct {
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{Rels: map[string]*Relation{}, Vals: map[int]string{}, Labels: map[int]string{}, ParentOf: map[int]int{}}
+	return &DB{
+		Rels:     map[string]*Relation{},
+		Syms:     NewInterner(),
+		Vals:     map[int]string{},
+		Labels:   map[int]string{},
+		ParentOf: map[int]int{},
+	}
 }
 
 // Rel returns the stored relation, creating an empty one on first use so
@@ -176,7 +347,7 @@ func NewDB() *DB {
 func (db *DB) Rel(name string) *Relation {
 	r, ok := db.Rels[name]
 	if !ok {
-		r = NewRelation(name)
+		r = newRelation(name, db.Syms)
 		db.Rels[name] = r
 	}
 	return r
@@ -199,3 +370,35 @@ func (db *DB) InsertLabeled(rel, label string, f, t int, v string) {
 
 // NumNodes returns the number of stored nodes.
 func (db *DB) NumNodes() int { return len(db.Vals) }
+
+// Loader amortizes per-insert lookups for bulk shredding: it caches the
+// relation handle per name and interns each value exactly once per tuple
+// through the DB interner.
+type Loader struct {
+	db   *DB
+	rels map[string]*Relation
+}
+
+// NewLoader returns a bulk loader for the database.
+func (db *DB) NewLoader() *Loader {
+	return &Loader{db: db, rels: map[string]*Relation{}}
+}
+
+// Insert is InsertLabeled through the loader's relation cache.
+func (l *Loader) Insert(rel, label string, f, t int, v string) {
+	r, ok := l.rels[rel]
+	if !ok {
+		r = l.db.Rel(rel)
+		l.rels[rel] = r
+	}
+	var sym int32
+	if v != "" {
+		sym = l.db.Syms.Intern(v)
+	}
+	r.addRow(row{f: int32(f), t: int32(t), v: sym})
+	l.db.Vals[t] = v
+	l.db.ParentOf[t] = f
+	if label != "" {
+		l.db.Labels[t] = label
+	}
+}

@@ -37,6 +37,7 @@ func Shred(doc *xmltree.Document, d *dtd.DTD) (*rdb.DB, error) {
 	for _, typ := range d.Types() {
 		db.Rel(RelName(typ))
 	}
+	ld := db.NewLoader()
 	for _, n := range doc.Nodes() {
 		if !d.Has(n.Label) {
 			return nil, fmt.Errorf("shred: element type %q %w", n.Label, ErrNotInDTD)
@@ -45,7 +46,7 @@ func Shred(doc *xmltree.Document, d *dtd.DTD) (*rdb.DB, error) {
 		if n.Parent != nil {
 			f = int(n.Parent.ID)
 		}
-		db.InsertLabeled(RelName(n.Label), n.Label, f, int(n.ID), n.Val)
+		ld.Insert(RelName(n.Label), n.Label, f, int(n.ID), n.Val)
 	}
 	return db, nil
 }
