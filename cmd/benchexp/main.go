@@ -2,15 +2,18 @@
 // (§6): Exp-1 (Fig 12), Exp-2 (Fig 13), Exp-3 (Fig 14), Exp-4 (Fig 16 /
 // Table 4 and Fig 17) and Exp-5 (Table 5) — plus the repo's plan-cache
 // experiment (-exp cache), which reports per-request translation latency
-// uncached vs warm and the cache counters, and the data-plane
+// uncached vs warm and the cache counters, the data-plane
 // micro-benchmarks (-exp rdb), which measure the compact join/fixpoint
 // kernels against the retained seed-faithful naive evaluator at 1/2/4
 // workers and can serialize the results (-json, the committed
-// BENCH_rdb.json).
+// BENCH_rdb.json), and the serving load generator (-exp serve), which
+// drives the in-process query service with closed-loop clients at 1/4/8
+// concurrency and reports QPS and p50/p95/p99 latency (-json, the committed
+// BENCH_serve.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb] [-scale small|medium|paper]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve] [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
 //	         [-cpuprofile file] [-memprofile file]
 //
@@ -31,15 +34,16 @@ import (
 
 	"xpath2sql/internal/bench"
 	"xpath2sql/internal/obs"
+	"xpath2sql/internal/serveload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache or rdb")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb or serve")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
 	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for the cache experiment (0 = engine default)")
-	jsonOut := flag.String("json", "", "write the rdb micro-benchmark report to this file (-exp rdb only)")
+	jsonOut := flag.String("json", "", "write the rdb or serve report to this file (-exp rdb/serve)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -89,6 +93,14 @@ func main() {
 	case "rdb":
 		var report *bench.MicroReport
 		if report, err = bench.RunMicro(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "serve":
+		var report *serveload.ServeReport
+		if report, err = serveload.RunServe(cfg); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

@@ -1,0 +1,187 @@
+// Command xpathd is the query service daemon: it loads a DTD, shreds (or
+// generates) a document, builds an Engine — plan cache, limits, morsel
+// parallelism — and serves XPath queries over HTTP via internal/server.
+//
+//	POST /v1/query      {"query": "dept//project"}          → answer IDs
+//	POST /v1/batch      {"queries": ["a//b", "a//c"]}       → merged-run answers
+//	POST /v1/translate  {"query": "...", "dialect": "db2"}  → SQL text
+//	GET  /healthz  /readyz  /metrics
+//
+// Saturation answers 429 Retry-After (admission semaphore + bounded queue),
+// user faults map to 4xx (never 500), and SIGINT/SIGTERM drains in-flight
+// requests before exit.
+//
+// Usage:
+//
+//	xpathd -dtd dept.dtd -xml doc.xml [-addr :8080]
+//	xpathd -dtd dept.dtd -gen 100000 [-gen-xl 12] [-gen-xr 4] [-seed 42]
+//	       [-strategy X] [-parallel n] [-cache-size n]
+//	       [-max-concurrent n] [-queue-depth n] [-request-timeout 30s]
+//	       [-batch-window 0] [-max-batch 16]
+//	       [-max-lfp-iters n] [-max-tuples n] [-drain-timeout 10s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"xpath2sql"
+	"xpath2sql/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+	dtdPath := flag.String("dtd", "", "path to the DTD file (required)")
+	xmlPath := flag.String("xml", "", "path to the XML document to serve")
+	gen := flag.Int("gen", 0, "generate a synthetic document of ~n elements instead of -xml")
+	genXL := flag.Int("gen-xl", 12, "generator tree-depth bound (with -gen)")
+	genXR := flag.Int("gen-xr", 4, "generator fanout bound (with -gen)")
+	seed := flag.Int64("seed", 42, "generator seed (with -gen)")
+	strategy := flag.String("strategy", "X", "translation strategy: X, E or R")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent statement evaluations per query")
+	cacheSize := flag.Int("cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
+	maxConcurrent := flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "admission: concurrently executing requests")
+	queueDepth := flag.Int("queue-depth", 0, "admission: waiting requests before 429 (default 4x max-concurrent)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request execution budget")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batching window for /v1/query (0 disables)")
+	maxBatch := flag.Int("max-batch", 16, "queries coalesced per micro-batch run")
+	maxLFPIters := flag.Int("max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
+	maxTuples := flag.Int("max-tuples", 0, "cap tuples produced per execution (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("xpathd: ")
+	if err := run(*addr, *dtdPath, *xmlPath, *gen, *genXL, *genXR, *seed, *strategy,
+		*workers, *cacheSize, *maxConcurrent, *queueDepth, *reqTimeout,
+		*batchWindow, *maxBatch, *maxLFPIters, *maxTuples, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, dtdPath, xmlPath string, gen, genXL, genXR int, seed int64, strategy string,
+	workers, cacheSize, maxConcurrent, queueDepth int, reqTimeout time.Duration,
+	batchWindow time.Duration, maxBatch, maxLFPIters, maxTuples int, drainTimeout time.Duration) error {
+
+	if dtdPath == "" {
+		flag.Usage()
+		return errors.New("-dtd is required")
+	}
+	if xmlPath == "" && gen <= 0 {
+		flag.Usage()
+		return errors.New("one of -xml or -gen is required")
+	}
+	dsrc, err := os.ReadFile(dtdPath)
+	if err != nil {
+		return err
+	}
+	d, err := xpath2sql.ParseDTD(string(dsrc))
+	if err != nil {
+		return err
+	}
+
+	var doc *xpath2sql.Document
+	if xmlPath != "" {
+		xsrc, err := os.ReadFile(xmlPath)
+		if err != nil {
+			return err
+		}
+		if doc, err = xpath2sql.ParseXML(string(xsrc)); err != nil {
+			return err
+		}
+	} else {
+		// Random generation is a branching process that can go extinct
+		// early; retry seeds until the document reaches a healthy fraction
+		// of the requested size.
+		for attempt := int64(0); attempt < 32; attempt++ {
+			cand, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
+				XL: genXL, XR: genXR, Seed: seed + attempt*7919, MaxNodes: gen,
+			})
+			if err != nil {
+				return err
+			}
+			if doc == nil || cand.Size() > doc.Size() {
+				doc = cand
+			}
+			if doc.Size() >= gen/2 {
+				break
+			}
+		}
+		log.Printf("generated synthetic document: %d elements (xl=%d xr=%d seed=%d)",
+			doc.Size(), genXL, genXR, seed)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		return err
+	}
+
+	var strat xpath2sql.Strategy
+	switch strings.ToUpper(strategy) {
+	case "X":
+		strat = xpath2sql.StrategyCycleEX
+	case "E":
+		strat = xpath2sql.StrategyCycleE
+	case "R":
+		strat = xpath2sql.StrategySQLGenR
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	eng := xpath2sql.New(d,
+		xpath2sql.WithStrategy(strat),
+		xpath2sql.WithParallelism(workers),
+		xpath2sql.WithCacheSize(cacheSize),
+		xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: maxLFPIters, MaxTuples: maxTuples}),
+	)
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		DB:             db,
+		MaxConcurrent:  maxConcurrent,
+		QueueDepth:     queueDepth,
+		RequestTimeout: reqTimeout,
+		BatchWindow:    batchWindow,
+		MaxBatch:       maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d elements on http://%s (strategy=%s parallel=%d max-concurrent=%d queue-depth=%d)",
+		doc.Size(), l.Addr(), strat, eng.Parallelism(), maxConcurrent, queueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining in-flight requests (budget %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("drained; bye")
+	return nil
+}

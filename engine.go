@@ -123,6 +123,14 @@ func WithOptions(opts Options) EngineOption {
 	return func(e *Engine) { e.opts = opts }
 }
 
+// defaultEngine is the uniform delegation target of the deprecated free
+// functions (Translate, TranslateString, TranslateBatch, …): an unbounded,
+// cache-less engine, so the legacy surface shares the Engine path's context,
+// limit and error semantics without memoizing plans nobody will reuse.
+func defaultEngine(d *DTD, opts Options) *Engine {
+	return New(d, WithOptions(opts), WithCacheSize(0))
+}
+
 // translate resolves a query to its translated plan through the plan cache
 // (when enabled): cache hits and coalesced waits skip cycle enumeration and
 // variable elimination entirely; misses translate once and publish the
@@ -222,6 +230,15 @@ func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, e
 
 // DTD returns the engine's DTD.
 func (e *Engine) DTD() *DTD { return e.dtd }
+
+// Limits returns the engine's configured execution limits (zero value =
+// unlimited). Serving layers use it to report configuration and to decide
+// how request deadlines compose with engine bounds.
+func (e *Engine) Limits() Limits { return e.limits }
+
+// Parallelism returns the per-execution worker count the engine was built
+// with (WithParallelism; 1 = serial).
+func (e *Engine) Parallelism() int { return e.workers }
 
 // Answer is the result of one ExecuteContext call: the answer node IDs
 // (ascending), the aggregate execution statistics, and the per-statement

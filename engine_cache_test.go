@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"xpath2sql"
 )
@@ -298,4 +299,63 @@ func TestEngineCacheStatsInExplain(t *testing.T) {
 	if strings.Contains(ans2.Explain(), "cache:") {
 		t.Fatal("cache-disabled Explain mentions the cache")
 	}
+}
+
+// TestEngineCacheStatsConcurrentWithPrepare is the -race regression for the
+// serving layer's metrics path: /metrics polls Engine.CacheStats continuously
+// while Prepares run, hit, coalesce and evict. A tiny cache over a rotating
+// query set keeps all four outcomes happening at once.
+func TestEngineCacheStatsConcurrentWithPrepare(t *testing.T) {
+	d := loadTestdataDTD(t, "dept.dtd")
+	eng := xpath2sql.New(d, xpath2sql.WithCacheSize(4))
+	queries := []string{
+		"dept//project", "dept//course", "dept//student", "dept//prereq",
+		"dept/course", "dept//takenBy", "dept//qualified", "dept//required",
+		"dept//cno", "dept//title", "dept//sno", "dept//name",
+	}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g*5+i)%len(queries)]
+				if _, err := eng.PrepareString(ctx, q); err != nil {
+					t.Errorf("Prepare(%s): %v", q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Poll until hits, misses and evictions have all been observed (the
+	// writers guarantee it within the deadline), checking monotonicity and
+	// bounds on the way.
+	var prev int64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cs := eng.CacheStats()
+		if got := cs.Lookups(); got < prev {
+			t.Fatalf("lookups went backwards: %d -> %d", prev, got)
+		} else {
+			prev = got
+		}
+		if cs.Entries < 0 || cs.Entries > 4 {
+			t.Fatalf("entries out of range: %+v", cs)
+		}
+		if cs.Misses > 0 && cs.Hits > 0 && cs.Evictions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run saw no mixture of outcomes: %s", cs)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,6 +1,7 @@
 package xpath2sql
 
 import (
+	"context"
 	"io"
 
 	"xpath2sql/internal/core"
@@ -17,10 +18,7 @@ type (
 	ioReader = io.Reader
 )
 
-var (
-	rdbRunParallel = rdb.RunParallel
-	rdbLoad        = rdb.Load
-)
+var rdbLoad = rdb.Load
 
 // This file exposes the extension features: XML reconstruction of answers
 // (§5.2), multi-query translation, the strategy-advising cost model (§8),
@@ -54,13 +52,11 @@ type Batch struct {
 // within one session so shared temporaries are computed once.
 //
 // Deprecated: use New(d, WithOptions(opts)).TranslateBatch(ctx, queries) —
-// the Engine form carries limits and parallelism into ExecuteContext.
+// the Engine form carries limits and parallelism into ExecuteContext. This
+// wrapper routes through a throwaway unbounded Engine on the background
+// context, so error and cancellation semantics match the Engine path.
 func TranslateBatch(queries []Query, d *DTD, opts Options) (*Batch, error) {
-	b, err := core.TranslateBatch(queries, d, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Batch{b: b}, nil
+	return defaultEngine(d, opts).TranslateBatch(context.Background(), queries)
 }
 
 // TranslateBatchStrings parses and batch-translates the query strings.
@@ -93,9 +89,15 @@ func (b *Batch) Explain() string {
 // input query.
 //
 // Deprecated: use ExecuteContext, which adds cancellation, limits, a trace,
-// and per-query statistics.
+// and per-query statistics. Execute delegates to ExecuteContext on the
+// background context, so the batch's limits (if it came from a bounded
+// Engine) are enforced with the same typed *LimitError values.
 func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
-	return b.b.Execute(db)
+	ans, err := b.ExecuteContext(context.Background(), db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ans.IDs, &ans.Stats, nil
 }
 
 // ExecuteParallel runs the translation with up to workers concurrent
@@ -104,16 +106,18 @@ func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
 //
 // Deprecated: build the translation with New(d, WithParallelism(workers))
 // and use ExecuteContext, which adds cancellation, limits and a trace.
+// ExecuteParallel delegates to ExecuteContext at the requested parallelism
+// on the background context, preserving the translation's limits.
 func (t *Translation) ExecuteParallel(db *DB, workers int) ([]int, *ExecStats, error) {
-	rel, stats, err := rdbRunParallel(db, t.res.Program, workers)
+	if workers < 1 {
+		workers = 1
+	}
+	par := &Translation{res: t.res, limits: t.limits, workers: workers, cache: t.cache}
+	ans, err := par.ExecuteContext(context.Background(), db)
 	if err != nil {
 		return nil, nil, err
 	}
-	ids := rel.TIDs()
-	if len(ids) > 0 && ids[0] == 0 {
-		ids = ids[1:]
-	}
-	return ids, stats, nil
+	return ans.IDs, &ans.Stats, nil
 }
 
 // Satisfiable reports whether the query can match on some document of the

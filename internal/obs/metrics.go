@@ -1,0 +1,248 @@
+package obs
+
+// Serving metrics: a fixed-bucket latency histogram safe for concurrent
+// observation, and MetricsSnapshot — the one-struct aggregation of server,
+// engine, plan-cache and data-plane counters that internal/server renders at
+// GET /metrics. The Prometheus text exposition is hand-rolled here (the repo
+// is stdlib-only); the format is the v0.0.4 text format every Prometheus
+// scraper understands.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the histogram upper bounds, in seconds, used for
+// request latency: ~exponential from 100µs to 10s, matching in-process
+// translation+execution latencies (sub-millisecond cache-hit queries up to
+// multi-second fixpoints on large recursive documents).
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram; Observe is lock-free and
+// safe for concurrent use, Snapshot is a consistent-enough read for metric
+// scraping (each counter is read atomically; the set of reads is not a
+// single atomic transaction, which Prometheus semantics tolerate).
+// Construct with NewHistogram; the zero value is not usable.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, seconds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds,
+// ascending); nil selects DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, secs) // first bound >= secs
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sum.Load()).Seconds(),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets holds
+// per-bucket (non-cumulative) counts, one per bound plus the final +Inf
+// bucket; Sum is total observed seconds.
+type HistogramSnapshot struct {
+	Bounds  []float64
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in seconds by linear
+// interpolation within the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Observations beyond the
+// last finite bound are reported as that bound. Returns 0 on an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// RequestCount is one (endpoint, status code) request counter.
+type RequestCount struct {
+	Endpoint string
+	Code     int
+	Count    int64
+}
+
+// EndpointLatency pairs an endpoint with its latency histogram snapshot.
+type EndpointLatency struct {
+	Endpoint string
+	Hist     HistogramSnapshot
+}
+
+// MetricsSnapshot aggregates every counter the serving layer exposes:
+// HTTP-level request accounting, admission-control pressure, micro-batching
+// effectiveness, the engine's plan-cache counters, and the data plane's
+// aggregate operator work across all served executions. internal/server
+// assembles one per scrape and renders it with WritePrometheus.
+type MetricsSnapshot struct {
+	// Service prefixes every metric name; empty defaults to "xpathd".
+	Service string
+	Uptime  time.Duration
+
+	// HTTP layer.
+	Requests []RequestCount
+	Latency  []EndpointLatency
+	InFlight int64
+	Queued   int64
+
+	// Admission, fault and batching counters.
+	Rejections     int64 // 429s: admission queue overflow
+	LimitErrors    int64 // 422s: typed *LimitError from execution
+	Panics         int64 // handler panics converted to 500s
+	BatchRuns      int64 // micro-batch scheduler runs covering >1 query
+	BatchedQueries int64 // single queries coalesced into those runs
+
+	// Engine plan cache.
+	Cache CacheStats
+
+	// Data plane, summed over all served executions.
+	Exec     OpStats
+	StmtsRun int64
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters, gauges and histograms with HELP/TYPE headers). Output is
+// deterministic: series are emitted in sorted label order.
+func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
+	p := m.Service
+	if p == "" {
+		p = "xpathd"
+	}
+
+	reqs := append([]RequestCount(nil), m.Requests...)
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Endpoint != reqs[j].Endpoint {
+			return reqs[i].Endpoint < reqs[j].Endpoint
+		}
+		return reqs[i].Code < reqs[j].Code
+	})
+	fmt.Fprintf(w, "# HELP %s_requests_total Requests served, by endpoint and status code.\n", p)
+	fmt.Fprintf(w, "# TYPE %s_requests_total counter\n", p)
+	for _, r := range reqs {
+		fmt.Fprintf(w, "%s_requests_total{endpoint=%q,code=\"%d\"} %d\n", p, r.Endpoint, r.Code, r.Count)
+	}
+
+	lats := append([]EndpointLatency(nil), m.Latency...)
+	sort.Slice(lats, func(i, j int) bool { return lats[i].Endpoint < lats[j].Endpoint })
+	fmt.Fprintf(w, "# HELP %s_request_seconds Request latency, by endpoint.\n", p)
+	fmt.Fprintf(w, "# TYPE %s_request_seconds histogram\n", p)
+	for _, l := range lats {
+		var cum int64
+		for i, c := range l.Hist.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(l.Hist.Bounds) {
+				le = formatBound(l.Hist.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_request_seconds_bucket{endpoint=%q,le=%q} %d\n", p, l.Endpoint, le, cum)
+		}
+		fmt.Fprintf(w, "%s_request_seconds_sum{endpoint=%q} %g\n", p, l.Endpoint, l.Hist.Sum)
+		fmt.Fprintf(w, "%s_request_seconds_count{endpoint=%q} %d\n", p, l.Endpoint, l.Hist.Count)
+	}
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %d\n", p, name, help, p, name, p, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n", p, name, help, p, name, p, name, v)
+	}
+
+	gauge("inflight_requests", "Requests currently executing.", m.InFlight)
+	gauge("queued_requests", "Requests waiting in the admission queue.", m.Queued)
+	counter("admission_rejected_total", "Requests rejected with 429 by admission control.", m.Rejections)
+	counter("limit_errors_total", "Executions aborted by a resource limit (422).", m.LimitErrors)
+	counter("panics_total", "Handler panics converted to 500s.", m.Panics)
+	counter("batch_runs_total", "Micro-batch runs covering more than one query.", m.BatchRuns)
+	counter("batched_queries_total", "Single queries coalesced into micro-batch runs.", m.BatchedQueries)
+
+	counter("plancache_hits_total", "Plan-cache lookups served from cache.", m.Cache.Hits)
+	counter("plancache_misses_total", "Plan-cache lookups that ran a translation.", m.Cache.Misses)
+	counter("plancache_coalesced_total", "Plan-cache lookups coalesced onto an in-flight translation.", m.Cache.Coalesced)
+	counter("plancache_evictions_total", "Plan-cache entries evicted by the LRU bound.", m.Cache.Evictions)
+	gauge("plancache_entries", "Plans currently cached.", int64(m.Cache.Entries))
+
+	counter("exec_statements_total", "Relational statements evaluated.", m.StmtsRun)
+	counter("exec_joins_total", "Hash joins performed.", int64(m.Exec.Joins))
+	counter("exec_unions_total", "Two-way unions performed.", int64(m.Exec.Unions))
+	counter("exec_lfps_total", "Least-fixpoint operators evaluated.", int64(m.Exec.LFPs))
+	counter("exec_lfp_iterations_total", "Fixpoint iterations across all LFP operators.", int64(m.Exec.LFPIters))
+	counter("exec_rec_fixes_total", "Multi-relation fixpoints evaluated (SQLGen-R).", int64(m.Exec.RecFixes))
+	counter("exec_tuples_total", "Tuples produced across all operators.", int64(m.Exec.TuplesOut))
+	counter("exec_morsels_total", "Morsels scanned by intra-operator parallel sections.", int64(m.Exec.Morsels))
+
+	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", p)
+	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", p)
+	fmt.Fprintf(w, "%s_uptime_seconds %g\n", p, m.Uptime.Seconds())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal form, no exponent for the usual latency range.
+func formatBound(b float64) string {
+	if b == math.Trunc(b) {
+		return fmt.Sprintf("%g", b)
+	}
+	return fmt.Sprintf("%v", b)
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"xpath2sql/internal/obs"
 )
@@ -45,8 +46,11 @@ type shard struct {
 	lru      *list.List // front = most recently used; elements hold *entry
 	byKey    map[string]*list.Element
 	inflight map[string]*flight
-	// Counters, guarded by mu.
-	hits, misses, evictions, coalesced int64
+	// Counters are atomics, not mu-guarded fields: Stats and Len are
+	// polled continuously by the serving layer's /metrics endpoint, and an
+	// atomic snapshot never contends with Do callers holding the shard
+	// lock mid-translation.
+	hits, misses, evictions, coalesced, entries atomic.Int64
 }
 
 type entry struct {
@@ -105,13 +109,13 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	s.mu.Lock()
 	if el, ok := s.byKey[key]; ok {
 		s.lru.MoveToFront(el)
-		s.hits++
+		s.hits.Add(1)
 		v := el.Value.(*entry).val
 		s.mu.Unlock()
 		return v, nil
 	}
 	if f, ok := s.inflight[key]; ok {
-		s.coalesced++
+		s.coalesced.Add(1)
 		s.mu.Unlock()
 		select {
 		case <-f.done:
@@ -120,7 +124,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 			return nil, ctx.Err()
 		}
 	}
-	s.misses++
+	s.misses.Add(1)
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.mu.Unlock()
@@ -153,37 +157,42 @@ func (s *shard) insert(key string, val any) {
 		el.Value.(*entry).val = val
 		return
 	}
-	s.byKey[key] = s.lru.PushFront(&entry{key: key, val: val})
-	for s.lru.Len() > s.capacity {
+	// Evict down to capacity-1 before counting the new entry in: a
+	// concurrent lock-free Stats read then sees entries momentarily low,
+	// never above capacity.
+	for s.lru.Len() >= s.capacity {
 		back := s.lru.Back()
 		s.lru.Remove(back)
 		delete(s.byKey, back.Value.(*entry).key)
-		s.evictions++
+		s.entries.Add(-1)
+		s.evictions.Add(1)
 	}
+	s.byKey[key] = s.lru.PushFront(&entry{key: key, val: val})
+	s.entries.Add(1)
 }
 
-// Len reports the number of cached entries.
+// Len reports the number of cached entries, without taking any shard lock.
 func (c *Cache) Len() int {
-	n := 0
+	n := int64(0)
 	for _, s := range c.shards {
-		s.mu.Lock()
-		n += s.lru.Len()
-		s.mu.Unlock()
+		n += s.entries.Load()
 	}
-	return n
+	return int(n)
 }
 
-// Stats snapshots the cache counters across all shards.
+// Stats snapshots the cache counters across all shards. The read is
+// lock-free — every counter is loaded atomically — so it can be polled at
+// scrape frequency while Prepares, hits and evictions run concurrently; the
+// per-shard counters are each exact, the cross-shard combination is a
+// moment-in-time aggregate (standard metrics semantics).
 func (c *Cache) Stats() obs.CacheStats {
 	var st obs.CacheStats
 	for _, s := range c.shards {
-		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evictions += s.evictions
-		st.Coalesced += s.coalesced
-		st.Entries += s.lru.Len()
-		s.mu.Unlock()
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		st.Coalesced += s.coalesced.Load()
+		st.Entries += int(s.entries.Load())
 	}
 	return st
 }

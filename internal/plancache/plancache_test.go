@@ -163,6 +163,64 @@ func TestComputePanicReleasesWaiters(t *testing.T) {
 	}
 }
 
+// TestStatsConcurrentWithDo polls Stats and Len continuously while writers
+// generate hits, misses, coalesced waits and evictions — the access pattern
+// of a /metrics scraper against a serving engine. Under -race this pins the
+// lock-free snapshot; the assertions pin that polled counters only grow and
+// stay consistent with each other.
+func TestStatsConcurrentWithDo(t *testing.T) {
+	c := New(8) // single shard, capacity 8: constant eviction pressure
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("q%d", (g*13+i)%32)
+				if _, err := c.Do(context.Background(), key, func() (any, error) {
+					return key, nil
+				}); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Poll until every outcome has been observed at least once (the writers
+	// guarantee it within the deadline), checking snapshot invariants on the
+	// way.
+	var prev int64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := c.Stats()
+		if got := st.Lookups(); got < prev {
+			t.Fatalf("lookups went backwards: %d -> %d", prev, got)
+		} else {
+			prev = got
+		}
+		if st.Entries < 0 || st.Entries > 8 {
+			t.Fatalf("entries out of range: %+v", st)
+		}
+		if n := c.Len(); n < 0 || n > 8 {
+			t.Fatalf("Len out of range: %d", n)
+		}
+		if st.Evictions > 0 && st.Hits > 0 && st.Misses > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poller run saw no mixture of outcomes: %+v", st)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestTorture hammers a small cache from many goroutines over many keys —
 // far more keys than capacity, so hits, misses, evictions and coalesced
 // waits all occur concurrently. Run under -race this is the memory-safety

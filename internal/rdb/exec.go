@@ -610,7 +610,7 @@ func (e *Exec) compose(l, r *Relation) (*Relation, error) {
 // tColumnSet / fColumnSet collect the distinct values of one column as an
 // int32 membership set for fixpoint constraints.
 func tColumnSet(r *Relation) map[int32]struct{} {
-	out := make(map[int32]struct{}, r.distinctHint(r.idxT))
+	out := make(map[int32]struct{}, r.distinctHint(r.idxT.Load()))
 	for i := range r.rows {
 		out[r.rows[i].t] = struct{}{}
 	}
@@ -618,7 +618,7 @@ func tColumnSet(r *Relation) map[int32]struct{} {
 }
 
 func fColumnSet(r *Relation) map[int32]struct{} {
-	out := make(map[int32]struct{}, r.distinctHint(r.idxF))
+	out := make(map[int32]struct{}, r.distinctHint(r.idxF.Load()))
 	for i := range r.rows {
 		out[r.rows[i].f] = struct{}{}
 	}

@@ -21,6 +21,8 @@ package rdb
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Tuple is one row of an (F, T, V) relation: F is the parent ("from") node
@@ -48,8 +50,15 @@ type Relation struct {
 	rows []row
 	set  pairSet
 
-	idxF, idxT *colIndex
-	idxBuilds  int // index snapshot builds performed (regression stat)
+	// Index snapshots are built lazily on first probe. The pointers are
+	// atomic and the build is mutex-serialized because base relations are
+	// shared read-only across concurrently executing queries (the server
+	// path): the first probes may race to build. All other mutation
+	// (addRow, incremental index extension) stays single-writer per the
+	// execution model.
+	idxF, idxT atomic.Pointer[colIndex]
+	idxMu      sync.Mutex
+	idxBuilds  atomic.Int32 // index snapshot builds performed (regression stat)
 
 	// paths, when non-nil, holds the P attribute of §5.2: per (F, T) pair
 	// the node sequence of one witnessing path (excluding F, including T).
@@ -95,11 +104,11 @@ func (r *Relation) addRow(w row) bool {
 	}
 	pos := int32(len(r.rows))
 	r.rows = append(r.rows, w)
-	if r.idxF != nil {
-		r.idxF.add(w.f, pos)
+	if idx := r.idxF.Load(); idx != nil {
+		idx.add(w.f, pos)
 	}
-	if r.idxT != nil {
-		r.idxT.add(w.t, pos)
+	if idx := r.idxT.Load(); idx != nil {
+		idx.add(w.t, pos)
 	}
 	return true
 }
@@ -175,26 +184,40 @@ func (r *Relation) Tuples() []Tuple {
 // IndexBuilds reports how many index snapshot builds the relation has
 // performed — the regression stat guarding against the seed behavior of
 // discarding indexes on every insert and rebuilding them per probe.
-func (r *Relation) IndexBuilds() int { return r.idxBuilds }
+func (r *Relation) IndexBuilds() int { return int(r.idxBuilds.Load()) }
 
 // fIndex returns the F-column index, building the snapshot on first use.
 func (r *Relation) fIndex() *colIndex {
-	if r.idxF == nil {
-		rows := r.rows
-		r.idxF = buildColIndex(len(rows), func(i int) int32 { return rows[i].f })
-		r.idxBuilds++
+	if idx := r.idxF.Load(); idx != nil {
+		return idx
 	}
-	return r.idxF
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if idx := r.idxF.Load(); idx != nil {
+		return idx
+	}
+	rows := r.rows
+	idx := buildColIndex(len(rows), func(i int) int32 { return rows[i].f })
+	r.idxBuilds.Add(1)
+	r.idxF.Store(idx)
+	return idx
 }
 
 // tIndex returns the T-column index, building the snapshot on first use.
 func (r *Relation) tIndex() *colIndex {
-	if r.idxT == nil {
-		rows := r.rows
-		r.idxT = buildColIndex(len(rows), func(i int) int32 { return rows[i].t })
-		r.idxBuilds++
+	if idx := r.idxT.Load(); idx != nil {
+		return idx
 	}
-	return r.idxT
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if idx := r.idxT.Load(); idx != nil {
+		return idx
+	}
+	rows := r.rows
+	idx := buildColIndex(len(rows), func(i int) int32 { return rows[i].t })
+	r.idxBuilds.Add(1)
+	r.idxT.Store(idx)
+	return idx
 }
 
 // ByF returns the positions of tuples with the given F value, in insertion
@@ -224,7 +247,7 @@ func mergedPositions(snap, over []int32) []int32 {
 // distinct count when known, avoiding the seed's len(tuples) over-allocation
 // for sets that are usually far smaller.
 func (r *Relation) FSet() map[int]struct{} {
-	out := make(map[int]struct{}, r.distinctHint(r.idxF))
+	out := make(map[int]struct{}, r.distinctHint(r.idxF.Load()))
 	for i := range r.rows {
 		out[int(r.rows[i].f)] = struct{}{}
 	}
@@ -233,7 +256,7 @@ func (r *Relation) FSet() map[int]struct{} {
 
 // TSet returns the distinct T values.
 func (r *Relation) TSet() map[int]struct{} {
-	out := make(map[int]struct{}, r.distinctHint(r.idxT))
+	out := make(map[int]struct{}, r.distinctHint(r.idxT.Load()))
 	for i := range r.rows {
 		out[int(r.rows[i].t)] = struct{}{}
 	}

@@ -1,0 +1,290 @@
+// Package serveload is the serving load generator (benchexp -exp serve): it
+// stands the internal/server query service up in-process and drives it with
+// closed-loop clients, reporting throughput and latency percentiles per
+// concurrency level. It lives outside internal/bench because it exercises
+// the root facade and internal/server, which the root package's own
+// benchmarks (which import internal/bench) must not transitively depend on.
+package serveload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"xpath2sql"
+	"xpath2sql/internal/bench"
+	"xpath2sql/internal/server"
+	"xpath2sql/internal/workload"
+)
+
+// The serve experiment measures the full HTTP service — admission control,
+// plan cache, morsel-parallel execution — under closed-loop load: N clients
+// each issue a request, wait for the answer, and immediately issue the next.
+// It reports throughput (QPS) and the latency distribution (p50/p95/p99)
+// per concurrency level over the dept running example at paper scale
+// (120,000 elements at -scale paper), the serving-layer analogue of the
+// paper's Exp-1 single-query timings.
+
+// serveQueries is the request mix: three recursive descendant queries of
+// increasing answer size plus a leaf query, cycled per request so cache hits
+// and distinct plans interleave the way mixed production traffic does.
+var serveQueries = []string{
+	"dept//project",
+	"dept//course",
+	"dept//student",
+	"dept//cno",
+}
+
+// serveLevels are the closed-loop client counts measured.
+var serveLevels = []int{1, 4, 8}
+
+// ServeResult is one concurrency level's measurement.
+type ServeResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationMS  float64 `json:"duration_ms"`
+	QPS         float64 `json:"qps"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// ServeReport is the serialized form of BENCH_serve.json.
+type ServeReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Scale       string        `json:"scale"`
+	Elements    int           `json:"elements"`
+	Queries     []string      `json:"queries"`
+	Levels      []ServeResult `json:"levels"`
+}
+
+// JSON renders the report for BENCH_serve.json.
+func (r *ServeReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// RunServe builds the dept dataset, stands up the query service in-process
+// and drives it with closed-loop clients at each concurrency level.
+func RunServe(c bench.Config) (*ServeReport, error) {
+	d, err := xpath2sql.ParseDTD(workload.DeptText)
+	if err != nil {
+		return nil, err
+	}
+	target := scaled(c.Scale, 120000)
+	doc, err := generateRetryFacade(d, 12, 4, 42, target)
+	if err != nil {
+		return nil, err
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		return nil, err
+	}
+	eng := xpath2sql.New(d, xpath2sql.WithLimits(xpath2sql.Limits{
+		MaxTuples:   c.Limits.MaxTuples,
+		MaxLFPIters: c.Limits.MaxLFPIters,
+		Timeout:     c.Limits.Timeout,
+	}))
+	// Queue depth covers the deepest client level: a closed-loop client is
+	// never mid-flight twice, so admission sheds nothing and the latency
+	// numbers measure queueing + execution rather than rejection rate.
+	maxClients := serveLevels[len(serveLevels)-1]
+	srv, err := server.New(server.Config{Engine: eng, DB: db, QueueDepth: 2 * maxClients})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	measure := 3 * time.Second
+	if c.Scale == bench.ScaleSmall || c.Scale == "" {
+		measure = 500 * time.Millisecond
+	}
+
+	report := &ServeReport{
+		GeneratedBy: "benchexp -exp serve",
+		Scale:       string(c.Scale),
+		Elements:    doc.Size(),
+		Queries:     serveQueries,
+	}
+	cprintf(c, "serve — closed-loop load over dept, %d elements (measure %v per level)\n", doc.Size(), measure)
+	cprintf(c, "%-12s %10s %8s %10s %9s %9s %9s %9s\n",
+		"clients", "requests", "errors", "qps", "mean ms", "p50 ms", "p95 ms", "p99 ms")
+
+	url := ts.URL + "/v1/query"
+	// Warm the plan cache so every level measures steady-state serving.
+	for _, q := range serveQueries {
+		if err := serveOnce(url, q); err != nil {
+			return nil, fmt.Errorf("warmup %q: %w", q, err)
+		}
+	}
+
+	for _, n := range serveLevels {
+		res, err := serveLevel(url, n, measure)
+		if err != nil {
+			return nil, err
+		}
+		report.Levels = append(report.Levels, res)
+		cprintf(c, "%-12d %10d %8d %10.0f %9.3f %9.3f %9.3f %9.3f\n",
+			res.Concurrency, res.Requests, res.Errors, res.QPS,
+			res.MeanMS, res.P50MS, res.P95MS, res.P99MS)
+	}
+	return report, nil
+}
+
+// serveLevel runs n closed-loop clients for roughly the measure duration and
+// aggregates their latency samples into exact percentiles.
+func serveLevel(url string, n int, measure time.Duration) (ServeResult, error) {
+	type clientResult struct {
+		samples []float64 // milliseconds
+		errors  int
+	}
+	stop := make(chan struct{})
+	results := make([]clientResult, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			for seq := i; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := serveQueries[seq%len(serveQueries)]
+				rt0 := time.Now()
+				if err := serveOnce(url, q); err != nil {
+					r.errors++
+					continue
+				}
+				r.samples = append(r.samples, time.Since(rt0).Seconds()*1000)
+			}
+		}(i)
+	}
+	time.Sleep(measure)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var samples []float64
+	errors := 0
+	for _, r := range results {
+		samples = append(samples, r.samples...)
+		errors += r.errors
+	}
+	sort.Float64s(samples)
+	res := ServeResult{
+		Concurrency: n,
+		Requests:    len(samples),
+		Errors:      errors,
+		DurationMS:  elapsed.Seconds() * 1000,
+		QPS:         float64(len(samples)) / elapsed.Seconds(),
+		MeanMS:      mean(samples),
+		P50MS:       percentile(samples, 0.50),
+		P95MS:       percentile(samples, 0.95),
+		P99MS:       percentile(samples, 0.99),
+	}
+	return res, nil
+}
+
+// serveOnce issues one query and fails on any non-200 or malformed answer.
+func serveOnce(url, query string) error {
+	blob, err := json.Marshal(map[string]string{"query": query})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Count int   `json:"count"`
+		IDs   []int `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func mean(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range sorted {
+		s += v
+	}
+	return s / float64(len(sorted))
+}
+
+// percentile returns the exact q-quantile of the sorted samples
+// (nearest-rank, the convention load generators report).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// generateRetryFacade mirrors GenerateRetry over the root facade: random
+// generation is a branching process that can go extinct early, so seeds are
+// retried until the document reaches a healthy fraction of the target size.
+func generateRetryFacade(d *xpath2sql.DTD, xl, xr int, seed int64, maxNodes int) (*xpath2sql.Document, error) {
+	var best *xpath2sql.Document
+	for attempt := int64(0); attempt < 32; attempt++ {
+		doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
+			XL: xl, XR: xr, Seed: seed + attempt*7919, MaxNodes: maxNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || doc.Size() > best.Size() {
+			best = doc
+		}
+		if best.Size() >= maxNodes/2 {
+			return best, nil
+		}
+	}
+	return best, nil
+}
+
+// scaled applies the bench scale factor with the same 500-element floor the
+// bench harness uses.
+func scaled(s bench.Scale, paperSize int) int {
+	n := int(float64(paperSize) * s.Factor())
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+func cprintf(c bench.Config, format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}

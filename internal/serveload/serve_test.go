@@ -1,0 +1,74 @@
+package serveload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/bench"
+)
+
+// TestRunServe is the smoke test for the serving load generator: at small
+// scale it must drive real traffic at every concurrency level with zero
+// errors and produce a serializable report with sane latency ordering.
+func TestRunServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation in -short mode")
+	}
+	var out strings.Builder
+	report, err := RunServe(bench.Config{Scale: bench.ScaleSmall, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Levels) != len(serveLevels) {
+		t.Fatalf("levels = %d, want %d", len(report.Levels), len(serveLevels))
+	}
+	for i, l := range report.Levels {
+		if l.Concurrency != serveLevels[i] {
+			t.Fatalf("level %d concurrency = %d, want %d", i, l.Concurrency, serveLevels[i])
+		}
+		if l.Errors != 0 {
+			t.Fatalf("level %d: %d errors", l.Concurrency, l.Errors)
+		}
+		if l.Requests == 0 || l.QPS <= 0 {
+			t.Fatalf("level %d did no work: %+v", l.Concurrency, l)
+		}
+		if l.P50MS > l.P95MS || l.P95MS > l.P99MS {
+			t.Fatalf("percentiles out of order: %+v", l)
+		}
+		if l.MeanMS <= 0 || l.P99MS <= 0 {
+			t.Fatalf("degenerate latencies: %+v", l)
+		}
+	}
+	if report.Elements == 0 || len(report.Queries) == 0 {
+		t.Fatalf("report metadata incomplete: %+v", report)
+	}
+
+	blob, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ServeReport
+	if err := json.Unmarshal(blob, &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if !strings.Contains(out.String(), "closed-loop") {
+		t.Fatalf("table output missing:\n%s", out.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(s, 0.99); got != 10 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

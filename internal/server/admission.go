@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errSaturated is returned by admission.acquire when both the execution
+// slots and the wait queue are full; handlers map it to 429 Retry-After.
+var errSaturated = errors.New("server: saturated: all execution slots busy and the admission queue is full")
+
+// admission is the semaphore-based admission controller: at most
+// maxConcurrent requests execute at once, at most queueDepth more wait for a
+// slot, and everything beyond that is rejected immediately. Both bounds are
+// channel capacities, so a saturated server holds a fixed number of waiting
+// goroutines — load beyond the queue is shed with errSaturated, never
+// accumulated.
+type admission struct {
+	tokens chan struct{} // execution slots; len() = requests executing
+	queue  chan struct{} // wait slots; len() = requests queued
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		tokens: make(chan struct{}, maxConcurrent),
+		queue:  make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue if none is
+// free. It returns errSaturated when the queue is full, or the context error
+// if the request dies while queued. A nil return must be paired with a
+// release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an execution slot taken by acquire.
+func (a *admission) release() { <-a.tokens }
+
+// executing reports the number of requests holding an execution slot.
+func (a *admission) executing() int { return len(a.tokens) }
+
+// queued reports the number of requests waiting for a slot.
+func (a *admission) queued() int { return len(a.queue) }

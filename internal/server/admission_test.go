@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAcquireRelease(t *testing.T) {
+	a := newAdmission(2, 0)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.executing(); got != 2 {
+		t.Fatalf("executing = %d, want 2", got)
+	}
+	// Both slots held, zero queue: the third arrival is rejected, not queued.
+	if err := a.acquire(ctx); !errors.Is(err, errSaturated) {
+		t.Fatalf("acquire = %v, want errSaturated", err)
+	}
+	a.release()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	a.release()
+	a.release()
+	if got := a.executing(); got != 0 {
+		t.Fatalf("executing = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueueAbsorbsBurst(t *testing.T) {
+	a := newAdmission(1, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two waiters fit in the queue; they block until the slot frees.
+	got := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { got <- a.acquire(ctx) }()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", a.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: the next arrival bounces immediately.
+	if err := a.acquire(ctx); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire = %v, want errSaturated", err)
+	}
+
+	// Releasing the slot admits one waiter, then the other.
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("first waiter: %v", err)
+	}
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("second waiter: %v", err)
+	}
+	a.release()
+	if a.executing() != 0 || a.queued() != 0 {
+		t.Fatalf("executing=%d queued=%d after drain", a.executing(), a.queued())
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want deadline exceeded", err)
+	}
+	// The abandoned queue slot must have been returned.
+	if a.queued() != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", a.queued())
+	}
+	a.release()
+}
+
+// TestSaturationReturns429 holds the single execution slot with the test
+// hook and verifies overflowing arrivals get 429 with Retry-After — and that
+// no request is ever dropped silently: every client gets either 200 or 429.
+func TestSaturationReturns429(t *testing.T) {
+	s := newDeptServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.QueueDepth = -1 // no queue: second concurrent request saturates
+	})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.hookAfterAdmit = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only slot.
+	holder := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"query": "dept//project"}`))
+		if err != nil {
+			holder <- -1
+			return
+		}
+		resp.Body.Close()
+		holder <- resp.StatusCode
+	}()
+	<-entered
+
+	// Saturated: this arrival must bounce fast with 429 + Retry-After.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"query": "dept//project"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%+v)", resp.StatusCode, er)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if er.Kind != "saturated" {
+		t.Fatalf("kind = %q, want saturated", er.Kind)
+	}
+	if s.m.rejections.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+
+	close(gate)
+	if code := <-holder; code != http.StatusOK {
+		t.Fatalf("slot holder finished with %d", code)
+	}
+}
+
+// TestSaturationNeverUnbounded floods a 1-slot, 2-deep server with many
+// concurrent clients: exactly one executes at a time, at most two wait, and
+// everyone else is turned away — the executing gauge never exceeds the bound.
+func TestSaturationNeverUnbounded(t *testing.T) {
+	s := newDeptServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.QueueDepth = 2
+	})
+	var maxExec int64
+	var mu sync.Mutex
+	s.hookAfterAdmit = func() {
+		mu.Lock()
+		if n := int64(s.adm.executing()); n > maxExec {
+			maxExec = n
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	var ok, rejected, other int64
+	var cmu sync.Mutex
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(`{"query": "dept//project"}`))
+			if err != nil {
+				return
+			}
+			var b bytes.Buffer
+			b.ReadFrom(resp.Body)
+			resp.Body.Close()
+			cmu.Lock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				rejected++
+			default:
+				other++
+			}
+			cmu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if other != 0 {
+		t.Fatalf("unexpected status codes under saturation (ok=%d rejected=%d other=%d)", ok, rejected, other)
+	}
+	if ok == 0 {
+		t.Fatal("no request ever executed")
+	}
+	if maxExec > 1 {
+		t.Fatalf("saw %d concurrent executions with MaxConcurrent=1", maxExec)
+	}
+	if ok+rejected != 24 {
+		t.Fatalf("lost requests: ok=%d rejected=%d of 24", ok, rejected)
+	}
+}

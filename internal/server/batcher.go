@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"xpath2sql"
+)
+
+// errBatcherClosed is returned to submissions that arrive after shutdown.
+var errBatcherClosed = errors.New("server: shutting down")
+
+// batcher implements optional request micro-batching: concurrent single
+// queries against the server's one DTD are collected for a short window and
+// routed through Engine.TranslateBatch, so the PR 2 batch translator shares
+// common sub-queries across them and the scheduler evaluates shared
+// temporaries once. Under low concurrency the window collects one entry and
+// the batcher falls back to the ordinary single-query path, so idle-server
+// latency only pays the window once.
+type batchEntry struct {
+	query string
+	ctx   context.Context
+	reply chan batchReply
+}
+
+type batchReply struct {
+	ids   []int
+	stats xpath2sql.ExecStats
+	err   error
+}
+
+type batcher struct {
+	eng      *xpath2sql.Engine
+	db       *xpath2sql.DB
+	window   time.Duration
+	maxBatch int
+	timeout  time.Duration // execution budget for a batch run
+
+	ch   chan *batchEntry
+	done chan struct{}
+
+	m *metrics
+}
+
+func newBatcher(eng *xpath2sql.Engine, db *xpath2sql.DB, window time.Duration, maxBatch int, timeout time.Duration, m *metrics) *batcher {
+	if maxBatch < 2 {
+		maxBatch = 2
+	}
+	b := &batcher{
+		eng:      eng,
+		db:       db,
+		window:   window,
+		maxBatch: maxBatch,
+		timeout:  timeout,
+		ch:       make(chan *batchEntry),
+		done:     make(chan struct{}),
+		m:        m,
+	}
+	go b.loop()
+	return b
+}
+
+// submit hands one query to the batcher and waits for its answer. The
+// caller's context bounds the wait: if it expires while the entry is queued
+// or executing, submit returns the context error (the batch run itself
+// finishes on its own budget and serves the other entries).
+func (b *batcher) submit(ctx context.Context, query string) ([]int, xpath2sql.ExecStats, error) {
+	e := &batchEntry{query: query, ctx: ctx, reply: make(chan batchReply, 1)}
+	select {
+	case b.ch <- e:
+	case <-b.done:
+		return nil, xpath2sql.ExecStats{}, errBatcherClosed
+	case <-ctx.Done():
+		return nil, xpath2sql.ExecStats{}, ctx.Err()
+	}
+	select {
+	case r := <-e.reply:
+		return r.ids, r.stats, r.err
+	case <-ctx.Done():
+		return nil, xpath2sql.ExecStats{}, ctx.Err()
+	}
+}
+
+// close stops the dispatcher; in-flight batch runs complete on their own.
+func (b *batcher) close() { close(b.done) }
+
+// loop is the dispatcher: it collects entries for up to window (or until the
+// batch is full) and hands each batch to a runner goroutine, so collection
+// of the next batch overlaps execution of the previous one.
+func (b *batcher) loop() {
+	for {
+		select {
+		case e := <-b.ch:
+			batch := []*batchEntry{e}
+			timer := time.NewTimer(b.window)
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case e2 := <-b.ch:
+					batch = append(batch, e2)
+				case <-timer.C:
+					break collect
+				case <-b.done:
+					break collect
+				}
+			}
+			timer.Stop()
+			go b.run(batch)
+		case <-b.done:
+			// Drain anything that won the send race with shutdown.
+			for {
+				select {
+				case e := <-b.ch:
+					e.reply <- batchReply{err: errBatcherClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run answers one collected batch. A single entry takes the plan-cached
+// single-query path; multiple entries are translated together through
+// Engine.TranslateBatch and executed as one merged program with per-query
+// statistics. Any batch-level failure falls back to individual runs so one
+// poisoned query cannot fail its neighbors.
+func (b *batcher) run(batch []*batchEntry) {
+	if len(batch) == 1 {
+		e := batch[0]
+		ids, stats, err := b.runSingle(e.ctx, e.query)
+		e.reply <- batchReply{ids: ids, stats: stats, err: err}
+		return
+	}
+
+	ctx := context.Background()
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	queries := make([]xpath2sql.Query, len(batch))
+	for i, e := range batch {
+		q, err := xpath2sql.ParseQuery(e.query)
+		if err != nil {
+			// A malformed query answers alone; the rest still batch.
+			b.fallback(batch)
+			return
+		}
+		queries[i] = q
+	}
+	bt, err := b.eng.TranslateBatch(ctx, queries)
+	if err != nil {
+		b.fallback(batch)
+		return
+	}
+	ans, err := bt.ExecuteContext(ctx, b.db)
+	if err != nil {
+		b.fallback(batch)
+		return
+	}
+	b.m.batchRuns.Add(1)
+	b.m.batchedQueries.Add(int64(len(batch)))
+	for i, e := range batch {
+		e.reply <- batchReply{ids: ans.IDs[i], stats: ans.PerQuery[i]}
+	}
+}
+
+// fallback answers every entry individually — used when batch translation or
+// execution fails, so each query gets its own precise error (or answer).
+func (b *batcher) fallback(batch []*batchEntry) {
+	for _, e := range batch {
+		ids, stats, err := b.runSingle(e.ctx, e.query)
+		e.reply <- batchReply{ids: ids, stats: stats, err: err}
+	}
+}
+
+// runSingle is the ordinary prepared single-query path.
+func (b *batcher) runSingle(ctx context.Context, query string) ([]int, xpath2sql.ExecStats, error) {
+	p, err := b.eng.PrepareString(ctx, query)
+	if err != nil {
+		return nil, xpath2sql.ExecStats{}, err
+	}
+	ans, err := p.ExecuteContext(ctx, b.db)
+	if err != nil {
+		return nil, xpath2sql.ExecStats{}, err
+	}
+	return ans.IDs, ans.Stats, nil
+}

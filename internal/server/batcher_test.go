@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xpath2sql"
+)
+
+// TestBatcherCoalesces fires many concurrent single queries at a server with
+// micro-batching enabled and verifies (a) every answer matches the engine's
+// direct answer, and (b) at least one multi-query batch run actually
+// happened — the whole point of the window.
+func TestBatcherCoalesces(t *testing.T) {
+	s := newDeptServer(t, func(c *Config) {
+		c.BatchWindow = 20 * time.Millisecond
+		c.MaxBatch = 8
+		c.MaxConcurrent = 16
+		c.QueueDepth = 64
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	want := map[string]int{
+		"dept//project": 1,
+		"dept//course":  2,
+		"dept//cno":     2,
+		"dept//student": 0,
+	}
+	queries := []string{"dept//project", "dept//course", "dept//cno", "dept//student"}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := queries[g%len(queries)]
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(`{"query": "`+q+`"}`))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				errs <- err.Error()
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+				return
+			}
+			if qr.Count != want[q] {
+				errs <- q + ": wrong count"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	if s.m.batchRuns.Load() == 0 {
+		t.Fatal("no multi-query batch run happened despite 16 concurrent queries in a 20ms window")
+	}
+	if s.m.batchedQueries.Load() < 2 {
+		t.Fatalf("batchedQueries = %d, want >= 2", s.m.batchedQueries.Load())
+	}
+}
+
+// TestBatcherFallback lands a malformed query in the same window as good
+// ones: the batch run aborts and every entry is answered individually — the
+// good queries still succeed, the bad one gets its own 400.
+func TestBatcherFallback(t *testing.T) {
+	s := newDeptServer(t, func(c *Config) {
+		c.BatchWindow = 30 * time.Millisecond
+		c.MaxBatch = 8
+		c.MaxConcurrent = 8
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	type outcome struct {
+		query string
+		code  int
+		count int
+	}
+	results := make(chan outcome, 4)
+	var wg sync.WaitGroup
+	for _, q := range []string{"dept//project", "dept///", "dept//course", "dept//cno"} {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(`{"query": "`+q+`"}`))
+			if err != nil {
+				results <- outcome{q, -1, 0}
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			json.NewDecoder(resp.Body).Decode(&qr)
+			results <- outcome{q, resp.StatusCode, qr.Count}
+		}(q)
+	}
+	wg.Wait()
+	close(results)
+
+	for r := range results {
+		if r.query == "dept///" {
+			if r.code != http.StatusBadRequest {
+				t.Errorf("bad query answered %d, want 400", r.code)
+			}
+			continue
+		}
+		if r.code != http.StatusOK {
+			t.Errorf("%s answered %d, want 200", r.query, r.code)
+		}
+	}
+}
+
+// TestBatcherSingleEntryPath: with no concurrency the window collects one
+// entry and the batcher uses the plan-cached single-query path — no batch
+// run is counted, and the response is still marked batched (it went through
+// the batching pipeline).
+func TestBatcherSingleEntryPath(t *testing.T) {
+	s := newDeptServer(t, func(c *Config) {
+		c.BatchWindow = time.Millisecond
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", queryRequest{Query: "dept//project"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != 1 || !qr.Batched {
+		t.Fatalf("response %+v", qr)
+	}
+	if s.m.batchRuns.Load() != 0 {
+		t.Fatalf("batchRuns = %d for a lone query", s.m.batchRuns.Load())
+	}
+}
+
+// TestBatcherClosedRejects: submissions after Shutdown get the draining
+// error, not a hang.
+func TestBatcherClosedRejects(t *testing.T) {
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(xpath2sql.New(d), db, 10*time.Millisecond, 4, time.Second, newMetrics(nil))
+	b.close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.submit(context.Background(), "dept//project")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != errBatcherClosed {
+			t.Fatalf("submit after close = %v, want errBatcherClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit hung after close")
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpath2sql"
+	"xpath2sql/internal/obs"
+)
+
+// metrics is the server's counter set: lock-free on the request path
+// (atomics and pre-built histograms; the per-(endpoint, code) map takes a
+// mutex only the first time a pair is seen), assembled into an
+// obs.MetricsSnapshot per /metrics scrape.
+type metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[reqKey]*atomic.Int64
+	latency  map[string]*obs.Histogram // per endpoint, created eagerly
+
+	inFlight    atomic.Int64
+	rejections  atomic.Int64
+	limitErrors atomic.Int64
+	panics      atomic.Int64
+
+	batchRuns      atomic.Int64
+	batchedQueries atomic.Int64
+
+	// Data-plane work summed over every served execution.
+	stmtsRun  atomic.Int64
+	joins     atomic.Int64
+	unions    atomic.Int64
+	lfps      atomic.Int64
+	lfpIters  atomic.Int64
+	recFixes  atomic.Int64
+	tuplesOut atomic.Int64
+	morsels   atomic.Int64
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{
+		start:    time.Now(),
+		requests: make(map[reqKey]*atomic.Int64),
+		latency:  make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		m.latency[ep] = obs.NewHistogram(nil)
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	k := reqKey{endpoint, code}
+	m.mu.Lock()
+	c := m.requests[k]
+	if c == nil {
+		c = new(atomic.Int64)
+		m.requests[k] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	if h := m.latency[endpoint]; h != nil {
+		h.Observe(d)
+	}
+}
+
+// recordExec accumulates one execution's data-plane statistics.
+func (m *metrics) recordExec(st xpath2sql.ExecStats) {
+	m.stmtsRun.Add(int64(st.StmtsRun))
+	m.joins.Add(int64(st.Joins))
+	m.unions.Add(int64(st.Unions))
+	m.lfps.Add(int64(st.LFPs))
+	m.lfpIters.Add(int64(st.LFPIters))
+	m.recFixes.Add(int64(st.RecFixes))
+	m.tuplesOut.Add(int64(st.TuplesOut))
+	m.morsels.Add(int64(st.Morsels))
+}
+
+// snapshot assembles the full MetricsSnapshot: server counters plus the
+// engine's plan-cache counters and the admission controller's live gauges.
+func (m *metrics) snapshot(service string, cache obs.CacheStats, adm *admission) *obs.MetricsSnapshot {
+	s := &obs.MetricsSnapshot{
+		Service:        service,
+		Uptime:         time.Since(m.start),
+		InFlight:       m.inFlight.Load(),
+		Rejections:     m.rejections.Load(),
+		LimitErrors:    m.limitErrors.Load(),
+		Panics:         m.panics.Load(),
+		BatchRuns:      m.batchRuns.Load(),
+		BatchedQueries: m.batchedQueries.Load(),
+		Cache:          cache,
+		StmtsRun:       m.stmtsRun.Load(),
+		Exec: obs.OpStats{
+			Joins:     int(m.joins.Load()),
+			Unions:    int(m.unions.Load()),
+			LFPs:      int(m.lfps.Load()),
+			LFPIters:  int(m.lfpIters.Load()),
+			RecFixes:  int(m.recFixes.Load()),
+			TuplesOut: int(m.tuplesOut.Load()),
+			Morsels:   int(m.morsels.Load()),
+		},
+	}
+	if adm != nil {
+		s.Queued = int64(adm.queued())
+	}
+	m.mu.Lock()
+	for k, c := range m.requests {
+		s.Requests = append(s.Requests, obs.RequestCount{Endpoint: k.endpoint, Code: k.code, Count: c.Load()})
+	}
+	for ep, h := range m.latency {
+		s.Latency = append(s.Latency, obs.EndpointLatency{Endpoint: ep, Hist: h.Snapshot()})
+	}
+	m.mu.Unlock()
+	return s
+}

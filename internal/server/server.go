@@ -1,0 +1,584 @@
+// Package server is the production query service over the xpath2sql Engine:
+// a stdlib-only (net/http) daemon front end that turns the in-process
+// pipeline — plan-cached translation, morsel-parallel execution, typed
+// limits — into a network service (the "ship SQL to the RDBMS and return
+// the answer" arrow of the paper's Fig. 1, with the bundled engine standing
+// in for the RDBMS).
+//
+// Endpoints:
+//
+//	POST /v1/query      one XPath query → JSON answer (optional Explain)
+//	POST /v1/batch      several queries → merged-program batch execution
+//	POST /v1/translate  SQL only: WITH…RECURSIVE and CONNECT BY renderings
+//	GET  /healthz       liveness (process is up)
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       Prometheus text exposition (obs.MetricsSnapshot)
+//
+// Robustness model:
+//
+//   - Admission control: a semaphore bounds concurrent executions, a bounded
+//     queue absorbs bursts, and overflow is rejected with 429 Retry-After —
+//     goroutines never accumulate without bound.
+//   - Deadlines: every request runs under a context bounded by the server's
+//     RequestTimeout (a request may ask for less, never more); engine limits
+//     surface as typed *LimitError.
+//   - Fault mapping: user faults never 500 — parse errors are 400, limit
+//     breaches and unsupported queries 422, deadline expiry 504, saturation
+//     429. Handler panics become a 500 plus a metric, not a dead process.
+//   - Graceful shutdown: Shutdown flips /readyz to 503, stops accepting,
+//     drains in-flight requests, then stops the micro-batcher.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"xpath2sql"
+)
+
+// Endpoint names used for metrics labels.
+const (
+	epQuery     = "query"
+	epBatch     = "batch"
+	epTranslate = "translate"
+	epHealth    = "healthz"
+	epReady     = "readyz"
+	epMetrics   = "metrics"
+)
+
+// Config assembles a Server. Engine and DB are required; everything else
+// has serving-grade defaults.
+type Config struct {
+	// Engine answers queries; its plan cache, limits and parallelism are
+	// the server's. Required.
+	Engine *xpath2sql.Engine
+	// DB is the shredded database queries execute against. Required.
+	DB *xpath2sql.DB
+
+	// MaxConcurrent bounds simultaneously executing requests (admission
+	// semaphore). Default: GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot; arrivals
+	// beyond it get 429. Default: 4 × MaxConcurrent.
+	QueueDepth int
+	// RequestTimeout caps each request's execution context; a request's
+	// timeout_ms may shorten it but never exceed it. Default: 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default: 1 MiB.
+	MaxBodyBytes int64
+
+	// BatchWindow > 0 enables micro-batching: concurrent /v1/query
+	// requests arriving within the window are coalesced into one
+	// Engine.TranslateBatch run. 0 disables it.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries coalesced into one run. Default: 16.
+	MaxBatch int
+
+	// Service prefixes metric names. Default: "xpathd".
+	Service string
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.Service == "" {
+		c.Service = "xpathd"
+	}
+}
+
+// Server is the query service. Build with New, expose with Handler (any
+// http.Server or test harness) or Serve/ListenAndServe (managed listener
+// with graceful Shutdown).
+type Server struct {
+	cfg     Config
+	eng     *xpath2sql.Engine
+	db      *xpath2sql.DB
+	adm     *admission
+	batcher *batcher // nil when micro-batching is disabled
+	m       *metrics
+	mux     *http.ServeMux
+
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	// hookAfterAdmit, when set (tests only), runs after a request acquires
+	// its admission slot and before it executes — the seam saturation and
+	// drain tests use to hold slots deterministically.
+	hookAfterAdmit func()
+}
+
+// New validates the config and builds a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg: cfg,
+		eng: cfg.Engine,
+		db:  cfg.DB,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		m:   newMetrics([]string{epQuery, epBatch, epTranslate}),
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s.eng, s.db, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
+	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
+	mux.HandleFunc("POST /v1/translate", s.instrument(epTranslate, s.handleTranslate))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (panic isolation included), for
+// embedding in an external http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns the error from
+// the underlying http.Server (http.ErrServerClosed after a clean Shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: /readyz starts answering 503 (so load
+// balancers stop routing here), the listener stops accepting, in-flight
+// requests run to completion (bounded by ctx), and the micro-batcher stops.
+// Safe to call when serving via Handler too — it then only flips readiness
+// and stops the batcher.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	if s.batcher != nil {
+		s.batcher.close()
+	}
+	return err
+}
+
+// --- request/response shapes -------------------------------------------
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMS shortens (never extends) the server's request timeout.
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	Explain   bool `json:"explain,omitempty"`
+}
+
+type execStatsJSON struct {
+	StmtsRun  int `json:"stmts_run"`
+	Joins     int `json:"joins"`
+	Unions    int `json:"unions"`
+	LFPs      int `json:"lfps"`
+	LFPIters  int `json:"lfp_iters"`
+	RecFixes  int `json:"rec_fixes"`
+	TuplesOut int `json:"tuples_out"`
+	Morsels   int `json:"morsels"`
+}
+
+func statsJSON(st xpath2sql.ExecStats) execStatsJSON {
+	return execStatsJSON{
+		StmtsRun:  st.StmtsRun,
+		Joins:     st.Joins,
+		Unions:    st.Unions,
+		LFPs:      st.LFPs,
+		LFPIters:  st.LFPIters,
+		RecFixes:  st.RecFixes,
+		TuplesOut: st.TuplesOut,
+		Morsels:   st.Morsels,
+	}
+}
+
+type queryResponse struct {
+	IDs       []int         `json:"ids"`
+	Count     int           `json:"count"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Stats     execStatsJSON `json:"stats"`
+	Batched   bool          `json:"batched,omitempty"`
+	Explain   string        `json:"explain,omitempty"`
+}
+
+type batchRequest struct {
+	Queries   []string `json:"queries"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+type batchItem struct {
+	IDs   []int         `json:"ids"`
+	Count int           `json:"count"`
+	Stats execStatsJSON `json:"stats"`
+}
+
+type batchResponse struct {
+	Results   []batchItem   `json:"results"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Stats     execStatsJSON `json:"stats"` // aggregate; PerQuery sums to it
+}
+
+type translateRequest struct {
+	Query string `json:"query"`
+	// Dialect selects the rendering: "db2" (WITH…RECURSIVE), "oracle"
+	// (CONNECT BY), or empty for both.
+	Dialect string `json:"dialect,omitempty"`
+}
+
+type translateResponse struct {
+	Strategy      string            `json:"strategy"`
+	ExtendedXPath string            `json:"extended_xpath,omitempty"`
+	Statements    int               `json:"statements"`
+	SQL           map[string]string `json:"sql"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// --- middleware ---------------------------------------------------------
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic isolation and request accounting:
+// in-flight gauge, per-(endpoint, code) counters and the latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.m.inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Add(1)
+				// Best effort: the handler may have written already.
+				writeError(rec, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+			}
+			s.m.inFlight.Add(-1)
+			s.m.observe(endpoint, rec.code, time.Since(t0))
+		}()
+		h(rec, r)
+	}
+}
+
+// --- error mapping ------------------------------------------------------
+
+// mapError translates a pipeline error to (HTTP status, error kind). The
+// invariant "user faults never 500" lives here.
+func mapError(err error) (int, string) {
+	var le *xpath2sql.LimitError
+	switch {
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests, "saturated"
+	case errors.Is(err, errBatcherClosed):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, xpath2sql.ErrQueryParse):
+		return http.StatusBadRequest, "parse"
+	case errors.Is(err, xpath2sql.ErrUnsupportedQuery):
+		return http.StatusUnprocessableEntity, "unsupported"
+	case errors.As(err, &le), errors.Is(err, xpath2sql.ErrLimit):
+		return http.StatusUnprocessableEntity, "limit"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the de-facto code for it.
+		return 499, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorResponse{Error: msg, Kind: kind})
+}
+
+// fail maps err and writes the error response, bumping fault metrics.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	code, kind := mapError(err)
+	switch kind {
+	case "saturated":
+		s.m.rejections.Add(1)
+	case "limit":
+		s.m.limitErrors.Add(1)
+	}
+	writeError(w, code, kind, err.Error())
+}
+
+// decode reads a JSON body with the size cap; errors are user faults (400).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// requestContext derives the execution context: the server timeout, tightened
+// by the request's timeout_ms when given.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.hookAfterAdmit != nil {
+		s.hookAfterAdmit()
+	}
+
+	t0 := time.Now()
+	// Explain needs the Answer (trace + plan), so it always takes the
+	// direct path; plain queries go through the micro-batcher when enabled.
+	if s.batcher != nil && !req.Explain {
+		ids, stats, err := s.batcher.submit(ctx, req.Query)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.m.recordExec(stats)
+		writeJSON(w, http.StatusOK, queryResponse{
+			IDs:       ids,
+			Count:     len(ids),
+			ElapsedMS: time.Since(t0).Seconds() * 1000,
+			Stats:     statsJSON(stats),
+			Batched:   true,
+		})
+		return
+	}
+
+	p, err := s.eng.PrepareString(ctx, req.Query)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ans, err := p.ExecuteContext(ctx, s.db)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.recordExec(ans.Stats)
+	resp := queryResponse{
+		IDs:       ans.IDs,
+		Count:     len(ans.IDs),
+		ElapsedMS: time.Since(t0).Seconds() * 1000,
+		Stats:     statsJSON(ans.Stats),
+	}
+	if req.Explain {
+		resp.Explain = ans.Explain()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "queries"`)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// One admission slot per batch request: the merged program is one
+	// scheduler run, however many queries it answers.
+	if err := s.adm.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.hookAfterAdmit != nil {
+		s.hookAfterAdmit()
+	}
+
+	queries := make([]xpath2sql.Query, len(req.Queries))
+	for i, qs := range req.Queries {
+		q, err := xpath2sql.ParseQuery(qs)
+		if err != nil {
+			s.fail(w, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	t0 := time.Now()
+	b, err := s.eng.TranslateBatch(ctx, queries)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ans, err := b.ExecuteContext(ctx, s.db)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.m.recordExec(ans.Stats)
+	resp := batchResponse{
+		ElapsedMS: time.Since(t0).Seconds() * 1000,
+		Stats:     statsJSON(ans.Stats),
+		Results:   make([]batchItem, len(ans.IDs)),
+	}
+	for i, ids := range ans.IDs {
+		resp.Results[i] = batchItem{IDs: ids, Count: len(ids), Stats: statsJSON(ans.PerQuery[i])}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	var req translateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
+		return
+	}
+	switch req.Dialect {
+	case "", "db2", "oracle":
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown dialect %q (want \"db2\" or \"oracle\")", req.Dialect))
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	// Translation is CPU work too: it queues behind the same semaphore.
+	if err := s.adm.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.hookAfterAdmit != nil {
+		s.hookAfterAdmit()
+	}
+
+	p, err := s.eng.PrepareString(ctx, req.Query)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := translateResponse{
+		Strategy:   p.Strategy().String(),
+		Statements: len(p.Program().Stmts),
+		SQL:        map[string]string{},
+	}
+	if eq := p.ExtendedXPath(); eq != nil {
+		resp.ExtendedXPath = eq.String()
+	}
+	if req.Dialect == "" || req.Dialect == "db2" {
+		resp.SQL["db2"] = p.SQL(xpath2sql.DialectDB2)
+	}
+	if req.Dialect == "" || req.Dialect == "oracle" {
+		resp.SQL["oracle"] = p.SQL(xpath2sql.DialectOracle)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.m.snapshot(s.cfg.Service, s.eng.CacheStats(), s.adm)
+	snap.InFlight = int64(s.adm.executing())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}

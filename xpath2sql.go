@@ -29,6 +29,7 @@
 package xpath2sql
 
 import (
+	"context"
 	"math/rand"
 
 	"xpath2sql/internal/core"
@@ -131,13 +132,11 @@ type Translation struct {
 //
 // Deprecated: use New(d, …).Translate(ctx, q) — the context-first Engine
 // API, which adds cancellation, resource limits and execution traces. This
-// wrapper translates with an unbounded background configuration.
+// wrapper routes through a throwaway unbounded Engine (no cache, no limits)
+// on the background context, so cancellation and LimitError semantics are
+// identical to the Engine path.
 func Translate(q Query, d *DTD, opts Options) (*Translation, error) {
-	res, err := core.Translate(q, d, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Translation{res: res}, nil
+	return defaultEngine(d, opts).Translate(context.Background(), q)
 }
 
 // TranslateString parses and translates in one step.
@@ -170,10 +169,15 @@ func (t *Translation) SQL(d Dialect) string {
 // node IDs (ascending) and execution statistics.
 //
 // Deprecated: use ExecuteContext, which adds cancellation, resource limits
-// and a per-statement trace. Execute runs unbounded on the background
-// context.
+// and a per-statement trace. Execute delegates to ExecuteContext on the
+// background context, so the translation's limits (if it came from a bounded
+// Engine) are enforced with the same typed *LimitError values.
 func (t *Translation) Execute(db *DB) ([]int, *ExecStats, error) {
-	return t.res.Execute(db)
+	ans, err := t.ExecuteContext(context.Background(), db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ans.IDs, &ans.Stats, nil
 }
 
 // Shred maps a document into the per-type edge relations R_A(F, T, V) of
