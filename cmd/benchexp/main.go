@@ -6,16 +6,20 @@
 // micro-benchmarks (-exp rdb), which measure the compact join/fixpoint
 // kernels against the retained seed-faithful naive evaluator at 1/2/4
 // workers and can serialize the results (-json, the committed
-// BENCH_rdb.json), and the serving load generator (-exp serve), which
+// BENCH_rdb.json), the serving load generator (-exp serve), which
 // drives the in-process query service with closed-loop clients at 1/4/8
 // concurrency and reports QPS and p50/p95/p99 latency (-json, the committed
-// BENCH_serve.json).
+// BENCH_serve.json), and the live-store load generator (-exp store), which
+// mixes queries with WAL-logged updates at a configurable write fraction
+// (-write-frac) and reports read and write QPS/latency separately (-json,
+// the committed BENCH_store.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve] [-scale small|medium|paper]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store]
+//	         [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
-//	         [-cpuprofile file] [-memprofile file]
+//	         [-write-frac 0.2] [-cpuprofile file] [-memprofile file]
 //
 // Scale selects the dataset sizes: "paper" uses the publication's element
 // counts (120,000 to 5 million; minutes to hours of runtime), the default
@@ -38,12 +42,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb or serve")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve or store")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
 	cacheSize := flag.Int("cache-size", 0, "plan-cache capacity for the cache experiment (0 = engine default)")
-	jsonOut := flag.String("json", "", "write the rdb or serve report to this file (-exp rdb/serve)")
+	jsonOut := flag.String("json", "", "write the rdb, serve or store report to this file (-exp rdb/serve/store)")
+	writeFrac := flag.Float64("write-frac", 0.2, "fraction of requests that are updates (-exp store)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -101,6 +106,14 @@ func main() {
 	case "serve":
 		var report *serveload.ServeReport
 		if report, err = serveload.RunServe(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "store":
+		var report *serveload.StoreReport
+		if report, err = serveload.RunStore(cfg, *writeFrac); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

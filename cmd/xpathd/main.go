@@ -1,20 +1,34 @@
-// Command xpathd is the query service daemon: it loads a DTD, shreds (or
-// generates) a document, builds an Engine — plan cache, limits, morsel
-// parallelism — and serves XPath queries over HTTP via internal/server.
+// Command xpathd is the query service daemon: it loads a DTD, builds a live
+// document store — booting from a snapshot + WAL tail when one exists, or by
+// parsing/shredding (or generating) a document otherwise — wraps it in an
+// Engine (plan cache, limits, morsel parallelism) and serves XPath queries
+// and updates over HTTP via internal/server.
 //
-//	POST /v1/query      {"query": "dept//project"}          → answer IDs
-//	POST /v1/batch      {"queries": ["a//b", "a//c"]}       → merged-run answers
-//	POST /v1/translate  {"query": "...", "dialect": "db2"}  → SQL text
+//	POST /v1/query       {"query": "dept//project"}          → answer IDs
+//	POST /v1/batch       {"queries": ["a//b", "a//c"]}       → merged-run answers
+//	POST /v1/translate   {"query": "...", "dialect": "db2"}  → SQL text
+//	POST /v1/update      {"op": "insert_subtree", ...}       → applied epoch/LSN
+//	POST /admin/snapshot                                     → checkpoint now
 //	GET  /healthz  /readyz  /metrics
 //
 // Saturation answers 429 Retry-After (admission semaphore + bounded queue),
 // user faults map to 4xx (never 500), and SIGINT/SIGTERM drains in-flight
 // requests before exit.
 //
+// Durability: with -wal-dir every update is WAL-logged before it is applied
+// and the daemon checkpoints periodically; after a crash (even kill -9) the
+// next start recovers from the newest snapshot plus the WAL tail and answers
+// identically. Without -wal-dir the store is ephemeral: updates work, but
+// nothing survives a restart.
+//
 // Usage:
 //
 //	xpathd -dtd dept.dtd -xml doc.xml [-addr :8080]
 //	xpathd -dtd dept.dtd -gen 100000 [-gen-xl 12] [-gen-xr 4] [-seed 42]
+//	xpathd -dtd dept.dtd -wal-dir ./data [-xml doc.xml]   # recover if data exists
+//	xpathd -dtd dept.dtd -snapshot snap.rdb [-wal-dir ./data]
+//	       [-fsync always|interval|never] [-fsync-interval 50ms]
+//	       [-checkpoint-every 1000]
 //	       [-strategy X] [-parallel n] [-cache-size n]
 //	       [-max-concurrent n] [-queue-depth n] [-request-timeout 30s]
 //	       [-batch-window 0] [-max-batch 16]
@@ -38,51 +52,171 @@ import (
 
 	"xpath2sql"
 	"xpath2sql/internal/server"
+	"xpath2sql/internal/store"
 )
 
+// options collects every flag; run takes it whole so the list can grow
+// without threading two dozen positional parameters around.
+type options struct {
+	addr    string
+	dtdPath string
+	xmlPath string
+	gen     int
+	genXL   int
+	genXR   int
+	seed    int64
+
+	snapshot        string
+	walDir          string
+	fsync           string
+	fsyncInterval   time.Duration
+	checkpointEvery int
+
+	strategy      string
+	workers       int
+	cacheSize     int
+	maxConcurrent int
+	queueDepth    int
+	reqTimeout    time.Duration
+	batchWindow   time.Duration
+	maxBatch      int
+	maxLFPIters   int
+	maxTuples     int
+	drainTimeout  time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
-	dtdPath := flag.String("dtd", "", "path to the DTD file (required)")
-	xmlPath := flag.String("xml", "", "path to the XML document to serve")
-	gen := flag.Int("gen", 0, "generate a synthetic document of ~n elements instead of -xml")
-	genXL := flag.Int("gen-xl", 12, "generator tree-depth bound (with -gen)")
-	genXR := flag.Int("gen-xr", 4, "generator fanout bound (with -gen)")
-	seed := flag.Int64("seed", 42, "generator seed (with -gen)")
-	strategy := flag.String("strategy", "X", "translation strategy: X, E or R")
-	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent statement evaluations per query")
-	cacheSize := flag.Int("cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
-	maxConcurrent := flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "admission: concurrently executing requests")
-	queueDepth := flag.Int("queue-depth", 0, "admission: waiting requests before 429 (default 4x max-concurrent)")
-	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request execution budget")
-	batchWindow := flag.Duration("batch-window", 0, "micro-batching window for /v1/query (0 disables)")
-	maxBatch := flag.Int("max-batch", 16, "queries coalesced per micro-batch run")
-	maxLFPIters := flag.Int("max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
-	maxTuples := flag.Int("max-tuples", 0, "cap tuples produced per execution (0 = unlimited)")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address (host:port; port 0 picks one)")
+	flag.StringVar(&o.dtdPath, "dtd", "", "path to the DTD file (required)")
+	flag.StringVar(&o.xmlPath, "xml", "", "path to the XML document to serve")
+	flag.IntVar(&o.gen, "gen", 0, "generate a synthetic document of ~n elements instead of -xml")
+	flag.IntVar(&o.genXL, "gen-xl", 12, "generator tree-depth bound (with -gen)")
+	flag.IntVar(&o.genXR, "gen-xr", 4, "generator fanout bound (with -gen)")
+	flag.Int64Var(&o.seed, "seed", 42, "generator seed (with -gen)")
+	flag.StringVar(&o.snapshot, "snapshot", "", "boot from this snapshot file instead of parsing/shredding")
+	flag.StringVar(&o.walDir, "wal-dir", "", "durability directory for WAL segments and snapshots (empty = ephemeral)")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL sync policy: always, interval or never")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 50*time.Millisecond, "period for -fsync interval")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1000, "auto-checkpoint after this many updates (0 disables)")
+	flag.StringVar(&o.strategy, "strategy", "X", "translation strategy: X, E or R")
+	flag.IntVar(&o.workers, "parallel", runtime.GOMAXPROCS(0), "concurrent statement evaluations per query")
+	flag.IntVar(&o.cacheSize, "cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", runtime.GOMAXPROCS(0), "admission: concurrently executing requests")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "admission: waiting requests before 429 (default 4x max-concurrent)")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 30*time.Second, "per-request execution budget")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "micro-batching window for /v1/query (0 disables)")
+	flag.IntVar(&o.maxBatch, "max-batch", 16, "queries coalesced per micro-batch run")
+	flag.IntVar(&o.maxLFPIters, "max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
+	flag.IntVar(&o.maxTuples, "max-tuples", 0, "cap tuples produced per execution (0 = unlimited)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("xpathd: ")
-	if err := run(*addr, *dtdPath, *xmlPath, *gen, *genXL, *genXR, *seed, *strategy,
-		*workers, *cacheSize, *maxConcurrent, *queueDepth, *reqTimeout,
-		*batchWindow, *maxBatch, *maxLFPIters, *maxTuples, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, dtdPath, xmlPath string, gen, genXL, genXR int, seed int64, strategy string,
-	workers, cacheSize, maxConcurrent, queueDepth int, reqTimeout time.Duration,
-	batchWindow time.Duration, maxBatch, maxLFPIters, maxTuples int, drainTimeout time.Duration) error {
+// boot decides between the two start paths — recover persisted state, or
+// build a fresh database from a document — and opens the store. It logs which
+// path was taken and how long it took.
+func boot(o options, d *xpath2sql.DTD) (*store.Store, error) {
+	policy, err := store.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
 
-	if dtdPath == "" {
+	// Persisted state wins: an explicit -snapshot, or a snapshot already in
+	// -wal-dir from a previous run. Either way parsing/shredding is skipped
+	// (the WAL tail in -wal-dir is still replayed on top).
+	fromDisk := o.snapshot != ""
+	if !fromDisk {
+		if fromDisk, err = store.HasState(o.walDir); err != nil {
+			return nil, err
+		}
+	}
+
+	var seed *xpath2sql.DB
+	if fromDisk {
+		if o.xmlPath != "" || o.gen > 0 {
+			log.Printf("persisted state found; ignoring -xml/-gen")
+		}
+	} else {
+		if o.xmlPath == "" && o.gen <= 0 {
+			flag.Usage()
+			return nil, errors.New("one of -xml, -gen or -snapshot is required (or a -wal-dir with prior state)")
+		}
+		var doc *xpath2sql.Document
+		if o.xmlPath != "" {
+			xsrc, err := os.ReadFile(o.xmlPath)
+			if err != nil {
+				return nil, err
+			}
+			if doc, err = xpath2sql.ParseXML(string(xsrc)); err != nil {
+				return nil, err
+			}
+		} else {
+			// Random generation is a branching process that can go extinct
+			// early; retry seeds until the document reaches a healthy fraction
+			// of the requested size.
+			for attempt := int64(0); attempt < 32; attempt++ {
+				cand, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
+					XL: o.genXL, XR: o.genXR, Seed: o.seed + attempt*7919, MaxNodes: o.gen,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if doc == nil || cand.Size() > doc.Size() {
+					doc = cand
+				}
+				if doc.Size() >= o.gen/2 {
+					break
+				}
+			}
+			log.Printf("generated synthetic document: %d elements (xl=%d xr=%d seed=%d)",
+				doc.Size(), o.genXL, o.genXR, o.seed)
+		}
+		if seed, err = xpath2sql.Shred(doc, d); err != nil {
+			return nil, err
+		}
+	}
+
+	st, err := store.Open(store.Config{
+		DTD:             d,
+		Seed:            seed,
+		Dir:             o.walDir,
+		SnapshotPath:    o.snapshot,
+		Fsync:           policy,
+		FsyncInterval:   o.fsyncInterval,
+		CheckpointEvery: o.checkpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep := st.View()
+	if fromDisk {
+		src := o.snapshot
+		if src == "" {
+			src = o.walDir
+		}
+		log.Printf("booted from snapshot %s + WAL replay: %d nodes, epoch %d, lsn %d (%v)",
+			src, ep.DB.NumNodes(), ep.Seq, ep.LSN, time.Since(start).Round(time.Millisecond))
+	} else {
+		log.Printf("booted from document parse+shred: %d nodes (%v)",
+			ep.DB.NumNodes(), time.Since(start).Round(time.Millisecond))
+	}
+	return st, nil
+}
+
+func run(o options) error {
+	if o.dtdPath == "" {
 		flag.Usage()
 		return errors.New("-dtd is required")
 	}
-	if xmlPath == "" && gen <= 0 {
-		flag.Usage()
-		return errors.New("one of -xml or -gen is required")
-	}
-	dsrc, err := os.ReadFile(dtdPath)
+	dsrc, err := os.ReadFile(o.dtdPath)
 	if err != nil {
 		return err
 	}
@@ -91,43 +225,14 @@ func run(addr, dtdPath, xmlPath string, gen, genXL, genXR int, seed int64, strat
 		return err
 	}
 
-	var doc *xpath2sql.Document
-	if xmlPath != "" {
-		xsrc, err := os.ReadFile(xmlPath)
-		if err != nil {
-			return err
-		}
-		if doc, err = xpath2sql.ParseXML(string(xsrc)); err != nil {
-			return err
-		}
-	} else {
-		// Random generation is a branching process that can go extinct
-		// early; retry seeds until the document reaches a healthy fraction
-		// of the requested size.
-		for attempt := int64(0); attempt < 32; attempt++ {
-			cand, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
-				XL: genXL, XR: genXR, Seed: seed + attempt*7919, MaxNodes: gen,
-			})
-			if err != nil {
-				return err
-			}
-			if doc == nil || cand.Size() > doc.Size() {
-				doc = cand
-			}
-			if doc.Size() >= gen/2 {
-				break
-			}
-		}
-		log.Printf("generated synthetic document: %d elements (xl=%d xr=%d seed=%d)",
-			doc.Size(), genXL, genXR, seed)
-	}
-	db, err := xpath2sql.Shred(doc, d)
+	st, err := boot(o, d)
 	if err != nil {
 		return err
 	}
+	defer st.Close()
 
 	var strat xpath2sql.Strategy
-	switch strings.ToUpper(strategy) {
+	switch strings.ToUpper(o.strategy) {
 	case "X":
 		strat = xpath2sql.StrategyCycleEX
 	case "E":
@@ -135,33 +240,37 @@ func run(addr, dtdPath, xmlPath string, gen, genXL, genXR int, seed int64, strat
 	case "R":
 		strat = xpath2sql.StrategySQLGenR
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 	eng := xpath2sql.New(d,
 		xpath2sql.WithStrategy(strat),
-		xpath2sql.WithParallelism(workers),
-		xpath2sql.WithCacheSize(cacheSize),
-		xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: maxLFPIters, MaxTuples: maxTuples}),
+		xpath2sql.WithParallelism(o.workers),
+		xpath2sql.WithCacheSize(o.cacheSize),
+		xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: o.maxLFPIters, MaxTuples: o.maxTuples}),
 	)
 	srv, err := server.New(server.Config{
 		Engine:         eng,
-		DB:             db,
-		MaxConcurrent:  maxConcurrent,
-		QueueDepth:     queueDepth,
-		RequestTimeout: reqTimeout,
-		BatchWindow:    batchWindow,
-		MaxBatch:       maxBatch,
+		Store:          st,
+		MaxConcurrent:  o.maxConcurrent,
+		QueueDepth:     o.queueDepth,
+		RequestTimeout: o.reqTimeout,
+		BatchWindow:    o.batchWindow,
+		MaxBatch:       o.maxBatch,
 	})
 	if err != nil {
 		return err
 	}
 
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %d elements on http://%s (strategy=%s parallel=%d max-concurrent=%d queue-depth=%d)",
-		doc.Size(), l.Addr(), strat, eng.Parallelism(), maxConcurrent, queueDepth)
+	durable := "ephemeral"
+	if st.Durable() {
+		durable = fmt.Sprintf("durable (wal-dir=%s fsync=%s)", o.walDir, o.fsync)
+	}
+	log.Printf("serving %d nodes on http://%s (strategy=%s parallel=%d max-concurrent=%d queue-depth=%d, %s)",
+		st.View().DB.NumNodes(), l.Addr(), strat, eng.Parallelism(), o.maxConcurrent, o.queueDepth, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -173,8 +282,8 @@ func run(addr, dtdPath, xmlPath string, gen, genXL, genXR int, seed int64, strat
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining in-flight requests (budget %v)", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("signal received; draining in-flight requests (budget %v)", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)

@@ -161,6 +161,27 @@ type MetricsSnapshot struct {
 	// Data plane, summed over all served executions.
 	Exec     OpStats
 	StmtsRun int64
+
+	// Store, when non-nil, carries the live document store's counters.
+	Store *StoreStats
+}
+
+// StoreStats snapshots the document store: the published epoch, WAL volume,
+// per-operation counters and the apply-latency histogram. internal/store
+// produces one per scrape.
+type StoreStats struct {
+	Epoch       uint64
+	LSN         uint64
+	Nodes       int64
+	Inserts     int64
+	Deletes     int64
+	TextUpdates int64
+	Rejected    int64
+	WALBytes    int64
+	WALRecords  int64
+	Replayed    int64 // WAL records replayed during the last recovery
+	Checkpoints int64
+	Apply       HistogramSnapshot
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -232,6 +253,33 @@ func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("exec_rec_fixes_total", "Multi-relation fixpoints evaluated (SQLGen-R).", int64(m.Exec.RecFixes))
 	counter("exec_tuples_total", "Tuples produced across all operators.", int64(m.Exec.TuplesOut))
 	counter("exec_morsels_total", "Morsels scanned by intra-operator parallel sections.", int64(m.Exec.Morsels))
+
+	if st := m.Store; st != nil {
+		gauge("store_epoch", "Sequence number of the published store epoch.", int64(st.Epoch))
+		gauge("store_lsn", "Last WAL LSN folded into the published epoch.", int64(st.LSN))
+		gauge("store_nodes", "Nodes in the published epoch's catalog.", st.Nodes)
+		counter("store_inserts_total", "Subtree inserts applied.", st.Inserts)
+		counter("store_deletes_total", "Subtree deletes applied.", st.Deletes)
+		counter("store_text_updates_total", "Text updates applied.", st.TextUpdates)
+		counter("store_rejected_total", "Updates rejected by validation.", st.Rejected)
+		counter("store_wal_bytes_total", "Bytes appended to the write-ahead log.", st.WALBytes)
+		counter("store_wal_records_total", "Records appended to the write-ahead log.", st.WALRecords)
+		counter("store_replayed_records_total", "WAL records replayed during recovery.", st.Replayed)
+		counter("store_checkpoints_total", "Snapshots written.", st.Checkpoints)
+		fmt.Fprintf(w, "# HELP %s_store_apply_seconds Update apply latency (validate+log+apply+publish).\n", p)
+		fmt.Fprintf(w, "# TYPE %s_store_apply_seconds histogram\n", p)
+		var cum int64
+		for i, c := range st.Apply.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(st.Apply.Bounds) {
+				le = formatBound(st.Apply.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_store_apply_seconds_bucket{le=%q} %d\n", p, le, cum)
+		}
+		fmt.Fprintf(w, "%s_store_apply_seconds_sum %g\n", p, st.Apply.Sum)
+		fmt.Fprintf(w, "%s_store_apply_seconds_count %d\n", p, st.Apply.Count)
+	}
 
 	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", p)
 	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", p)

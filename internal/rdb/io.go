@@ -58,7 +58,9 @@ func (db *DB) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a database written by Save.
+// Load reads a database written by Save. Blank lines and lines starting
+// with '#' are skipped, so callers (e.g. the document store's snapshots)
+// may prefix the Save body with their own commented header.
 func Load(r io.Reader) (*DB, error) {
 	db := NewDB()
 	sc := bufio.NewScanner(r)
@@ -67,7 +69,7 @@ func Load(r io.Reader) (*DB, error) {
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
-		if line == "" {
+		if line == "" || line[0] == '#' {
 			continue
 		}
 		kind, rest, _ := strings.Cut(line, " ")

@@ -8,18 +8,25 @@ import "math/bits"
 // Fibonacci-hashed start slot, and never allocates per insert, which matters
 // because every tuple an operator produces passes through it.
 //
-// The empty-slot sentinel is ^uint64(0); the one key equal to the sentinel
-// (F = T = -1, which node IDs never produce) is tracked by a side flag so
-// the set is still total over all uint64 keys.
+// The empty-slot sentinel is ^uint64(0) and the deleted-slot sentinel is
+// ^uint64(0)-1; the two keys equal to the sentinels (which node IDs never
+// produce) are tracked by side flags so the set is still total over all
+// uint64 keys. Deletion leaves a tombstone slot so probe chains stay intact;
+// tombstones are reclaimed on insert and dropped wholesale by grow.
 type pairSet struct {
 	slots   []uint64
 	shift   uint // 64 - log2(len(slots))
 	used    int
+	dels    int // tombstone slots (count toward the grow threshold)
 	maxUsed int // grow threshold: 7/8 of len(slots)
 	hasMax  bool
+	hasDel  bool // membership of the key equal to pairDeleted
 }
 
-const pairEmpty = ^uint64(0)
+const (
+	pairEmpty   = ^uint64(0)
+	pairDeleted = ^uint64(0) - 1
+)
 
 // packPair packs two node IDs into the set's key. It matches the seed's
 // tupleKey truncation to 32 bits per column.
@@ -47,8 +54,11 @@ func (s *pairSet) slot(k uint64) int {
 
 // has reports membership.
 func (s *pairSet) has(k uint64) bool {
-	if k == pairEmpty {
+	switch k {
+	case pairEmpty:
 		return s.hasMax
+	case pairDeleted:
+		return s.hasDel
 	}
 	if len(s.slots) == 0 {
 		return false
@@ -66,31 +76,76 @@ func (s *pairSet) has(k uint64) bool {
 
 // insert adds k and reports whether it was new.
 func (s *pairSet) insert(k uint64) bool {
-	if k == pairEmpty {
+	switch k {
+	case pairEmpty:
 		if s.hasMax {
 			return false
 		}
 		s.hasMax = true
+		return true
+	case pairDeleted:
+		if s.hasDel {
+			return false
+		}
+		s.hasDel = true
 		return true
 	}
 	if len(s.slots) == 0 {
 		*s = newPairSet(16)
 	}
 	mask := len(s.slots) - 1
-	i := s.slot(k)
-	for {
+	free := -1
+	for i := s.slot(k); ; i = (i + 1) & mask {
 		switch s.slots[i] {
 		case k:
 			return false
+		case pairDeleted:
+			if free < 0 {
+				free = i
+			}
 		case pairEmpty:
-			s.slots[i] = k
+			if free >= 0 {
+				s.slots[free] = k
+				s.dels--
+			} else {
+				s.slots[i] = k
+			}
 			s.used++
-			if s.used >= s.maxUsed {
+			if s.used+s.dels >= s.maxUsed {
 				s.grow()
 			}
 			return true
 		}
-		i = (i + 1) & mask
+	}
+}
+
+// remove deletes k and reports whether it was present. The slot becomes a
+// tombstone so later probes for other keys keep walking the chain.
+func (s *pairSet) remove(k uint64) bool {
+	switch k {
+	case pairEmpty:
+		was := s.hasMax
+		s.hasMax = false
+		return was
+	case pairDeleted:
+		was := s.hasDel
+		s.hasDel = false
+		return was
+	}
+	if len(s.slots) == 0 {
+		return false
+	}
+	mask := len(s.slots) - 1
+	for i := s.slot(k); ; i = (i + 1) & mask {
+		switch s.slots[i] {
+		case k:
+			s.slots[i] = pairDeleted
+			s.used--
+			s.dels++
+			return true
+		case pairEmpty:
+			return false
+		}
 	}
 }
 
@@ -98,9 +153,10 @@ func (s *pairSet) grow() {
 	old := s.slots
 	next := newPairSet(s.used * 2)
 	next.hasMax = s.hasMax
+	next.hasDel = s.hasDel
 	mask := len(next.slots) - 1
 	for _, k := range old {
-		if k == pairEmpty {
+		if k == pairEmpty || k == pairDeleted {
 			continue
 		}
 		i := next.slot(k)

@@ -63,6 +63,13 @@ type Relation struct {
 	// paths, when non-nil, holds the P attribute of §5.2: per (F, T) pair
 	// the node sequence of one witnessing path (excluding F, including T).
 	paths map[uint64][]int
+
+	// dead marks tombstoned row positions (see Delete). Tombstones are a
+	// private write-side state: a relation handed to query operators must be
+	// compacted first (Tombstones() == 0), because operators scan rows and
+	// probe index positions directly.
+	dead  []bool
+	nDead int
 }
 
 // NewRelation returns an empty relation with the given name. Relations
@@ -129,12 +136,13 @@ func (r *Relation) grow(n int) {
 		copy(rows, r.rows)
 		r.rows = rows
 	}
-	if r.set.used+n >= r.set.maxUsed {
+	if r.set.used+r.set.dels+n >= r.set.maxUsed {
 		need := r.set.used + n
 		s := newPairSet(need)
 		s.hasMax = r.set.hasMax
+		s.hasDel = r.set.hasDel
 		for _, k := range r.set.slots {
-			if k != pairEmpty {
+			if k != pairEmpty && k != pairDeleted {
 				s.insert(k)
 			}
 		}
@@ -147,8 +155,8 @@ func (r *Relation) Has(f, t int) bool {
 	return r.set.has(packPair(int32(f), int32(t)))
 }
 
-// Len returns the tuple count.
-func (r *Relation) Len() int { return len(r.rows) }
+// Len returns the live tuple count (tombstoned rows excluded).
+func (r *Relation) Len() int { return len(r.rows) - r.nDead }
 
 // valStr resolves a stored V symbol.
 func (r *Relation) valStr(sym int32) string {
@@ -171,14 +179,139 @@ func (r *Relation) symOf(v string) (int32, bool) {
 }
 
 // Tuples materializes the relation as exchange-form tuples, resolving V
-// symbols to strings. The result is a fresh slice in insertion order;
-// operators never call this on a hot path.
+// symbols to strings and skipping tombstoned rows. The result is a fresh
+// slice in insertion order; operators never call this on a hot path.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, len(r.rows))
+	out := make([]Tuple, 0, r.Len())
 	for i, w := range r.rows {
-		out[i] = Tuple{F: int(w.f), T: int(w.t), V: r.valStr(w.v)}
+		if r.isDead(i) {
+			continue
+		}
+		out = append(out, Tuple{F: int(w.f), T: int(w.t), V: r.valStr(w.v)})
 	}
 	return out
+}
+
+// isDead reports whether row i is tombstoned; rows appended after the dead
+// bitmap was sized are live by construction.
+func (r *Relation) isDead(i int) bool {
+	return r.nDead > 0 && i < len(r.dead) && r.dead[i]
+}
+
+// Delete tombstones the tuple (f, t), reporting whether it was present. The
+// row stays in place (marked dead) until Compact; Has and Tuples reflect the
+// deletion immediately, but scan/probe operators do not — callers must
+// Compact before handing the relation to query execution. This is the
+// write side of the store's copy-on-write epochs: deletes run on private
+// clones and every published relation is compacted.
+func (r *Relation) Delete(f, t int) bool {
+	if !r.set.remove(packPair(int32(f), int32(t))) {
+		return false
+	}
+	pos := -1
+	for _, p := range r.ByT(t) {
+		w := r.rows[p]
+		if w.t == int32(t) && w.f == int32(f) && !r.isDead(int(p)) {
+			pos = int(p)
+			break
+		}
+	}
+	if pos < 0 {
+		// The pair set said present, so a live row must exist; scan as a
+		// belt-and-braces fallback (e.g. an index keyed before a Compact).
+		for i, w := range r.rows {
+			if w.t == int32(t) && w.f == int32(f) && !r.isDead(i) {
+				pos = i
+				break
+			}
+		}
+	}
+	if pos < 0 {
+		// Inconsistent set/rows state; undo the set removal.
+		r.set.insert(packPair(int32(f), int32(t)))
+		return false
+	}
+	if r.dead == nil {
+		r.dead = make([]bool, len(r.rows))
+	} else if len(r.dead) < len(r.rows) {
+		r.dead = append(r.dead, make([]bool, len(r.rows)-len(r.dead))...)
+	}
+	r.dead[pos] = true
+	r.nDead++
+	if r.paths != nil {
+		delete(r.paths, packPair(int32(f), int32(t)))
+	}
+	return true
+}
+
+// UpdateValue replaces the V attribute of the live tuple (f, t), reporting
+// whether it was present. V is not indexed, so no index maintenance is
+// needed; (F, T) identity is unchanged.
+func (r *Relation) UpdateValue(f, t int, v string) bool {
+	if !r.set.has(packPair(int32(f), int32(t))) {
+		return false
+	}
+	var sym int32
+	if v != "" {
+		sym = r.interner().Intern(v)
+	}
+	for _, p := range r.ByT(t) {
+		w := r.rows[p]
+		if w.t == int32(t) && w.f == int32(f) && !r.isDead(int(p)) {
+			r.rows[p].v = sym
+			return true
+		}
+	}
+	for i, w := range r.rows {
+		if w.t == int32(t) && w.f == int32(f) && !r.isDead(i) {
+			r.rows[i].v = sym
+			return true
+		}
+	}
+	return false
+}
+
+// ChildrenOf materializes the live tuples whose F attribute equals f, in
+// insertion order — the child edges of node f in a stored edge relation.
+func (r *Relation) ChildrenOf(f int) []Tuple {
+	ps := r.ByF(f)
+	out := make([]Tuple, 0, len(ps))
+	for _, p := range ps {
+		if r.isDead(int(p)) {
+			continue
+		}
+		w := r.rows[p]
+		out = append(out, Tuple{F: int(w.f), T: int(w.t), V: r.valStr(w.v)})
+	}
+	return out
+}
+
+// Tombstones reports the number of deleted-but-not-compacted rows.
+func (r *Relation) Tombstones() int { return r.nDead }
+
+// Compact rewrites the relation without its tombstoned rows, restoring the
+// invariant query operators rely on (every stored row is live). Indexes are
+// dropped and rebuilt lazily on the next probe; the pair set is rebuilt
+// exactly sized.
+func (r *Relation) Compact() {
+	if r.nDead == 0 {
+		return
+	}
+	live := make([]row, 0, len(r.rows)-r.nDead)
+	for i, w := range r.rows {
+		if !r.isDead(i) {
+			live = append(live, w)
+		}
+	}
+	r.rows = live
+	r.dead, r.nDead = nil, 0
+	set := newPairSet(len(live))
+	for _, w := range live {
+		set.insert(packPair(w.f, w.t))
+	}
+	r.set = set
+	r.idxF.Store(nil)
+	r.idxT.Store(nil)
 }
 
 // IndexBuilds reports how many index snapshot builds the relation has
@@ -323,16 +456,21 @@ func (r *Relation) PathOf(f, t int) []int {
 	return r.paths[packPair(int32(f), int32(t))]
 }
 
-// Clone returns a deep copy sharing the interner.
+// Clone returns a deep copy sharing the interner. Tombstone state is
+// carried over; indexes are rebuilt lazily on the clone's first probe.
 func (r *Relation) Clone() *Relation {
 	c := newRelation(r.Name, r.syms)
 	c.rows = append([]row(nil), r.rows...)
 	c.set = r.set.clone()
+	if r.nDead > 0 {
+		c.dead = append([]bool(nil), r.dead...)
+		c.nDead = r.nDead
+	}
 	return c
 }
 
 func (r *Relation) String() string {
-	return fmt.Sprintf("%s(%d tuples)", r.Name, len(r.rows))
+	return fmt.Sprintf("%s(%d tuples)", r.Name, r.Len())
 }
 
 // DB is a shredded database: one stored relation per element type plus the

@@ -1,0 +1,71 @@
+package serveload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/bench"
+)
+
+// TestRunStore is the smoke test for the mixed read/write load generator: at
+// small scale it must drive both reads and writes at every level with zero
+// errors and produce a serializable report with sane per-class latencies.
+func TestRunStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation in -short mode")
+	}
+	var out strings.Builder
+	report, err := RunStore(bench.Config{Scale: bench.ScaleSmall, Out: &out}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Levels) != len(serveLevels) {
+		t.Fatalf("levels = %d, want %d", len(report.Levels), len(serveLevels))
+	}
+	for i, l := range report.Levels {
+		if l.Concurrency != serveLevels[i] {
+			t.Fatalf("level %d concurrency = %d, want %d", i, l.Concurrency, serveLevels[i])
+		}
+		if l.Errors != 0 {
+			t.Fatalf("level %d: %d errors", l.Concurrency, l.Errors)
+		}
+		if l.Reads == 0 || l.Writes == 0 {
+			t.Fatalf("level %d missing a request class: %+v", l.Concurrency, l)
+		}
+		if l.ReadQPS <= 0 || l.WriteQPS <= 0 {
+			t.Fatalf("level %d degenerate QPS: %+v", l.Concurrency, l)
+		}
+		if l.ReadP50MS > l.ReadP95MS || l.ReadP95MS > l.ReadP99MS {
+			t.Fatalf("read percentiles out of order: %+v", l)
+		}
+		if l.WriteP50MS > l.WriteP95MS || l.WriteP95MS > l.WriteP99MS {
+			t.Fatalf("write percentiles out of order: %+v", l)
+		}
+	}
+	if report.WriteFrac != 0.3 || report.Elements == 0 {
+		t.Fatalf("report metadata incomplete: %+v", report)
+	}
+
+	blob, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round StoreReport
+	if err := json.Unmarshal(blob, &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if !strings.Contains(out.String(), "write-frac") {
+		t.Fatalf("table output missing:\n%s", out.String())
+	}
+}
+
+// TestRunStoreRejectsBadFraction: write fractions outside [0,1] fail fast.
+func TestRunStoreRejectsBadFraction(t *testing.T) {
+	if _, err := RunStore(bench.Config{Scale: bench.ScaleSmall}, 1.5); err == nil {
+		t.Fatal("RunStore(1.5) succeeded")
+	}
+	if _, err := RunStore(bench.Config{Scale: bench.ScaleSmall}, -0.1); err == nil {
+		t.Fatal("RunStore(-0.1) succeeded")
+	}
+}

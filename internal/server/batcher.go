@@ -31,8 +31,10 @@ type batchReply struct {
 }
 
 type batcher struct {
-	eng      *xpath2sql.Engine
-	db       *xpath2sql.DB
+	eng *xpath2sql.Engine
+	// db resolves the database per run: with a live store behind the server
+	// each batch pins the current epoch, without one it returns the static DB.
+	db       func() *xpath2sql.DB
 	window   time.Duration
 	maxBatch int
 	timeout  time.Duration // execution budget for a batch run
@@ -43,7 +45,7 @@ type batcher struct {
 	m *metrics
 }
 
-func newBatcher(eng *xpath2sql.Engine, db *xpath2sql.DB, window time.Duration, maxBatch int, timeout time.Duration, m *metrics) *batcher {
+func newBatcher(eng *xpath2sql.Engine, db func() *xpath2sql.DB, window time.Duration, maxBatch int, timeout time.Duration, m *metrics) *batcher {
 	if maxBatch < 2 {
 		maxBatch = 2
 	}
@@ -155,7 +157,7 @@ func (b *batcher) run(batch []*batchEntry) {
 		b.fallback(batch)
 		return
 	}
-	ans, err := bt.ExecuteContext(ctx, b.db)
+	ans, err := bt.ExecuteContext(ctx, b.db())
 	if err != nil {
 		b.fallback(batch)
 		return
@@ -182,7 +184,7 @@ func (b *batcher) runSingle(ctx context.Context, query string) ([]int, xpath2sql
 	if err != nil {
 		return nil, xpath2sql.ExecStats{}, err
 	}
-	ans, err := p.ExecuteContext(ctx, b.db)
+	ans, err := p.ExecuteContext(ctx, b.db())
 	if err != nil {
 		return nil, xpath2sql.ExecStats{}, err
 	}

@@ -173,7 +173,7 @@ func TestBatcherClosedRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := newBatcher(xpath2sql.New(d), db, 10*time.Millisecond, 4, time.Second, newMetrics(nil))
+	b := newBatcher(xpath2sql.New(d), func() *xpath2sql.DB { return db }, 10*time.Millisecond, 4, time.Second, newMetrics(nil))
 	b.close()
 	done := make(chan error, 1)
 	go func() {

@@ -10,9 +10,19 @@
 //	POST /v1/query      one XPath query → JSON answer (optional Explain)
 //	POST /v1/batch      several queries → merged-program batch execution
 //	POST /v1/translate  SQL only: WITH…RECURSIVE and CONNECT BY renderings
+//	POST /v1/update     document update (live store only): insert_subtree,
+//	                    delete_subtree or update_text
+//	POST /admin/snapshot checkpoint the live store to disk
 //	GET  /healthz       liveness (process is up)
 //	GET  /readyz        readiness (503 while draining)
 //	GET  /metrics       Prometheus text exposition (obs.MetricsSnapshot)
+//
+// When built with a live document store (Config.Store), every query pins the
+// store's current epoch — an immutable snapshot — so readers never block on
+// writers and never see a half-applied update; updates are DTD-validated,
+// WAL-logged and applied by the store's single serialized writer. Update
+// faults follow the same "user faults never 500" rule: a non-conforming
+// update is 422, an unknown node ID 404, a malformed fragment 400.
 //
 // Robustness model:
 //
@@ -41,6 +51,7 @@ import (
 	"time"
 
 	"xpath2sql"
+	"xpath2sql/internal/store"
 )
 
 // Endpoint names used for metrics labels.
@@ -48,6 +59,8 @@ const (
 	epQuery     = "query"
 	epBatch     = "batch"
 	epTranslate = "translate"
+	epUpdate    = "update"
+	epSnapshot  = "snapshot"
 	epHealth    = "healthz"
 	epReady     = "readyz"
 	epMetrics   = "metrics"
@@ -59,8 +72,13 @@ type Config struct {
 	// Engine answers queries; its plan cache, limits and parallelism are
 	// the server's. Required.
 	Engine *xpath2sql.Engine
-	// DB is the shredded database queries execute against. Required.
+	// DB is the shredded database queries execute against. Required unless
+	// Store is set.
 	DB *xpath2sql.DB
+	// Store, when set, makes the service live: every query pins the store's
+	// current epoch snapshot, and POST /v1/update and POST /admin/snapshot
+	// are enabled. DB is ignored when Store is set.
+	Store *store.Store
 
 	// MaxConcurrent bounds simultaneously executing requests (admission
 	// semaphore). Default: GOMAXPROCS.
@@ -116,6 +134,7 @@ type Server struct {
 	cfg     Config
 	eng     *xpath2sql.Engine
 	db      *xpath2sql.DB
+	store   *store.Store // nil for a read-only server
 	adm     *admission
 	batcher *batcher // nil when micro-batching is disabled
 	m       *metrics
@@ -135,29 +154,48 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("server: Config.Engine is required")
 	}
-	if cfg.DB == nil {
-		return nil, errors.New("server: Config.DB is required")
+	if cfg.DB == nil && cfg.Store == nil {
+		return nil, errors.New("server: Config.DB or Config.Store is required")
 	}
 	cfg.fillDefaults()
+	endpoints := []string{epQuery, epBatch, epTranslate}
+	if cfg.Store != nil {
+		endpoints = append(endpoints, epUpdate, epSnapshot)
+	}
 	s := &Server{
-		cfg: cfg,
-		eng: cfg.Engine,
-		db:  cfg.DB,
-		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		m:   newMetrics([]string{epQuery, epBatch, epTranslate}),
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		db:    cfg.DB,
+		store: cfg.Store,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		m:     newMetrics(endpoints),
 	}
 	if cfg.BatchWindow > 0 {
-		s.batcher = newBatcher(s.eng, s.db, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
+		s.batcher = newBatcher(s.eng, s.database, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
 	mux.HandleFunc("POST /v1/translate", s.instrument(epTranslate, s.handleTranslate))
+	if s.store != nil {
+		mux.HandleFunc("POST /v1/update", s.instrument(epUpdate, s.handleUpdate))
+		mux.HandleFunc("POST /admin/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
+}
+
+// database resolves the database for one request or batch run. With a live
+// store it pins the current epoch — immutable, so the whole execution sees
+// one consistent version however many updates land meanwhile.
+func (s *Server) database() *xpath2sql.DB {
+	if s.store != nil {
+		return s.store.View().DB
+	}
+	return s.db
 }
 
 // Handler returns the server's HTTP handler (panic isolation included), for
@@ -270,6 +308,40 @@ type translateResponse struct {
 	SQL           map[string]string `json:"sql"`
 }
 
+type updateRequest struct {
+	// Op is one of "insert_subtree", "delete_subtree", "update_text".
+	Op string `json:"op"`
+	// Parent receives the inserted subtree (insert_subtree).
+	Parent int `json:"parent,omitempty"`
+	// Node is the target of delete_subtree / update_text.
+	Node int `json:"node,omitempty"`
+	// Fragment is the XML of the subtree to insert.
+	Fragment string `json:"fragment,omitempty"`
+	// Value is the new text value for update_text.
+	Value     string `json:"value"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type updateResponse struct {
+	// NodeID is the root of the inserted subtree (node IDs are assigned
+	// contiguously in preorder from it) or the deleted/updated node.
+	NodeID int `json:"node_id"`
+	// Nodes is the number of nodes inserted or deleted (1 for update_text).
+	Nodes int `json:"nodes"`
+	// Epoch and LSN identify the first database version with the update;
+	// any query answered afterwards runs on Epoch or newer.
+	Epoch     uint64  `json:"epoch"`
+	LSN       uint64  `json:"lsn"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type snapshotResponse struct {
+	Path      string  `json:"path"`
+	Epoch     uint64  `json:"epoch"`
+	LSN       uint64  `json:"lsn"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
@@ -321,6 +393,16 @@ func mapError(err error) (int, string) {
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, xpath2sql.ErrQueryParse):
 		return http.StatusBadRequest, "parse"
+	case errors.Is(err, store.ErrUnknownNode):
+		return http.StatusNotFound, "unknown_node"
+	case errors.Is(err, store.ErrInvalid):
+		return http.StatusUnprocessableEntity, "invalid_update"
+	case errors.Is(err, store.ErrBadFragment):
+		return http.StatusBadRequest, "bad_fragment"
+	case errors.Is(err, store.ErrNoDurability):
+		return http.StatusUnprocessableEntity, "no_durability"
+	case errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
 	case errors.Is(err, xpath2sql.ErrUnsupportedQuery):
 		return http.StatusUnprocessableEntity, "unsupported"
 	case errors.As(err, &le), errors.Is(err, xpath2sql.ErrLimit):
@@ -439,7 +521,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	ans, err := p.ExecuteContext(ctx, s.db)
+	ans, err := p.ExecuteContext(ctx, s.database())
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -494,7 +576,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	ans, err := b.ExecuteContext(ctx, s.db)
+	ans, err := b.ExecuteContext(ctx, s.database())
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -561,6 +643,73 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleUpdate applies one document update through the live store. Updates
+// take an admission slot like queries (they compete for the same CPU), then
+// serialize on the store's writer lock.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.hookAfterAdmit != nil {
+		s.hookAfterAdmit()
+	}
+
+	t0 := time.Now()
+	var res store.UpdateResult
+	var err error
+	switch req.Op {
+	case "insert_subtree":
+		if req.Fragment == "" {
+			writeError(w, http.StatusBadRequest, "bad_request", `missing "fragment"`)
+			return
+		}
+		res, err = s.store.InsertSubtree(req.Parent, req.Fragment)
+	case "delete_subtree":
+		res, err = s.store.DeleteSubtree(req.Node)
+	case "update_text":
+		res, err = s.store.UpdateText(req.Node, req.Value)
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown op %q (want \"insert_subtree\", \"delete_subtree\" or \"update_text\")", req.Op))
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		NodeID:    res.NodeID,
+		Nodes:     res.Nodes,
+		Epoch:     res.Epoch,
+		LSN:       res.LSN,
+		ElapsedMS: time.Since(t0).Seconds() * 1000,
+	})
+}
+
+// handleSnapshot checkpoints the store: snapshot file written, WAL rotated,
+// covered segments garbage-collected. 422 on an ephemeral store.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Checkpoint()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Path:      info.Path,
+		Epoch:     info.Epoch,
+		LSN:       info.LSN,
+		ElapsedMS: info.Elapsed.Seconds() * 1000,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -579,6 +728,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.m.snapshot(s.cfg.Service, s.eng.CacheStats(), s.adm)
 	snap.InFlight = int64(s.adm.executing())
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &st
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap.WritePrometheus(w)
 }

@@ -1,0 +1,776 @@
+// Package store is the live document store: it wraps the shredded database
+// in an updatable, durable, snapshot-isolated layer so the query service can
+// mutate documents while queries keep running.
+//
+// Data model. The store holds the per-type edge relations R_A(F, T, V) and
+// node catalog produced by shredding (τd, §2.3) and maintains them
+// incrementally under three update operations — InsertSubtree, DeleteSubtree
+// and UpdateText — each validated against the DTD before it is applied (the
+// mutated document must still conform; only the touched parent and, for
+// inserts, the new subtree's interior need re-checking).
+//
+// Concurrency. One writer at a time (serialized by a mutex) builds each new
+// database version as a copy-on-write epoch: touched relations are cloned
+// (deletes tombstone rows on the clone and compact before publication,
+// inserts extend the clone), untouched relations are shared, and the node
+// catalog maps are copied. The finished epoch is published with one atomic
+// pointer swap; readers pin an epoch with View and never observe a
+// half-applied update, take no locks, and keep executing against their
+// pinned epoch even as newer ones land.
+//
+// Durability. Every update is appended to a length-prefixed, CRC-checked
+// write-ahead log before it is applied (see wal.go), with a configurable
+// fsync policy. Checkpoint writes the current epoch in the rdb.Save text
+// format (prefixed with a '#' metadata header) and rotates the log so
+// covered segments can be garbage-collected. Open recovers by loading the
+// newest snapshot and replaying the WAL tail; insert records carry their
+// assigned base node ID, so a recovered store answers queries byte-
+// identically to one that never crashed.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/obs"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/xmltree"
+)
+
+// Config assembles a Store.
+type Config struct {
+	// DTD validates every update. Required.
+	DTD *dtd.DTD
+	// Seed is the initial database (a freshly shredded document), used when
+	// neither SnapshotPath nor on-disk state in Dir provides one.
+	Seed *rdb.DB
+	// Dir is the durability directory (WAL segments and snapshots). Empty
+	// means ephemeral: updates work, nothing is persisted.
+	Dir string
+	// SnapshotPath, when set, boots from this snapshot file instead of Seed
+	// or the newest snapshot in Dir. The WAL in Dir (if any) is still
+	// replayed on top.
+	SnapshotPath string
+	// Fsync selects the WAL sync policy. Default: FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval policy's period. Default: 50ms.
+	FsyncInterval time.Duration
+	// CheckpointEvery triggers an automatic background checkpoint after this
+	// many applied updates. 0 disables automatic checkpoints.
+	CheckpointEvery int
+}
+
+// Epoch is one immutable published database version. Readers obtain one with
+// View and may use its DB for any number of query executions; it never
+// changes under them.
+type Epoch struct {
+	DB *rdb.DB
+	// Seq increases by one per applied update.
+	Seq uint64
+	// LSN is the last WAL record folded into this epoch.
+	LSN uint64
+}
+
+// UpdateResult describes one applied update.
+type UpdateResult struct {
+	// NodeID is the root of the inserted subtree (IDs are assigned
+	// contiguously in preorder starting here), or the deleted/updated node.
+	NodeID int
+	// Nodes is the number of nodes inserted or deleted (1 for text updates).
+	Nodes int
+	// Epoch and LSN identify the first version containing the update.
+	Epoch uint64
+	LSN   uint64
+}
+
+// CheckpointInfo describes one written snapshot.
+type CheckpointInfo struct {
+	Path    string
+	LSN     uint64
+	Epoch   uint64
+	Elapsed time.Duration
+}
+
+// Store is the live document store. Build with Open.
+type Store struct {
+	dtd *dtd.DTD
+	cfg Config
+	dir string
+
+	cur atomic.Pointer[Epoch]
+
+	mu        sync.Mutex // serializes writers; guards the fields below
+	w         *walWriter
+	segStart  uint64 // first LSN of the segment w appends to
+	lsn       uint64 // last applied LSN
+	nextID    int    // next node ID to assign
+	sinceCkpt int
+	closed    bool
+
+	ckptMu sync.Mutex // serializes snapshot file writes
+
+	inserts     atomic.Int64
+	deletes     atomic.Int64
+	textUpdates atomic.Int64
+	rejected    atomic.Int64
+	walBytes    atomic.Int64
+	walRecords  atomic.Int64
+	replayed    atomic.Int64
+	checkpoints atomic.Int64
+	applyHist   *obs.Histogram
+}
+
+// Open builds the store: from cfg.SnapshotPath if set, else from the newest
+// snapshot in cfg.Dir, else from cfg.Seed; then replays the WAL tail in
+// cfg.Dir and opens it for appending. A durable store that has no snapshot
+// yet writes one immediately, so recovery never depends on the seed.
+func Open(cfg Config) (*Store, error) {
+	if cfg.DTD == nil {
+		return nil, errors.New("store: Config.DTD is required")
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncInterval
+	}
+	if _, err := ParseFsyncPolicy(string(cfg.Fsync)); err != nil {
+		return nil, err
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 50 * time.Millisecond
+	}
+	s := &Store{dtd: cfg.DTD, cfg: cfg, dir: cfg.Dir, applyHist: obs.NewHistogram(nil)}
+
+	if s.dir != "" {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	var db *rdb.DB
+	var seq, lsn uint64
+	next := 0
+	switch {
+	case cfg.SnapshotPath != "":
+		var err error
+		if db, seq, lsn, next, err = loadSnapshotFile(cfg.SnapshotPath); err != nil {
+			return nil, err
+		}
+	default:
+		if s.dir != "" {
+			path, ok, err := latestSnapshot(s.dir)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if db, seq, lsn, next, err = loadSnapshotFile(path); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if db == nil {
+			if cfg.Seed == nil {
+				return nil, errors.New("store: no seed database and no on-disk snapshot")
+			}
+			db = cfg.Seed
+		}
+	}
+	if next <= 0 {
+		next = maxNodeID(db) + 1
+	}
+	// Every DTD type gets a relation now, while we are single-threaded:
+	// executors call DB.Rel, which must not mutate the shared map later.
+	for _, t := range cfg.DTD.Types() {
+		db.Rel(shred.RelName(t))
+	}
+	s.nextID = next
+	s.lsn = lsn
+	s.cur.Store(&Epoch{DB: db, Seq: seq, LSN: lsn})
+
+	if s.dir != "" {
+		if err := s.replayDir(); err != nil {
+			return nil, err
+		}
+		segs, err := listSegments(s.dir)
+		if err != nil {
+			return nil, err
+		}
+		var w *walWriter
+		if len(segs) > 0 {
+			last := segs[len(segs)-1]
+			if w, err = openWALWriter(last.path, cfg.Fsync, cfg.FsyncInterval); err != nil {
+				return nil, err
+			}
+			s.segStart = last.start
+		} else {
+			s.segStart = s.lsn + 1
+			if w, err = openWALWriter(filepath.Join(s.dir, segName(s.segStart)), cfg.Fsync, cfg.FsyncInterval); err != nil {
+				return nil, err
+			}
+		}
+		s.w = w
+		hasSnap, err := hasSnapshot(s.dir)
+		if err != nil {
+			return nil, err
+		}
+		if !hasSnap {
+			if _, err := s.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// View returns the current epoch. The result is immutable; readers may keep
+// using it for as long as they like.
+func (s *Store) View() *Epoch { return s.cur.Load() }
+
+// InsertSubtree parses fragment as one XML element, validates it (the
+// subtree must conform to the DTD and parentID's production must admit one
+// more child of its root type) and inserts it under parentID. Node IDs are
+// assigned contiguously in preorder starting at the returned NodeID.
+func (s *Store) InsertSubtree(parentID int, fragment string) (UpdateResult, error) {
+	return s.apply(walRecord{Op: opInsert, Parent: parentID, Fragment: fragment})
+}
+
+// DeleteSubtree removes the subtree rooted at nodeID. The root element
+// cannot be deleted, and the parent's production must admit the remaining
+// children.
+func (s *Store) DeleteSubtree(nodeID int) (UpdateResult, error) {
+	return s.apply(walRecord{Op: opDelete, Node: nodeID})
+}
+
+// UpdateText replaces the text value of nodeID.
+func (s *Store) UpdateText(nodeID int, value string) (UpdateResult, error) {
+	return s.apply(walRecord{Op: opUpdateText, Node: nodeID, Value: value})
+}
+
+// apply is the serialized writer entry point for live updates.
+func (s *Store) apply(rec walRecord) (UpdateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return UpdateResult{}, ErrClosed
+	}
+	res, err := s.applyRecord(rec, true)
+	if err != nil {
+		if errors.Is(err, ErrInvalid) || errors.Is(err, ErrUnknownNode) || errors.Is(err, ErrBadFragment) {
+			s.rejected.Add(1)
+		}
+		return res, err
+	}
+	if s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		s.sinceCkpt = 0
+		go func() { _, _ = s.Checkpoint() }()
+	}
+	return res, nil
+}
+
+// applyRecord validates rec, logs it (when log is true), folds it into a new
+// epoch and publishes the epoch. Callers hold s.mu (or are single-threaded,
+// during recovery).
+func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
+	t0 := time.Now()
+	ep := s.cur.Load()
+	var frag *xmltree.Document
+
+	switch rec.Op {
+	case opInsert:
+		var err error
+		if frag, err = xmltree.Parse(rec.Fragment); err != nil {
+			return UpdateResult{}, fmt.Errorf("%w: %v", ErrBadFragment, err)
+		}
+		if err := s.validateInsert(ep.DB, rec.Parent, frag); err != nil {
+			return UpdateResult{}, err
+		}
+		if log {
+			rec.Base = s.nextID
+		} else if rec.Base != s.nextID {
+			return UpdateResult{}, fmt.Errorf("%w: insert record base %d, want %d", ErrCorrupt, rec.Base, s.nextID)
+		}
+	case opDelete:
+		if err := s.validateDelete(ep.DB, rec.Node); err != nil {
+			return UpdateResult{}, err
+		}
+	case opUpdateText:
+		if err := s.validateUpdateText(ep.DB, rec.Node); err != nil {
+			return UpdateResult{}, err
+		}
+	default:
+		return UpdateResult{}, fmt.Errorf("%w: unknown WAL op %q", ErrCorrupt, rec.Op)
+	}
+
+	if log {
+		rec.LSN = s.lsn + 1
+		if s.w != nil {
+			n, err := s.w.append(rec)
+			if err != nil {
+				return UpdateResult{}, fmt.Errorf("store: wal append: %w", err)
+			}
+			s.walBytes.Add(int64(n))
+			s.walRecords.Add(1)
+		}
+	}
+
+	t := newTxn(ep.DB)
+	res := UpdateResult{}
+	switch rec.Op {
+	case opInsert:
+		n := applyInsert(t, rec.Parent, rec.Base, frag)
+		res.NodeID, res.Nodes = rec.Base, n
+		if rec.Base+n > s.nextID {
+			s.nextID = rec.Base + n
+		}
+		s.inserts.Add(1)
+	case opDelete:
+		n := applyDelete(t, s.dtd, rec.Node)
+		res.NodeID, res.Nodes = rec.Node, n
+		s.deletes.Add(1)
+	case opUpdateText:
+		applyUpdateText(t, rec.Node, rec.Value)
+		res.NodeID, res.Nodes = rec.Node, 1
+		s.textUpdates.Add(1)
+	}
+	t.compact()
+
+	next := &Epoch{DB: t.db, Seq: ep.Seq + 1, LSN: rec.LSN}
+	s.lsn = rec.LSN
+	s.sinceCkpt++
+	s.cur.Store(next)
+	res.Epoch, res.LSN = next.Seq, next.LSN
+	s.applyHist.Observe(time.Since(t0))
+	return res, nil
+}
+
+// txn accumulates one update's copy-on-write state: a fresh DB sharing every
+// untouched relation with the parent epoch, with touched relations cloned
+// exactly once and the catalog maps copied.
+type txn struct {
+	db     *rdb.DB
+	cloned map[string]*rdb.Relation
+}
+
+func newTxn(old *rdb.DB) *txn {
+	nd := &rdb.DB{
+		Rels:     make(map[string]*rdb.Relation, len(old.Rels)),
+		Syms:     old.Syms,
+		Vals:     make(map[int]string, len(old.Vals)+8),
+		Labels:   make(map[int]string, len(old.Labels)+8),
+		ParentOf: make(map[int]int, len(old.ParentOf)+8),
+	}
+	for k, v := range old.Rels {
+		nd.Rels[k] = v
+	}
+	for k, v := range old.Vals {
+		nd.Vals[k] = v
+	}
+	for k, v := range old.Labels {
+		nd.Labels[k] = v
+	}
+	for k, v := range old.ParentOf {
+		nd.ParentOf[k] = v
+	}
+	return &txn{db: nd, cloned: map[string]*rdb.Relation{}}
+}
+
+// rel returns the transaction's private clone of the named relation.
+func (t *txn) rel(name string) *rdb.Relation {
+	if r, ok := t.cloned[name]; ok {
+		return r
+	}
+	var c *rdb.Relation
+	if r, ok := t.db.Rels[name]; ok {
+		c = r.Clone()
+		t.db.Rels[name] = c
+	} else {
+		c = t.db.Rel(name)
+	}
+	t.cloned[name] = c
+	return c
+}
+
+// compact restores the no-tombstone invariant on every touched relation
+// before the epoch is published.
+func (t *txn) compact() {
+	for _, r := range t.cloned {
+		r.Compact()
+	}
+}
+
+// applyInsert adds the fragment's nodes (preorder, IDs base, base+1, …) to
+// the edge relations and catalog. Returns the node count.
+func applyInsert(t *txn, parentID, base int, frag *xmltree.Document) int {
+	nodes := frag.Nodes()
+	for _, n := range nodes {
+		id := base + int(n.ID) - 1
+		f := parentID
+		if n.Parent != nil {
+			f = base + int(n.Parent.ID) - 1
+		}
+		t.rel(shred.RelName(n.Label)).Add(f, id, n.Val)
+		t.db.Vals[id] = n.Val
+		t.db.Labels[id] = n.Label
+		t.db.ParentOf[id] = f
+	}
+	return len(nodes)
+}
+
+// applyDelete tombstones every edge of the subtree rooted at nodeID and
+// removes its catalog entries. Returns the node count.
+func applyDelete(t *txn, d *dtd.DTD, nodeID int) int {
+	ids := collectSubtree(t.db, d, nodeID)
+	for _, id := range ids {
+		label := t.db.Labels[id]
+		f := t.db.ParentOf[id]
+		t.rel(shred.RelName(label)).Delete(f, id)
+		delete(t.db.Vals, id)
+		delete(t.db.Labels, id)
+		delete(t.db.ParentOf, id)
+	}
+	return len(ids)
+}
+
+// applyUpdateText rewrites the V attribute of nodeID's edge tuple and its
+// catalog value.
+func applyUpdateText(t *txn, nodeID int, value string) {
+	label := t.db.Labels[nodeID]
+	f := t.db.ParentOf[nodeID]
+	t.rel(shred.RelName(label)).UpdateValue(f, nodeID, value)
+	t.db.Vals[nodeID] = value
+}
+
+// collectSubtree returns the IDs of the subtree rooted at id, in preorder,
+// discovered through the edge relations (children of n hold it as F).
+func collectSubtree(db *rdb.DB, d *dtd.DTD, id int) []int {
+	out := []int{id}
+	types := d.Types()
+	for i := 0; i < len(out); i++ {
+		cur := out[i]
+		var kids []int
+		for _, typ := range types {
+			rel, ok := db.Rels[shred.RelName(typ)]
+			if !ok {
+				continue
+			}
+			for _, tup := range rel.ChildrenOf(cur) {
+				kids = append(kids, tup.T)
+			}
+		}
+		sort.Ints(kids)
+		out = append(out, kids...)
+	}
+	return out
+}
+
+// Checkpoint writes the current epoch as a snapshot file, rotates the WAL so
+// every covered record lives in garbage-collectable segments, and removes
+// superseded snapshots and segments. Readers and writers keep running; only
+// the brief segment rotation holds the writer lock.
+func (s *Store) Checkpoint() (CheckpointInfo, error) {
+	if s.dir == "" {
+		return CheckpointInfo{}, ErrNoDurability
+	}
+	t0 := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CheckpointInfo{}, ErrClosed
+	}
+	ep := s.cur.Load()
+	next := s.nextID
+	if s.w != nil && s.segStart <= ep.LSN {
+		if err := s.w.close(); err != nil {
+			s.mu.Unlock()
+			return CheckpointInfo{}, err
+		}
+		w, err := openWALWriter(filepath.Join(s.dir, segName(ep.LSN+1)), s.cfg.Fsync, s.cfg.FsyncInterval)
+		if err != nil {
+			// Reopen the previous segment so the store stays writable.
+			if old, rerr := openWALWriter(filepath.Join(s.dir, segName(s.segStart)), s.cfg.Fsync, s.cfg.FsyncInterval); rerr == nil {
+				s.w = old
+			} else {
+				s.w = nil
+			}
+			s.mu.Unlock()
+			return CheckpointInfo{}, err
+		}
+		s.w = w
+		s.segStart = ep.LSN + 1
+	}
+	s.sinceCkpt = 0
+	s.mu.Unlock()
+
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	path := filepath.Join(s.dir, snapName(ep.LSN))
+	if err := writeSnapshotFile(path, ep, next); err != nil {
+		return CheckpointInfo{}, err
+	}
+	s.checkpoints.Add(1)
+	s.gc(ep.LSN)
+	return CheckpointInfo{Path: path, LSN: ep.LSN, Epoch: ep.Seq, Elapsed: time.Since(t0)}, nil
+}
+
+// gc removes snapshots older than lsn and WAL segments fully covered by the
+// snapshot at lsn (the log was rotated at lsn+1, so a segment starting at or
+// before lsn contains only records ≤ lsn).
+func (s *Store) gc(lsn uint64) {
+	snaps, _ := filepath.Glob(filepath.Join(s.dir, "snap-*.rdb"))
+	for _, p := range snaps {
+		if l, ok := parseStamp(filepath.Base(p), "snap-", ".rdb"); ok && l < lsn {
+			os.Remove(p)
+		}
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return
+	}
+	for _, seg := range segs {
+		if seg.start <= lsn {
+			os.Remove(seg.path)
+		}
+	}
+}
+
+// replayDir replays every WAL record past the loaded snapshot, truncating a
+// torn tail on the final segment and rejecting corruption anywhere else.
+func (s *Store) replayDir() error {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		goodOff, torn, err := readSegment(seg.path, func(rec walRecord) error {
+			if rec.LSN <= s.lsn {
+				return nil
+			}
+			if rec.LSN != s.lsn+1 {
+				return fmt.Errorf("%w: WAL gap in %s: record LSN %d, want %d",
+					ErrCorrupt, seg.path, rec.LSN, s.lsn+1)
+			}
+			if _, err := s.applyRecord(rec, false); err != nil {
+				return fmt.Errorf("store: replay of LSN %d failed: %w", rec.LSN, err)
+			}
+			s.replayed.Add(1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if torn {
+			if i != len(segs)-1 {
+				return fmt.Errorf("%w: torn or corrupt record inside non-final segment %s", ErrCorrupt, seg.path)
+			}
+			if err := os.Truncate(seg.path, goodOff); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL. The last published epoch stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.w != nil {
+		err := s.w.close()
+		s.w = nil
+		return err
+	}
+	return nil
+}
+
+// crash abandons the store without flushing or syncing — the unclean-stop
+// seam recovery tests use in place of kill -9.
+func (s *Store) crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.w != nil {
+		_ = s.w.closeNoSync()
+		s.w = nil
+	}
+}
+
+// Stats snapshots the store's counters for the metrics endpoint.
+func (s *Store) Stats() obs.StoreStats {
+	ep := s.View()
+	return obs.StoreStats{
+		Epoch:       ep.Seq,
+		LSN:         ep.LSN,
+		Nodes:       int64(ep.DB.NumNodes()),
+		Inserts:     s.inserts.Load(),
+		Deletes:     s.deletes.Load(),
+		TextUpdates: s.textUpdates.Load(),
+		Rejected:    s.rejected.Load(),
+		WALBytes:    s.walBytes.Load(),
+		WALRecords:  s.walRecords.Load(),
+		Replayed:    s.replayed.Load(),
+		Checkpoints: s.checkpoints.Load(),
+		Apply:       s.applyHist.Snapshot(),
+	}
+}
+
+// Durable reports whether the store persists updates (a directory is
+// configured).
+func (s *Store) Durable() bool { return s.dir != "" }
+
+// --- on-disk layout helpers ---------------------------------------------
+
+func segName(startLSN uint64) string { return fmt.Sprintf("wal-%016d.log", startLSN) }
+func snapName(lsn uint64) string     { return fmt.Sprintf("snap-%016d.rdb", lsn) }
+
+// parseStamp extracts the decimal stamp from names like wal-<n>.log.
+func parseStamp(base, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(base, prefix) || !strings.HasSuffix(base, suffix) {
+		return 0, false
+	}
+	mid := base[len(prefix) : len(base)-len(suffix)]
+	var n uint64
+	if _, err := fmt.Sscanf(mid, "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+type segInfo struct {
+	path  string
+	start uint64
+}
+
+// listSegments returns the WAL segments of dir ordered by start LSN.
+func listSegments(dir string) ([]segInfo, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	var out []segInfo
+	for _, p := range paths {
+		if start, ok := parseStamp(filepath.Base(p), "wal-", ".log"); ok {
+			out = append(out, segInfo{path: p, start: start})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out, nil
+}
+
+// latestSnapshot returns the newest snapshot file in dir, if any.
+func latestSnapshot(dir string) (string, bool, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "snap-*.rdb"))
+	if err != nil {
+		return "", false, err
+	}
+	best, bestLSN, found := "", uint64(0), false
+	for _, p := range paths {
+		if l, ok := parseStamp(filepath.Base(p), "snap-", ".rdb"); ok {
+			if !found || l > bestLSN {
+				best, bestLSN, found = p, l, true
+			}
+		}
+	}
+	return best, found, nil
+}
+
+func hasSnapshot(dir string) (bool, error) {
+	_, ok, err := latestSnapshot(dir)
+	return ok, err
+}
+
+// HasState reports whether dir holds a snapshot a store could boot from,
+// letting callers skip building a seed database (parsing and shredding a
+// document) when Open would ignore it anyway.
+func HasState(dir string) (bool, error) {
+	if dir == "" {
+		return false, nil
+	}
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	} else if err != nil {
+		return false, err
+	}
+	return hasSnapshot(dir)
+}
+
+const snapHeaderFmt = "# xpath2sql-snapshot v1 seq=%d lsn=%d next=%d"
+
+// writeSnapshotFile persists ep in the rdb.Save format prefixed with the
+// store's metadata header, atomically (temp file + rename + directory sync).
+func writeSnapshotFile(path string, ep *Epoch, next int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		if _, err := fmt.Fprintf(f, snapHeaderFmt+"\n", ep.Seq, ep.LSN, next); err != nil {
+			return err
+		}
+		if err := ep.DB.Save(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadSnapshotFile reads a snapshot written by Checkpoint, or a plain
+// rdb.Save file (headerless: LSN 0, next ID derived from the catalog).
+func loadSnapshotFile(path string) (db *rdb.DB, seq, lsn uint64, next int, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if line, _, ok := bytes.Cut(blob, []byte("\n")); ok {
+		var s2, l2 uint64
+		var n2 int
+		if _, err := fmt.Sscanf(string(line), snapHeaderFmt, &s2, &l2, &n2); err == nil {
+			seq, lsn, next = s2, l2, n2
+		}
+	}
+	db, err = rdb.Load(bytes.NewReader(blob))
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return db, seq, lsn, next, nil
+}
+
+// maxNodeID returns the largest node ID in the catalog.
+func maxNodeID(db *rdb.DB) int {
+	max := 0
+	for id := range db.Vals {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
