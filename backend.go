@@ -1,0 +1,67 @@
+package xpath2sql
+
+import (
+	"context"
+	"errors"
+
+	"xpath2sql/internal/backend"
+	"xpath2sql/internal/backend/sqlbe"
+)
+
+// Backend is a pluggable execution engine for translated programs: it loads
+// a shredded database (Load), pins immutable views of it (Snapshot), and the
+// snapshots execute programs. Two implementations ship with the package:
+//
+//   - NewLocalBackend wraps the bundled in-memory relational engine — the
+//     default every Engine uses implicitly through ExecuteContext.
+//   - OpenSQLBackend shreds the (F, T, V) relations into real SQL tables via
+//     database/sql and executes the rendered WITH RECURSIVE statement
+//     sequence on the database — the paper's target deployment.
+//
+// Backends are safe for concurrent use. Load replaces the full document
+// image and advances the epoch; Snapshot pins the current epoch for querying
+// (implementations differ in isolation strength — see the package's DESIGN
+// notes). External Backend implementations are welcome: the contract is
+// documented on the interface methods (internal/backend's package doc is the
+// authoritative version).
+type Backend = backend.Backend
+
+// BackendSnapshot is a pinned, queryable view of a Backend's loaded data.
+type BackendSnapshot = backend.Snapshot
+
+// Backend lifecycle errors.
+var (
+	// ErrBackendClosed: the backend (or snapshot's backend) was closed.
+	ErrBackendClosed = backend.ErrClosed
+	// ErrNoData: Snapshot was called before any Load completed.
+	ErrNoData = backend.ErrNoData
+	// ErrNoBackend: Translation.Execute on an Engine built without
+	// WithBackend.
+	ErrNoBackend = errors.New("xpath2sql: engine has no backend (build it with WithBackend)")
+	// ErrExecDialect: OpenSQLBackend can only execute the DB2 / SQL'99
+	// WITH RECURSIVE dialect (Oracle's CONNECT BY form is render-only).
+	ErrExecDialect = sqlbe.ErrExecDialect
+)
+
+// NewLocalBackend wraps a shredded database in the bundled in-process
+// relational backend. The database is adopted as epoch 1; later Loads
+// replace it.
+func NewLocalBackend(db *DB) Backend {
+	return backend.NewLocalDB(db)
+}
+
+// SQLBackendOptions configures OpenSQLBackend / NewSQLBackend.
+type SQLBackendOptions = sqlbe.Options
+
+// OpenSQLBackend opens a database/sql connection and returns a Backend that
+// executes translated programs as real SQL — DDL and parameterized INSERTs
+// at Load, the rendered WITH RECURSIVE statement sequence at Execute. The
+// caller's main package must have registered the driver (this package never
+// imports one); opts may be zero-valued.
+func OpenSQLBackend(ctx context.Context, driverName, dsn string, opts ...SQLBackendOptions) (Backend, error) {
+	var o sqlbe.Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sqlbe.Open(ctx, driverName, dsn, o)
+}

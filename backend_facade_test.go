@@ -1,0 +1,173 @@
+package xpath2sql_test
+
+// Tests for the public Backend surface: WithBackend engine wiring,
+// Translation.Execute/ExecuteOn, and the typed-error SQL renderer. The fake
+// database/sql driver is linked here (test files and main packages are the
+// only places drivers may be imported).
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"xpath2sql"
+	"xpath2sql/internal/backend/fakedb"
+)
+
+func backendSetup(t *testing.T) (*xpath2sql.DTD, *xpath2sql.Document, *xpath2sql.DB) {
+	t.Helper()
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, doc, db
+}
+
+// TestEngineWithBackend: an engine built with WithBackend executes through
+// it, and the answers match ExecuteContext on the same data.
+func TestEngineWithBackend(t *testing.T) {
+	d, doc, db := backendSetup(t)
+	ctx := context.Background()
+
+	eng := xpath2sql.New(d, xpath2sql.WithBackend(xpath2sql.NewLocalBackend(db)))
+	p, err := eng.PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Execute(ctx)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	direct, err := p.ExecuteContext(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.IDs) != len(direct.IDs) {
+		t.Fatalf("backend %v vs direct %v", ans.IDs, direct.IDs)
+	}
+	want := xpath2sql.EvalXPath(mustParseQuery(t, "dept//project"), doc)
+	if len(ans.IDs) != len(want) {
+		t.Fatalf("backend %v vs oracle %v", ans.IDs, want)
+	}
+	if ans.Stats.StmtsRun == 0 {
+		t.Fatal("no statements recorded")
+	}
+	if ans.Explain() == "" {
+		t.Fatal("empty Explain output")
+	}
+}
+
+// TestExecuteWithoutBackend: Execute on an engine built without WithBackend
+// reports ErrNoBackend; ExecuteContext still works.
+func TestExecuteWithoutBackend(t *testing.T) {
+	d, _, db := backendSetup(t)
+	ctx := context.Background()
+	p, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx); !errors.Is(err, xpath2sql.ErrNoBackend) {
+		t.Fatalf("Execute without backend: err = %v, want ErrNoBackend", err)
+	}
+	if _, err := p.ExecuteContext(ctx, db); err != nil {
+		t.Fatalf("ExecuteContext: %v", err)
+	}
+}
+
+// TestExecuteOnSQLBackend: the same prepared query executed on the
+// in-process backend and on the SQL backend (fake driver) agrees, via the
+// public facade only.
+func TestExecuteOnSQLBackend(t *testing.T) {
+	d, doc, db := backendSetup(t)
+	ctx := context.Background()
+
+	dsn := "memory://facade-sqlbackend"
+	fakedb.Reset(dsn)
+	t.Cleanup(func() { fakedb.Reset(dsn) })
+	be, err := xpath2sql.OpenSQLBackend(ctx, fakedb.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if _, err := be.Snapshot(ctx); !errors.Is(err, xpath2sql.ErrNoData) {
+		t.Fatalf("Snapshot before Load: err = %v, want ErrNoData", err)
+	}
+	if err := be.Load(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := xpath2sql.New(d, xpath2sql.WithBackend(be))
+	for _, qs := range []string{"dept//project", "//course[.//prereq]", "//student/name"} {
+		p, err := eng.PrepareString(ctx, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSQL, err := p.Execute(ctx)
+		if err != nil {
+			t.Fatalf("%s on SQL backend: %v", qs, err)
+		}
+		viaLocal, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
+		if err != nil {
+			t.Fatalf("%s on local backend: %v", qs, err)
+		}
+		if len(viaSQL.IDs) != len(viaLocal.IDs) {
+			t.Fatalf("%s: sql %v vs local %v", qs, viaSQL.IDs, viaLocal.IDs)
+		}
+		for i := range viaSQL.IDs {
+			if viaSQL.IDs[i] != viaLocal.IDs[i] {
+				t.Fatalf("%s: sql %v vs local %v", qs, viaSQL.IDs, viaLocal.IDs)
+			}
+		}
+		want := xpath2sql.EvalXPath(mustParseQuery(t, qs), doc)
+		if len(want) != len(viaSQL.IDs) {
+			t.Fatalf("%s: sql %v vs oracle %v", qs, viaSQL.IDs, want)
+		}
+	}
+
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); !errors.Is(err, xpath2sql.ErrBackendClosed) {
+		t.Fatalf("double close: err = %v, want ErrBackendClosed", err)
+	}
+}
+
+// TestSQLTypedErrors: the SQL renderer validates its dialect and rejects
+// render-only plans with matchable sentinels.
+func TestSQLTypedErrors(t *testing.T) {
+	d, _, _ := backendSetup(t)
+	ctx := context.Background()
+	p, err := xpath2sql.New(d).PrepareString(ctx, "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SQL(xpath2sql.Dialect(99)); !errors.Is(err, xpath2sql.ErrDialect) {
+		t.Fatalf("bad dialect: err = %v, want ErrDialect", err)
+	}
+	sql, err := p.SQL(xpath2sql.DialectDB2,
+		xpath2sql.WithNodesTable("catalog"), xpath2sql.WithTempPrefix("z9_"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "z9_") {
+		t.Fatalf("temp prefix not applied:\n%s", sql)
+	}
+}
+
+func mustParseQuery(t *testing.T, s string) xpath2sql.Query {
+	t.Helper()
+	q, err := xpath2sql.ParseQuery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

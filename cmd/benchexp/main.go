@@ -12,11 +12,15 @@
 // BENCH_serve.json), and the live-store load generator (-exp store), which
 // mixes queries with WAL-logged updates at a configurable write fraction
 // (-write-frac) and reports read and write QPS/latency separately (-json,
-// the committed BENCH_store.json).
+// the committed BENCH_store.json), and the SQL-backend experiment
+// (-exp sqlbackend), which executes the same translated programs on the
+// in-process rdb engine and as rendered WITH RECURSIVE text on the
+// database/sql executor over the in-repo hermetic driver, cross-checking
+// every answer (-json, the committed BENCH_sqlbackend.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|sqlbackend]
 //	         [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
 //	         [-write-frac 0.2] [-cpuprofile file] [-memprofile file]
@@ -30,19 +34,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
+	"xpath2sql/internal/backend/fakedb"
+	"xpath2sql/internal/backend/sqlbe"
 	"xpath2sql/internal/bench"
 	"xpath2sql/internal/obs"
 	"xpath2sql/internal/serveload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve or store")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store or sqlbackend")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
@@ -114,6 +121,24 @@ func main() {
 	case "store":
 		var report *serveload.StoreReport
 		if report, err = serveload.RunStore(cfg, *writeFrac); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "sqlbackend":
+		// The driver is linked here, in the main package, per the layering
+		// rule; internal/bench only sees the opened backend.
+		ctx := context.Background()
+		dsn := "memory://benchexp"
+		fakedb.Reset(dsn)
+		var be *sqlbe.Backend
+		if be, err = sqlbe.Open(ctx, fakedb.DriverName, dsn, sqlbe.Options{}); err != nil {
+			fatal(err)
+		}
+		defer be.Close()
+		var report *bench.SQLBackendReport
+		if report, err = bench.RunSQLBackend(cfg, be, fakedb.DriverName); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

@@ -76,7 +76,11 @@ func main() {
 			if strings.EqualFold(*dialect, "oracle") {
 				dl = xpath2sql.DialectOracle
 			}
-			fmt.Print(tr.SQL(dl))
+			sql, err := tr.SQL(dl)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(sql)
 		case "":
 		default:
 			fatal(fmt.Errorf("unknown -show item %q", what))

@@ -26,6 +26,8 @@
 //	xpathd -dtd dept.dtd -xml doc.xml [-addr :8080]
 //	xpathd -dtd dept.dtd -gen 100000 [-gen-xl 12] [-gen-xr 4] [-seed 42]
 //	xpathd -dtd dept.dtd -wal-dir ./data [-xml doc.xml]   # recover if data exists
+//	xpathd -dtd dept.dtd -xml doc.xml -backend sql [-sql-driver fakesql]
+//	       [-sql-dsn memory://xpathd]                 # read-only SQL executor
 //	xpathd -dtd dept.dtd -snapshot snap.rdb [-wal-dir ./data]
 //	       [-fsync always|interval|never] [-fsync-interval 50ms]
 //	       [-checkpoint-every 1000]
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"xpath2sql"
+	"xpath2sql/internal/backend/fakedb" // registers the hermetic "fakesql" driver
 	"xpath2sql/internal/server"
 	"xpath2sql/internal/store"
 )
@@ -71,6 +74,10 @@ type options struct {
 	fsync           string
 	fsyncInterval   time.Duration
 	checkpointEvery int
+
+	backend   string
+	sqlDriver string
+	sqlDSN    string
 
 	strategy      string
 	workers       int
@@ -99,6 +106,9 @@ func main() {
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL sync policy: always, interval or never")
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 50*time.Millisecond, "period for -fsync interval")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 1000, "auto-checkpoint after this many updates (0 disables)")
+	flag.StringVar(&o.backend, "backend", "rdb", "execution backend: rdb (in-process live store) or sql (read-only database/sql executor)")
+	flag.StringVar(&o.sqlDriver, "sql-driver", fakedb.DriverName, "database/sql driver name for -backend sql (in-repo fake driver by default)")
+	flag.StringVar(&o.sqlDSN, "sql-dsn", "memory://xpathd", "database/sql DSN for -backend sql")
 	flag.StringVar(&o.strategy, "strategy", "X", "translation strategy: X, E or R")
 	flag.IntVar(&o.workers, "parallel", runtime.GOMAXPROCS(0), "concurrent statement evaluations per query")
 	flag.IntVar(&o.cacheSize, "cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
@@ -117,6 +127,42 @@ func main() {
 	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadDocument builds the document to serve from -xml or -gen.
+func loadDocument(o options, d *xpath2sql.DTD) (*xpath2sql.Document, error) {
+	if o.xmlPath != "" {
+		xsrc, err := os.ReadFile(o.xmlPath)
+		if err != nil {
+			return nil, err
+		}
+		return xpath2sql.ParseXML(string(xsrc))
+	}
+	if o.gen <= 0 {
+		flag.Usage()
+		return nil, errors.New("one of -xml or -gen is required")
+	}
+	// Random generation is a branching process that can go extinct
+	// early; retry seeds until the document reaches a healthy fraction
+	// of the requested size.
+	var doc *xpath2sql.Document
+	for attempt := int64(0); attempt < 32; attempt++ {
+		cand, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
+			XL: o.genXL, XR: o.genXR, Seed: o.seed + attempt*7919, MaxNodes: o.gen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if doc == nil || cand.Size() > doc.Size() {
+			doc = cand
+		}
+		if doc.Size() >= o.gen/2 {
+			break
+		}
+	}
+	log.Printf("generated synthetic document: %d elements (xl=%d xr=%d seed=%d)",
+		doc.Size(), o.genXL, o.genXR, o.seed)
+	return doc, nil
 }
 
 // boot decides between the two start paths — recover persisted state, or
@@ -149,35 +195,9 @@ func boot(o options, d *xpath2sql.DTD) (*store.Store, error) {
 			flag.Usage()
 			return nil, errors.New("one of -xml, -gen or -snapshot is required (or a -wal-dir with prior state)")
 		}
-		var doc *xpath2sql.Document
-		if o.xmlPath != "" {
-			xsrc, err := os.ReadFile(o.xmlPath)
-			if err != nil {
-				return nil, err
-			}
-			if doc, err = xpath2sql.ParseXML(string(xsrc)); err != nil {
-				return nil, err
-			}
-		} else {
-			// Random generation is a branching process that can go extinct
-			// early; retry seeds until the document reaches a healthy fraction
-			// of the requested size.
-			for attempt := int64(0); attempt < 32; attempt++ {
-				cand, err := xpath2sql.Generate(d, xpath2sql.GenOptions{
-					XL: o.genXL, XR: o.genXR, Seed: o.seed + attempt*7919, MaxNodes: o.gen,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if doc == nil || cand.Size() > doc.Size() {
-					doc = cand
-				}
-				if doc.Size() >= o.gen/2 {
-					break
-				}
-			}
-			log.Printf("generated synthetic document: %d elements (xl=%d xr=%d seed=%d)",
-				doc.Size(), o.genXL, o.genXR, o.seed)
+		doc, err := loadDocument(o, d)
+		if err != nil {
+			return nil, err
 		}
 		if seed, err = xpath2sql.Shred(doc, d); err != nil {
 			return nil, err
@@ -225,12 +245,6 @@ func run(o options) error {
 		return err
 	}
 
-	st, err := boot(o, d)
-	if err != nil {
-		return err
-	}
-	defer st.Close()
-
 	var strat xpath2sql.Strategy
 	switch strings.ToUpper(o.strategy) {
 	case "X":
@@ -248,15 +262,62 @@ func run(o options) error {
 		xpath2sql.WithCacheSize(o.cacheSize),
 		xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: o.maxLFPIters, MaxTuples: o.maxTuples}),
 	)
-	srv, err := server.New(server.Config{
+
+	cfg := server.Config{
 		Engine:         eng,
-		Store:          st,
 		MaxConcurrent:  o.maxConcurrent,
 		QueueDepth:     o.queueDepth,
 		RequestTimeout: o.reqTimeout,
 		BatchWindow:    o.batchWindow,
 		MaxBatch:       o.maxBatch,
-	})
+	}
+	var nodes int
+	var mode string
+	switch o.backend {
+	case "rdb":
+		st, err := boot(o, d)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+		nodes = st.View().DB.NumNodes()
+		mode = "ephemeral"
+		if st.Durable() {
+			mode = fmt.Sprintf("durable (wal-dir=%s fsync=%s)", o.walDir, o.fsync)
+		}
+	case "sql":
+		// The SQL backend serves a frozen image of the document: queries
+		// run the generated WITH RECURSIVE text on a database/sql driver,
+		// and the live-store machinery (updates, WAL, snapshots) is off.
+		if o.walDir != "" || o.snapshot != "" {
+			return errors.New("-backend sql is read-only: -wal-dir and -snapshot are not supported")
+		}
+		doc, err := loadDocument(o, d)
+		if err != nil {
+			return err
+		}
+		db, err := xpath2sql.Shred(doc, d)
+		if err != nil {
+			return err
+		}
+		be, err := xpath2sql.OpenSQLBackend(context.Background(), o.sqlDriver, o.sqlDSN)
+		if err != nil {
+			return err
+		}
+		defer be.Close()
+		t0 := time.Now()
+		if err := be.Load(context.Background(), db); err != nil {
+			return err
+		}
+		cfg.Backend = be
+		nodes = db.NumNodes()
+		mode = fmt.Sprintf("sql backend (driver=%s, read-only, loaded in %v)",
+			o.sqlDriver, time.Since(t0).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown -backend %q (rdb or sql)", o.backend)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -265,12 +326,8 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	durable := "ephemeral"
-	if st.Durable() {
-		durable = fmt.Sprintf("durable (wal-dir=%s fsync=%s)", o.walDir, o.fsync)
-	}
 	log.Printf("serving %d nodes on http://%s (strategy=%s parallel=%d max-concurrent=%d queue-depth=%d, %s)",
-		st.View().DB.NumNodes(), l.Addr(), strat, eng.Parallelism(), o.maxConcurrent, o.queueDepth, durable)
+		nodes, l.Addr(), strat, eng.Parallelism(), o.maxConcurrent, o.queueDepth, mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

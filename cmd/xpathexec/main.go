@@ -15,8 +15,14 @@
 // Usage:
 //
 //	xpathexec -dtd dept.dtd -xml doc.xml -query 'dept//project' [-strategy X]
+//	          [-backend rdb|sql] [-sql-driver fakesql] [-sql-dsn memory://x]
 //	          [-verify] [-stats] [-paths] [-trace] [-timeout 5s]
 //	          [-max-lfp-iters n] [-max-tuples n] [-parallel n] [-cache-size n]
+//
+// With -backend sql the shredded relations are loaded into a database/sql
+// database and the generated WITH RECURSIVE text is executed there; the
+// default driver is the in-repo hermetic fake (register a real driver in a
+// wrapper main to target an actual RDBMS).
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"xpath2sql"
+	"xpath2sql/internal/backend/fakedb" // registers the hermetic "fakesql" driver
 )
 
 func main() {
@@ -35,6 +42,9 @@ func main() {
 	xmlPath := flag.String("xml", "", "path to the XML document (required)")
 	query := flag.String("query", "", "XPath query (required)")
 	strategy := flag.String("strategy", "X", "translation strategy: X, E or R")
+	backendName := flag.String("backend", "rdb", "execution backend: rdb (in-process engine) or sql (database/sql executor)")
+	sqlDriver := flag.String("sql-driver", fakedb.DriverName, "database/sql driver name for -backend sql (in-repo fake driver by default)")
+	sqlDSN := flag.String("sql-dsn", "memory://xpathexec", "database/sql DSN for -backend sql")
 	verify := flag.Bool("verify", false, "cross-check against the native evaluator")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	paths := flag.Bool("paths", false, "print each answer's label path")
@@ -82,23 +92,41 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	ctx := context.Background()
+	var be xpath2sql.Backend
+	switch *backendName {
+	case "rdb":
+		be = xpath2sql.NewLocalBackend(db)
+	case "sql":
+		sb, err := xpath2sql.OpenSQLBackend(ctx, *sqlDriver, *sqlDSN)
+		if err != nil {
+			fatal(err)
+		}
+		defer sb.Close()
+		if err := sb.Load(ctx, db); err != nil {
+			fatal(err)
+		}
+		be = sb
+	default:
+		fatal(fmt.Errorf("unknown backend %q (rdb or sql)", *backendName))
+	}
 	eng := xpath2sql.New(d,
 		xpath2sql.WithStrategy(strat),
 		xpath2sql.WithParallelism(*workers),
 		xpath2sql.WithCacheSize(*cacheSize),
+		xpath2sql.WithBackend(be),
 		xpath2sql.WithLimits(xpath2sql.Limits{
 			Timeout:     *timeout,
 			MaxLFPIters: *maxLFPIters,
 			MaxTuples:   *maxTuples,
 		}),
 	)
-	ctx := context.Background()
 	prep, err := eng.PrepareString(ctx, *query)
 	if err != nil {
 		fatal(err)
 	}
 	t0 := time.Now()
-	ans, err := prep.ExecuteContext(ctx, db)
+	ans, err := prep.Execute(ctx)
 	if err != nil {
 		fatal(err)
 	}

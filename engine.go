@@ -3,10 +3,10 @@ package xpath2sql
 import (
 	"context"
 
+	"xpath2sql/internal/backend"
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/obs"
 	"xpath2sql/internal/plancache"
-	"xpath2sql/internal/rdb"
 )
 
 // Re-exported observability types (internal/obs).
@@ -60,6 +60,7 @@ type Engine struct {
 	cacheSize int
 	cache     *plancache.Cache
 	dtdFP     string
+	backend   Backend
 }
 
 // EngineOption configures an Engine at construction.
@@ -123,12 +124,12 @@ func WithOptions(opts Options) EngineOption {
 	return func(e *Engine) { e.opts = opts }
 }
 
-// defaultEngine is the uniform delegation target of the deprecated free
-// functions (Translate, TranslateString, TranslateBatch, …): an unbounded,
-// cache-less engine, so the legacy surface shares the Engine path's context,
-// limit and error semantics without memoizing plans nobody will reuse.
-func defaultEngine(d *DTD, opts Options) *Engine {
-	return New(d, WithOptions(opts), WithCacheSize(0))
+// WithBackend makes every translation built by this engine execute through
+// the given backend (Translation.Execute / Prepared.Execute). The backend is
+// the only way an Engine selects an execution target; it is not closed by
+// the engine — the caller owns its lifecycle.
+func WithBackend(b Backend) EngineOption {
+	return func(e *Engine) { e.backend = b }
 }
 
 // translate resolves a query to its translated plan through the plan cache
@@ -160,7 +161,7 @@ func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache}, nil
+	return &Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend}, nil
 }
 
 // TranslateString parses and translates in one step.
@@ -191,7 +192,7 @@ func (e *Engine) Prepare(ctx context.Context, q Query) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache}}, nil
+	return &Prepared{Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend}}, nil
 }
 
 // PrepareString parses and prepares in one step. The cache key is derived
@@ -276,25 +277,46 @@ func (a *Answer) Explain() string {
 // concurrently on one shared Translation or Prepared: each run's state
 // lives entirely in its Answer.
 func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, error) {
-	trace := &obs.Trace{}
-	var (
-		ids   []int
-		stats *rdb.Stats
-		err   error
-	)
-	if t.workers > 1 {
-		var rel *rdb.Relation
-		rel, stats, err = rdb.RunParallelCtx(ctx, db, t.res.Program, t.workers, t.limits, trace)
-		if err == nil {
-			ids = core.ExtractIDs(rel)
-		}
-	} else {
-		ids, stats, err = t.res.ExecuteCtx(ctx, db, t.limits, trace)
+	return t.executeSnap(ctx, backend.AdoptDB(db, 1))
+}
+
+// Execute runs the translated program on the engine's configured backend
+// (WithBackend), pinning a fresh snapshot for the run. It returns
+// ErrNoBackend when the engine was built without one.
+func (t *Translation) Execute(ctx context.Context) (*Answer, error) {
+	if t.backend == nil {
+		return nil, ErrNoBackend
 	}
+	return t.ExecuteOn(ctx, t.backend)
+}
+
+// ExecuteOn runs the translated program on an explicit backend, regardless
+// of how the engine was configured: the same translation can be executed on
+// the in-process engine and on a SQL database side by side (the repository's
+// differential suite does exactly this).
+func (t *Translation) ExecuteOn(ctx context.Context, b Backend) (*Answer, error) {
+	snap, err := b.Snapshot(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ans := &Answer{IDs: ids, Stats: *stats, Trace: trace, prog: t.res.Program}
+	defer snap.Close()
+	return t.executeSnap(ctx, snap)
+}
+
+// executeSnap is the single execution path every Execute variant funnels
+// into: one backend snapshot, the translation's limits and parallelism, and
+// a per-run trace collected into the Answer.
+func (t *Translation) executeSnap(ctx context.Context, snap BackendSnapshot) (*Answer, error) {
+	trace := &obs.Trace{}
+	res, err := snap.Execute(ctx, t.res.Program, backend.ExecOptions{
+		Workers: t.workers,
+		Limits:  t.limits,
+		Trace:   trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{IDs: res.IDs, Stats: res.Stats, Trace: trace, prog: t.res.Program}
 	if t.cache != nil {
 		cs := t.cache.Stats()
 		ans.cache = &cs
@@ -342,7 +364,7 @@ func (b *Batch) ExecuteContext(ctx context.Context, db *DB) (*BatchAnswer, error
 	var (
 		ids   [][]int
 		per   []ExecStats
-		total *rdb.Stats
+		total *ExecStats
 		err   error
 	)
 	if b.workers > 1 {

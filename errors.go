@@ -3,6 +3,7 @@ package xpath2sql
 import (
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/ra"
 	"xpath2sql/internal/shred"
 	"xpath2sql/internal/xpath"
 )
@@ -24,4 +25,9 @@ var (
 	// ErrNotInDTD: Shred met a document element whose type has no
 	// production in the DTD.
 	ErrNotInDTD = shred.ErrNotInDTD
+	// ErrDialect: Translation.SQL was given an unknown SQL dialect.
+	ErrDialect = ra.ErrDialect
+	// ErrUnsupportedPlan: the program contains a plan with no SQL form in
+	// the requested dialect.
+	ErrUnsupportedPlan = ra.ErrUnsupportedPlan
 )

@@ -90,7 +90,11 @@ func main() {
 	fmt.Println("\n== relational algebra ==")
 	fmt.Print(tr.Program().String())
 	fmt.Println("\n== SQL (DB2 / SQL'99 WITH RECURSIVE dialect) ==")
-	fmt.Print(tr.SQL(xpath2sql.DialectDB2))
+	sql, err := tr.SQL(xpath2sql.DialectDB2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sql)
 
 	// 4. Execute against the engine and cross-check with the tree oracle.
 	ans, err := tr.ExecuteContext(ctx, db)

@@ -1,7 +1,6 @@
 package xpath2sql
 
 import (
-	"context"
 	"io"
 
 	"xpath2sql/internal/core"
@@ -47,34 +46,6 @@ type Batch struct {
 	workers int
 }
 
-// TranslateBatch translates several queries over one DTD into a single
-// program with cross-query common-sub-query sharing; Execute runs them all
-// within one session so shared temporaries are computed once.
-//
-// Deprecated: use New(d, WithOptions(opts)).TranslateBatch(ctx, queries) —
-// the Engine form carries limits and parallelism into ExecuteContext. This
-// wrapper routes through a throwaway unbounded Engine on the background
-// context, so error and cancellation semantics match the Engine path.
-func TranslateBatch(queries []Query, d *DTD, opts Options) (*Batch, error) {
-	return defaultEngine(d, opts).TranslateBatch(context.Background(), queries)
-}
-
-// TranslateBatchStrings parses and batch-translates the query strings.
-//
-// Deprecated: parse the queries and use Engine.TranslateBatch; see
-// TranslateBatch.
-func TranslateBatchStrings(queries []string, d *DTD, opts Options) (*Batch, error) {
-	qs := make([]Query, len(queries))
-	for i, s := range queries {
-		q, err := ParseQuery(s)
-		if err != nil {
-			return nil, err
-		}
-		qs[i] = q
-	}
-	return TranslateBatch(qs, d, opts)
-}
-
 // Program returns the merged statement sequence.
 func (b *Batch) Program() *Program { return b.b.Program }
 
@@ -83,41 +54,6 @@ func (b *Batch) Program() *Program { return b.b.Program }
 // with each execution's BatchAnswer; render them with BatchAnswer.Explain.
 func (b *Batch) Explain() string {
 	return obs.Explain(b.b.Program, nil, nil)
-}
-
-// Execute answers every query of the batch; answers[i] belongs to the i-th
-// input query.
-//
-// Deprecated: use ExecuteContext, which adds cancellation, limits, a trace,
-// and per-query statistics. Execute delegates to ExecuteContext on the
-// background context, so the batch's limits (if it came from a bounded
-// Engine) are enforced with the same typed *LimitError values.
-func (b *Batch) Execute(db *DB) ([][]int, *ExecStats, error) {
-	ans, err := b.ExecuteContext(context.Background(), db)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ans.IDs, &ans.Stats, nil
-}
-
-// ExecuteParallel runs the translation with up to workers concurrent
-// statement evaluations (independent statements — per-cycle seeds, batch
-// sections — run concurrently); answers match Execute.
-//
-// Deprecated: build the translation with New(d, WithParallelism(workers))
-// and use ExecuteContext, which adds cancellation, limits and a trace.
-// ExecuteParallel delegates to ExecuteContext at the requested parallelism
-// on the background context, preserving the translation's limits.
-func (t *Translation) ExecuteParallel(db *DB, workers int) ([]int, *ExecStats, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	par := &Translation{res: t.res, limits: t.limits, workers: workers, cache: t.cache}
-	ans, err := par.ExecuteContext(context.Background(), db)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ans.IDs, &ans.Stats, nil
 }
 
 // Satisfiable reports whether the query can match on some document of the

@@ -74,11 +74,18 @@ func TestEndToEnd(t *testing.T) {
 	if tr.ExtendedXPath() == nil {
 		t.Fatal("missing extended XPath")
 	}
-	sql := tr.SQL(xpath2sql.DialectDB2)
+	sql, err := tr.SQL(xpath2sql.DialectDB2)
+	if err != nil {
+		t.Fatalf("SQL(DB2): %v", err)
+	}
 	if !strings.Contains(sql, "WITH RECURSIVE") {
 		t.Fatalf("DB2 SQL missing recursion:\n%s", sql)
 	}
-	if !strings.Contains(tr.SQL(xpath2sql.DialectOracle), "CONNECT BY") {
+	osql, err := tr.SQL(xpath2sql.DialectOracle)
+	if err != nil {
+		t.Fatalf("SQL(Oracle): %v", err)
+	}
+	if !strings.Contains(osql, "CONNECT BY") {
 		t.Fatal("Oracle SQL missing CONNECT BY")
 	}
 }

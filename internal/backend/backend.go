@@ -1,0 +1,85 @@
+// Package backend defines the storage-neutral execution interface of the
+// query service: a Backend owns one shredded document image and executes
+// translated relational programs against it. Two implementations ship with
+// the repository — the in-process rdb engine (Local, the default) and a
+// database/sql backend (sqlbe) that loads the (F, T, V) relations into real
+// SQL tables and runs the rendered WITH RECURSIVE text — and the engine,
+// server and tools select between them without knowing which is which.
+//
+// The contract (see DESIGN.md "Backends"):
+//
+//   - Load installs a complete document image and advances the epoch.
+//     Loads are not required to be atomic with respect to concurrent
+//     snapshots; callers serialize Load against query traffic or use an
+//     implementation documented as snapshot-isolated.
+//   - Snapshot pins an immutable view: every Execute through one Snapshot
+//     sees a single epoch's data, and Epoch identifies it. Snapshots must
+//     remain valid after later Loads (copy-on-write or equivalent) or
+//     document that they do not.
+//   - Execute honors context cancellation and the typed resource limits of
+//     internal/obs: exceeding ExecOptions.Limits returns a *obs.LimitError,
+//     and the answer IDs are ascending with the virtual document root
+//     (ID 0) removed.
+package backend
+
+import (
+	"context"
+	"errors"
+
+	"xpath2sql/internal/obs"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+)
+
+// Errors common to all backends.
+var (
+	// ErrClosed reports use of a closed Backend or Snapshot.
+	ErrClosed = errors.New("backend: closed")
+	// ErrNoData reports a Snapshot or Execute before any Load.
+	ErrNoData = errors.New("backend: no document loaded")
+)
+
+// ExecOptions carries the per-run execution configuration every backend
+// must honor.
+type ExecOptions struct {
+	// Workers requests intra-query parallelism (<= 1 is serial). Backends
+	// without a parallel evaluator may ignore it.
+	Workers int
+	// Limits bounds the run; exceeding a bound returns *obs.LimitError.
+	Limits obs.Limits
+	// Trace, when non-nil, receives one obs.StmtEvent per executed
+	// statement.
+	Trace *obs.Trace
+}
+
+// Result is one execution's answer: node IDs ascending (virtual root
+// dropped) and the work statistics the backend can account for.
+type Result struct {
+	IDs   []int
+	Stats rdb.Stats
+}
+
+// Snapshot is an immutable view of one loaded epoch.
+type Snapshot interface {
+	// Epoch identifies the document image this snapshot pins; it is
+	// strictly increasing across Loads of one backend.
+	Epoch() uint64
+	// Execute runs a translated program against the snapshot.
+	Execute(ctx context.Context, prog *ra.Program, opts ExecOptions) (*Result, error)
+	// Close releases the snapshot.
+	Close() error
+}
+
+// Backend owns a shredded document image and executes programs against it.
+type Backend interface {
+	// Name identifies the implementation ("rdb", "sql"), for logs and
+	// reports.
+	Name() string
+	// Load installs a full document image, replacing any previous one and
+	// advancing the epoch.
+	Load(ctx context.Context, src *rdb.DB) error
+	// Snapshot pins the current epoch for execution.
+	Snapshot(ctx context.Context) (Snapshot, error)
+	// Close releases the backend; subsequent calls return ErrClosed.
+	Close() error
+}

@@ -1,0 +1,336 @@
+package backend_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpath2sql/internal/backend"
+	"xpath2sql/internal/backend/fakedb"
+	"xpath2sql/internal/backend/sqlbe"
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+	"xpath2sql/internal/xpath"
+)
+
+var allStrategies = []core.Strategy{core.StrategyCycleEX, core.StrategyCycleE, core.StrategySQLGenR}
+
+// randQuery builds a random query of the paper's fragment whose labels are
+// drawn from the DTD's element types (same shape as the core differential
+// suite, so the two harnesses cover the same query distribution).
+func randQuery(r *rand.Rand, types []string, depth int) xpath.Path {
+	pick := func() string { return types[r.Intn(len(types))] }
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return xpath.Wildcard{}
+		case 1:
+			return xpath.Empty{}
+		default:
+			return xpath.Label{Name: pick()}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return xpath.Label{Name: pick()}
+	case 1:
+		return xpath.Seq{L: randQuery(r, types, depth-1), R: randQuery(r, types, depth-1)}
+	case 2:
+		return xpath.Desc{P: randQuery(r, types, depth-1)}
+	case 3:
+		return xpath.Seq{L: randQuery(r, types, depth-1), R: xpath.Desc{P: randQuery(r, types, depth-1)}}
+	case 4:
+		return xpath.Union{L: randQuery(r, types, depth-1), R: randQuery(r, types, depth-1)}
+	case 5, 6:
+		return xpath.Filter{P: randQuery(r, types, depth-1), Q: randQual(r, types, depth-1)}
+	default:
+		return xpath.Wildcard{}
+	}
+}
+
+func randQual(r *rand.Rand, types []string, depth int) xpath.Qual {
+	if depth == 0 {
+		return xpath.QPath{P: xpath.Label{Name: types[r.Intn(len(types))]}}
+	}
+	switch r.Intn(6) {
+	case 0, 1:
+		return xpath.QPath{P: randQuery(r, types, depth-1)}
+	case 2:
+		return xpath.QText{C: fmt.Sprintf("%s-%d", types[r.Intn(len(types))], r.Intn(5))}
+	case 3:
+		return xpath.QNot{Q: randQual(r, types, depth-1)}
+	case 4:
+		return xpath.QAnd{L: randQual(r, types, depth-1), R: randQual(r, types, depth-1)}
+	default:
+		return xpath.QOr{L: randQual(r, types, depth-1), R: randQual(r, types, depth-1)}
+	}
+}
+
+// valueFunc draws values from a small pool so text()=c qualifiers hit.
+func valueFunc(typ string, r *rand.Rand) string {
+	return fmt.Sprintf("%s-%d", typ, r.Intn(5))
+}
+
+// randDTD synthesizes a random recursive DTD: a chain t0 → t1 → … → tN
+// closed into a cycle by a random back edge, with random chord edges and a
+// couple of text leaves. Every instance is recursive by construction, so the
+// translations exercise Fix (CycleE/EX) and RecUnion (SQLGen-R) plans.
+func randDTD(seed int64) *dtd.DTD {
+	r := rand.New(rand.NewSource(seed))
+	n := 4 + r.Intn(3)
+	types := make([]string, n)
+	for i := range types {
+		types[i] = fmt.Sprintf("t%d", i)
+	}
+	leaves := []string{"val", "tag"}
+
+	kids := make(map[string][]string)
+	for i, typ := range types {
+		if i+1 < n {
+			kids[typ] = append(kids[typ], types[i+1])
+		}
+		for j := range types {
+			if j != i && r.Intn(4) == 0 {
+				kids[typ] = append(kids[typ], types[j])
+			}
+		}
+		if r.Intn(2) == 0 {
+			kids[typ] = append(kids[typ], leaves[r.Intn(len(leaves))])
+		}
+	}
+	// Close the chain into a cycle.
+	kids[types[n-1]] = append(kids[types[n-1]], types[r.Intn(n-1)])
+
+	d := dtd.New("doc")
+	d.SetProd("doc", dtd.Star{Item: dtd.Name{Type: types[0]}})
+	for _, typ := range types {
+		seen := map[string]bool{}
+		var items []dtd.Content
+		for _, k := range kids[typ] {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			items = append(items, dtd.Star{Item: dtd.Name{Type: k}})
+		}
+		if len(items) == 1 {
+			d.SetProd(typ, items[0])
+		} else {
+			d.SetProd(typ, dtd.Seq{Items: items})
+		}
+	}
+	for _, leaf := range leaves {
+		d.SetProd(leaf, dtd.Name{Text: true})
+	}
+	return d
+}
+
+func oracle(q xpath.Path, doc *xmltree.Document) []int {
+	set := xpath.EvalDoc(q, doc)
+	ids := set.IDs()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialBackends is the cross-backend property test: for random
+// documents of the workload DTDs plus randomly synthesized recursive DTDs,
+// and random queries of the paper's fragment, all three translation
+// strategies must produce the same answer through the in-process rdb backend
+// and through the SQL backend actually executing the rendered WITH RECURSIVE
+// text over database/sql — and both must match the native XPath oracle.
+func TestDifferentialBackends(t *testing.T) {
+	dtds := map[string]*dtd.DTD{
+		"dept":  workload.Dept(),
+		"cross": workload.Cross(),
+		"gedml": workload.GedML(),
+		"rand1": randDTD(101),
+		"rand2": randDTD(202),
+		"rand3": randDTD(303),
+	}
+	queriesPerDTD := 18
+	if testing.Short() {
+		queriesPerDTD = 4
+	}
+	ctx := context.Background()
+	for name, d := range dtds {
+		t.Run(name, func(t *testing.T) {
+			if err := d.Check(); err != nil {
+				t.Fatalf("invalid DTD: %v", err)
+			}
+			types := d.Types()
+			r := rand.New(rand.NewSource(int64(len(name)) * 7919))
+			empties, answered := 0, 0
+			for docSeed := int64(0); docSeed < 2; docSeed++ {
+				doc, err := xmlgen.Generate(d, xmlgen.Options{
+					XL: 6, XR: 3, Seed: docSeed + 1, MaxNodes: 150, ValueFunc: valueFunc,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := shred.Shred(doc, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				dsn := fmt.Sprintf("memory://diff-%s-%d", name, docSeed)
+				fakedb.Reset(dsn)
+				be, err := sqlbe.Open(ctx, fakedb.DriverName, dsn, sqlbe.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() { be.Close(); fakedb.Reset(dsn) }()
+				if err := be.Load(ctx, db); err != nil {
+					t.Fatalf("sqlbe Load: %v", err)
+				}
+				ssnap, err := be.Snapshot(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lsnap, err := backend.NewLocalDB(db).Snapshot(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for i := 0; i < queriesPerDTD; i++ {
+					q := randQuery(r, types, 3)
+					want := oracle(q, doc)
+					if len(want) == 0 {
+						empties++
+					} else {
+						answered++
+					}
+					for _, s := range allStrategies {
+						res, err := core.Translate(q, d, core.Options{Strategy: s, SQL: core.DefaultSQLOptions()})
+						if err != nil {
+							t.Fatalf("[%v] Translate(%s): %v", s, q, err)
+						}
+						check := func(which string, snap backend.Snapshot) {
+							got, err := snap.Execute(ctx, res.Program, backend.ExecOptions{})
+							if err != nil {
+								t.Fatalf("[%v] %s Execute(%s): %v", s, which, q, err)
+							}
+							if !equalInts(got.IDs, want) {
+								t.Fatalf("[%v] %s backend of %s = %v, want %v", s, which, q, got.IDs, want)
+							}
+						}
+						check("rdb", lsnap)
+						check("sql", ssnap)
+					}
+				}
+			}
+			// The distribution must exercise both sides: queries with
+			// answers and queries with empty answers.
+			if answered == 0 || empties == 0 {
+				t.Fatalf("degenerate query mix: %d answered, %d empty", answered, empties)
+			}
+		})
+	}
+}
+
+// TestRandDTDsAreRecursive pins the generator's guarantee: every synthesized
+// DTD contains a cycle, so the differential suite always covers recursive
+// plans (Fix and RecUnion), not just the workload graphs.
+func TestRandDTDsAreRecursive(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		d := randDTD(seed)
+		if err := d.Check(); err != nil {
+			t.Fatalf("seed %d: invalid DTD: %v", seed, err)
+		}
+		if !isRecursive(d) {
+			t.Fatalf("seed %d: DTD is not recursive:\n%s", seed, d)
+		}
+	}
+}
+
+// isRecursive reports whether the DTD graph has a cycle, via DFS.
+func isRecursive(d *dtd.DTD) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	g := d.BuildGraph()
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(typ string) bool {
+		color[typ] = gray
+		for _, e := range g.Out[typ] {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[typ] = black
+		return false
+	}
+	return visit(d.Root)
+}
+
+// TestParallelLocalMatchesSerial covers the Workers knob of ExecOptions on
+// the local backend against the same programs run serially.
+func TestParallelLocalMatchesSerial(t *testing.T) {
+	d := workload.Dept()
+	doc, err := xmlgen.Generate(d, xmlgen.Options{XL: 6, XR: 3, Seed: 2, MaxNodes: 200, ValueFunc: valueFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *rdb.DB = db
+	ctx := context.Background()
+	snap, err := backend.NewLocalDB(db).Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range []string{"dept//course", "//course[.//prereq]//student"} {
+		q, err := xpath.Parse(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Translate(q, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := snap.Execute(ctx, res.Program, backend.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := snap.Execute(ctx, res.Program, backend.ExecOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(par.IDs, serial.IDs) {
+			t.Fatalf("%s: parallel = %v, serial = %v", qs, par.IDs, serial.IDs)
+		}
+		if !equalInts(serial.IDs, oracle(q, doc)) {
+			t.Fatalf("%s: serial = %v, oracle = %v", qs, serial.IDs, oracle(q, doc))
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package fakedb is a hermetic in-memory SQL database exposed as a
+// database/sql driver, covering exactly the SQL the ra renderer and its
+// DDL/INSERT emitters produce. It exists so the sqlbe backend — and the
+// differential property suite validating the generated WITH RECURSIVE text
+// — run with no external database and no third-party driver.
+//
+// The driver registers as "fakesql". A DSN names a database; connections
+// with equal DSNs share one database, so a test can populate through one
+// *sql.DB handle and query through another. Databases live for the life of
+// the process (or until Reset).
+//
+// Deliberate semantic choices, documented in DESIGN.md "Backends":
+//
+//   - All values are raw byte strings; comparisons are byte equality.
+//   - Set operations, DISTINCT and recursive CTEs dedupe on the full row
+//     with a NUL-safe key.
+//   - Recursive CTEs run semi-naively with dedup, so the UNION ALL the
+//     renderer emits terminates on cyclic data — the least-fixpoint
+//     semantics the paper's Φ operator demands, which production engines
+//     approximate with CYCLE clauses or UNION.
+//   - Temporary tables share the database's single namespace; callers that
+//     interleave executions keep them disjoint with ra's TempPrefix.
+package fakedb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DriverName is the name the driver registers under.
+const DriverName = "fakesql"
+
+func init() {
+	sql.Register(DriverName, Driver{})
+}
+
+var (
+	regMu sync.Mutex
+	reg   = map[string]*memDB{}
+)
+
+func getDB(dsn string) *memDB {
+	regMu.Lock()
+	defer regMu.Unlock()
+	db, ok := reg[dsn]
+	if !ok {
+		db = &memDB{tables: map[string]*table{}}
+		reg[dsn] = db
+	}
+	return db
+}
+
+// Reset drops the database named by dsn, so tests start clean.
+func Reset(dsn string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(reg, dsn)
+}
+
+type memDB struct {
+	mu     sync.Mutex
+	tables map[string]*table // keyed by lowercase name
+}
+
+// exec parses and runs one statement, returning result rows for queries.
+func (db *memDB) exec(query string, args []string) (*table, int64, error) {
+	st, err := parseStatement(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch st := st.(type) {
+	case *createTable:
+		name := strings.ToLower(st.name)
+		if _, exists := db.tables[name]; exists {
+			return nil, 0, fmt.Errorf("fakesql: table %q already exists", st.name)
+		}
+		db.tables[name] = &table{cols: st.cols}
+		return nil, 0, nil
+	case *createTableAs:
+		name := strings.ToLower(st.name)
+		if _, exists := db.tables[name]; exists {
+			return nil, 0, fmt.Errorf("fakesql: table %q already exists", st.name)
+		}
+		t, err := newEvaluator(db, args).evalQuery(st.query, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		db.tables[name] = t
+		return nil, int64(len(t.rows)), nil
+	case *dropTable:
+		name := strings.ToLower(st.name)
+		if _, exists := db.tables[name]; !exists {
+			if st.ifExists {
+				return nil, 0, nil
+			}
+			return nil, 0, fmt.Errorf("fakesql: no such table %q", st.name)
+		}
+		delete(db.tables, name)
+		return nil, 0, nil
+	case *insertStmt:
+		t, exists := db.tables[strings.ToLower(st.table)]
+		if !exists {
+			return nil, 0, fmt.Errorf("fakesql: no such table %q", st.table)
+		}
+		if st.params != len(args) {
+			return nil, 0, fmt.Errorf("fakesql: statement has %d placeholders, got %d arguments", st.params, len(args))
+		}
+		// Column order: map the INSERT's column list onto the table's.
+		order := make([]int, len(st.cols))
+		if len(st.cols) == 0 {
+			if len(t.cols) == 0 {
+				return nil, 0, fmt.Errorf("fakesql: INSERT into column-less table %q", st.table)
+			}
+			order = make([]int, len(t.cols))
+			for i := range order {
+				order[i] = i
+			}
+		} else {
+			for i, c := range st.cols {
+				idx := t.colIndex(c)
+				if idx < 0 {
+					return nil, 0, fmt.Errorf("fakesql: table %q has no column %q", st.table, c)
+				}
+				order[i] = idx
+			}
+		}
+		ev := newEvaluator(db, args)
+		var n int64
+		for _, exprRow := range st.rows {
+			if len(exprRow) != len(order) {
+				return nil, 0, fmt.Errorf("fakesql: INSERT row has %d values for %d columns", len(exprRow), len(order))
+			}
+			row := make([]string, len(t.cols))
+			for i, e := range exprRow {
+				v, err := ev.evalExpr(e, nil)
+				if err != nil {
+					return nil, 0, err
+				}
+				row[order[i]] = v
+			}
+			t.rows = append(t.rows, row)
+			n++
+		}
+		return nil, n, nil
+	case *queryStmt:
+		t, err := newEvaluator(db, args).evalQuery(st.query, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, 0, nil
+	}
+	return nil, 0, fmt.Errorf("fakesql: unknown statement %T", st)
+}
+
+// ---- database/sql driver plumbing ----
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	return &conn{db: getDB(dsn)}, nil
+}
+
+type conn struct{ db *memDB }
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("fakesql: transactions are not supported")
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals, err := namedToStrings(args)
+	if err != nil {
+		return nil, err
+	}
+	_, n, err := c.db.exec(query, vals)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(n), nil
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals, err := namedToStrings(args)
+	if err != nil {
+		return nil, err
+	}
+	t, _, err := c.db.exec(query, vals)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		t = &table{}
+	}
+	return &rows{t: t}, nil
+}
+
+type stmt struct {
+	c     *conn
+	query string
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return -1 }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, valuesToNamed(args))
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, valuesToNamed(args))
+}
+
+func valuesToNamed(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
+
+func namedToStrings(args []driver.NamedValue) ([]string, error) {
+	out := make([]string, len(args))
+	for i, a := range args {
+		switch v := a.Value.(type) {
+		case string:
+			out[i] = v
+		case []byte:
+			out[i] = string(v)
+		case int64:
+			out[i] = strconv.FormatInt(v, 10)
+		case nil:
+			out[i] = ""
+		default:
+			return nil, fmt.Errorf("fakesql: unsupported bind argument type %T", a.Value)
+		}
+	}
+	return out, nil
+}
+
+type rows struct {
+	t   *table
+	idx int
+}
+
+func (r *rows) Columns() []string { return r.t.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.idx >= len(r.t.rows) {
+		return io.EOF
+	}
+	for i, v := range r.t.rows[r.idx] {
+		dest[i] = v
+	}
+	r.idx++
+	return nil
+}

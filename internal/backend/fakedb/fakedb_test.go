@@ -1,0 +1,246 @@
+package fakedb
+
+import (
+	"database/sql"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func openClean(t *testing.T, name string) *sql.DB {
+	t.Helper()
+	dsn := "memory://" + name
+	Reset(dsn)
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close(); Reset(dsn) })
+	return db
+}
+
+func mustExec(t *testing.T, db *sql.DB, q string, args ...any) {
+	t.Helper()
+	if _, err := db.Exec(q, args...); err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+}
+
+func queryStrings(t *testing.T, db *sql.DB, q string, args ...any) [][]string {
+	t.Helper()
+	rs, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	defer rs.Close()
+	cols, err := rs.Columns()
+	if err != nil {
+		t.Fatalf("columns: %v", err)
+	}
+	var out [][]string
+	for rs.Next() {
+		vals := make([]any, len(cols))
+		for i := range vals {
+			var s string
+			vals[i] = &s
+		}
+		if err := rs.Scan(vals...); err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		row := make([]string, len(cols))
+		for i := range cols {
+			row[i] = *vals[i].(*string)
+		}
+		out = append(out, row)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("rows: %v", err)
+	}
+	return out
+}
+
+func col0(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0]
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := openClean(t, "basic")
+	mustExec(t, db, "CREATE TABLE R_a (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32672))")
+	mustExec(t, db, "INSERT INTO R_a (F, T, V) VALUES (?, ?, ?), (?, ?, ?)", "_", "1", "x", "1", "2", "y")
+	got := queryStrings(t, db, "SELECT T FROM R_a")
+	if want := []string{"1", "2"}; !reflect.DeepEqual(col0(got), want) {
+		t.Fatalf("T column = %v, want %v", got, want)
+	}
+	got = queryStrings(t, db, "SELECT a.T, a.V FROM R_a a WHERE a.F = '_'")
+	if len(got) != 1 || got[0][0] != "1" || got[0][1] != "x" {
+		t.Fatalf("root select = %v", got)
+	}
+}
+
+func TestJoinUnionExceptDistinct(t *testing.T) {
+	db := openClean(t, "setops")
+	mustExec(t, db, "CREATE TABLE e (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32))")
+	for _, r := range [][]string{{"1", "2", "b"}, {"2", "3", "c"}, {"3", "4", "d"}} {
+		mustExec(t, db, "INSERT INTO e (F, T, V) VALUES (?, ?, ?)", r[0], r[1], r[2])
+	}
+	// Two-step paths via self join.
+	got := queryStrings(t, db, `SELECT DISTINCT l.F, r.T, r.V FROM (
+  SELECT F, T, V FROM e
+) l JOIN (
+  SELECT F, T, V FROM e
+) r ON l.T = r.F`)
+	if len(got) != 2 {
+		t.Fatalf("compose = %v", got)
+	}
+	// UNION dedupes, EXCEPT subtracts.
+	got = queryStrings(t, db, "SELECT F, T, V FROM e\nUNION\nSELECT F, T, V FROM e")
+	if len(got) != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	got = queryStrings(t, db, `SELECT F, T, V FROM e
+EXCEPT
+SELECT e2.F, e2.T, e2.V FROM e e2 WHERE e2.V = 'c'`)
+	if len(got) != 2 {
+		t.Fatalf("except = %v", got)
+	}
+}
+
+func TestExistsAndIn(t *testing.T) {
+	db := openClean(t, "exists")
+	mustExec(t, db, "CREATE TABLE e (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32))")
+	for _, r := range [][]string{{"1", "2", "b"}, {"2", "3", "c"}} {
+		mustExec(t, db, "INSERT INTO e (F, T, V) VALUES (?, ?, ?)", r[0], r[1], r[2])
+	}
+	got := queryStrings(t, db, `SELECT l.F, l.T, l.V FROM (
+  SELECT F, T, V FROM e
+) l WHERE EXISTS (SELECT 1 FROM (
+  SELECT F, T, V FROM e
+) w WHERE w.F = l.T)`)
+	if len(got) != 1 || got[0][1] != "2" {
+		t.Fatalf("semijoin = %v", got)
+	}
+	got = queryStrings(t, db, `SELECT l.F, l.T, l.V FROM (
+  SELECT F, T, V FROM e
+) l WHERE NOT EXISTS (SELECT 1 FROM (
+  SELECT F, T, V FROM e
+) w WHERE w.F = l.T)`)
+	if len(got) != 1 || got[0][1] != "3" {
+		t.Fatalf("antijoin = %v", got)
+	}
+	got = queryStrings(t, db, `SELECT s.T FROM e s WHERE s.F IN (SELECT T FROM e)`)
+	if len(got) != 1 || got[0][0] != "3" {
+		t.Fatalf("in = %v", got)
+	}
+}
+
+func TestRecursiveCTETerminatesOnCycle(t *testing.T) {
+	db := openClean(t, "cycle")
+	mustExec(t, db, "CREATE TABLE e (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32))")
+	// A 3-cycle: 1→2→3→1. Literal UNION ALL recursion would never stop.
+	for _, r := range [][]string{{"1", "2", ""}, {"2", "3", ""}, {"3", "1", ""}} {
+		mustExec(t, db, "INSERT INTO e (F, T, V) VALUES (?, ?, ?)", r[0], r[1], r[2])
+	}
+	got := queryStrings(t, db, `WITH RECURSIVE fp (F, T, V) AS (
+  SELECT s.F, s.T, s.V FROM (
+    SELECT F, T, V FROM e
+  ) s
+  UNION ALL
+  SELECT fp.F, s.T, s.V FROM fp JOIN (
+    SELECT F, T, V FROM e
+  ) s ON fp.T = s.F
+)
+SELECT DISTINCT F, T, V FROM fp`)
+	// Closure of a 3-cycle: all 9 (F, T) pairs.
+	if len(got) != 9 {
+		t.Fatalf("closure size = %d, want 9 (%v)", len(got), got)
+	}
+}
+
+func TestTempTableAsAndDrop(t *testing.T) {
+	db := openClean(t, "temp")
+	mustExec(t, db, "CREATE TABLE e (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32))")
+	mustExec(t, db, "INSERT INTO e (F, T, V) VALUES (?, ?, ?)", "_", "1", "v")
+	mustExec(t, db, "CREATE TEMPORARY TABLE t1 AS\nSELECT F, T, V FROM e")
+	got := queryStrings(t, db, "SELECT DISTINCT T FROM t1")
+	if len(got) != 1 || got[0][0] != "1" {
+		t.Fatalf("temp = %v", got)
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS t1")
+	mustExec(t, db, "DROP TABLE IF EXISTS t1") // idempotent
+	if _, err := db.Query("SELECT T FROM t1"); err == nil {
+		t.Fatal("expected error querying dropped table")
+	}
+}
+
+func TestHostileValuesRoundTrip(t *testing.T) {
+	db := openClean(t, "hostile")
+	mustExec(t, db, "CREATE TABLE e (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32672))")
+	hostiles := []string{
+		"it's",
+		"a''b",
+		"nul\x00byte",
+		"line\nbreak",
+		"bad\xff\xfeutf8",
+		"quote-then-nul'\x00",
+		"",
+	}
+	for i, v := range hostiles {
+		mustExec(t, db, "INSERT INTO e (F, T, V) VALUES (?, ?, ?)", "_", fmt.Sprint(i+1), v)
+	}
+	for i, v := range hostiles {
+		// Literal comparison path (SelectVal): quote-doubling only.
+		var litB []byte
+		for _, c := range []byte(v) {
+			if c == '\'' {
+				litB = append(litB, '\'', '\'')
+			} else {
+				litB = append(litB, c)
+			}
+		}
+		lit := string(litB)
+		got := queryStrings(t, db, "SELECT a.T FROM e a WHERE a.V = '"+lit+"'")
+		if len(got) != 1 || got[0][0] != fmt.Sprint(i+1) {
+			t.Fatalf("hostile %q: got %v", v, got)
+		}
+	}
+	// Values come back byte-identical.
+	rows := queryStrings(t, db, "SELECT V FROM e")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r[0]] = true
+	}
+	for _, v := range hostiles {
+		if !seen[v] {
+			t.Fatalf("value %q did not round-trip (have %q)", v, rows)
+		}
+	}
+}
+
+func TestSharedDSNAndErrors(t *testing.T) {
+	db := openClean(t, "shared")
+	db2, err := sql.Open(DriverName, "memory://shared")
+	if err != nil {
+		t.Fatalf("open second handle: %v", err)
+	}
+	defer db2.Close()
+	mustExec(t, db, "CREATE TABLE x (A VARCHAR(1))")
+	mustExec(t, db2, "INSERT INTO x (A) VALUES (?)", "z")
+	if got := queryStrings(t, db, "SELECT A FROM x"); len(got) != 1 || got[0][0] != "z" {
+		t.Fatalf("shared dsn = %v", got)
+	}
+	if _, err := db.Exec("CREATE TABLE x (A VARCHAR(1))"); err == nil {
+		t.Fatal("expected duplicate-table error")
+	}
+	if _, err := db.Query("SELECT nope FROM x"); err == nil {
+		t.Fatal("expected unknown-column error")
+	}
+	if _, err := db.Query("SELECT A FROM x WHERE A LIKE 'z'"); err == nil {
+		t.Fatal("expected parse error for unsupported syntax")
+	}
+}

@@ -1,0 +1,185 @@
+package bench
+
+// The SQL-backend experiment: the same translated programs executed on the
+// in-process rdb engine (backend "rdb") and shipped as rendered
+// WITH RECURSIVE text to a database/sql executor (backend "sql"). The
+// caller opens the backend — this package never links a driver; benchexp
+// wires in the in-repo hermetic fake, a wrapper main can wire a real RDBMS
+// — and the experiment loads the dataset, cross-checks every answer against
+// the native tree evaluator, and times both executors.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"xpath2sql/internal/backend"
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// SQLBackendRun is one backend's measurement of one query/strategy pair.
+type SQLBackendRun struct {
+	Backend   string `json:"backend"` // "rdb" or "sql"
+	NsPerOp   int64  `json:"ns_per_op"`
+	StmtsRun  int    `json:"stmts_run"`
+	TuplesOut int    `json:"tuples_out"`
+}
+
+// SQLBackendRow is one query × strategy with both backends' runs.
+type SQLBackendRow struct {
+	Query    string          `json:"query"`
+	Strategy string          `json:"strategy"`
+	Answers  int             `json:"answers"`
+	Runs     []SQLBackendRun `json:"runs"`
+	// SQLOverRDB is the sql ns/op ÷ rdb ns/op slowdown: what shipping the
+	// query out of process costs on this driver.
+	SQLOverRDB float64 `json:"sql_over_rdb"`
+}
+
+// SQLBackendReport is the serialized form of BENCH_sqlbackend.json.
+type SQLBackendReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Driver      string          `json:"driver"`
+	Elements    int             `json:"elements"`
+	Rows        []SQLBackendRow `json:"rows"`
+}
+
+// JSON renders the report, indented, with a trailing newline.
+func (r *SQLBackendReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// sqlBackendQueries is the dept workload measured by the experiment —
+// Q1-style descendant reach, a qualifier with recursion below it, and a
+// deep seeded chain.
+var sqlBackendQueries = []string{
+	"dept//project",
+	"dept//course",
+	"dept//student[qualified//course]",
+	"dept/course/prereq//course/prereq/course",
+}
+
+// execOn runs the program once on a snapshot and returns the answer.
+func execOn(ctx context.Context, snap backend.Snapshot, res *core.Result) (*backend.Result, error) {
+	return snap.Execute(ctx, res.Program, backend.ExecOptions{})
+}
+
+// RunSQLBackend loads the dept dataset into the supplied backend, verifies
+// rdb/sql/oracle agreement on every query × strategy, and measures both
+// executors. driverName labels the report (the backend is already open).
+func RunSQLBackend(c Config, be backend.Backend, driverName string) (*SQLBackendReport, error) {
+	d := workload.Dept()
+	target := c.size(12_000)
+	ds, err := BuildDataset("dept", d, 12, 4, 42, target)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := be.Load(ctx, ds.DB); err != nil {
+		return nil, fmt.Errorf("bench: load sql backend: %w", err)
+	}
+	sqlSnap, err := be.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer sqlSnap.Close()
+	localSnap, err := backend.NewLocalDB(ds.DB).Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer localSnap.Close()
+
+	report := &SQLBackendReport{
+		GeneratedBy: "benchexp -exp sqlbackend",
+		Driver:      driverName,
+		Elements:    ds.Doc.Size(),
+	}
+	c.printf("sqlbackend: dept, %d elements, driver=%s\n", ds.Doc.Size(), driverName)
+	for _, query := range sqlBackendQueries {
+		q, err := xpath.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		oracleIDs := xpath.EvalDoc(q, ds.Doc).IDs()
+		oracle := make([]int, len(oracleIDs))
+		for i, id := range oracleIDs {
+			oracle[i] = int(id)
+		}
+		for _, s := range Strategies {
+			opts := core.DefaultOptions()
+			opts.Strategy = s
+			res, err := core.Translate(q, d, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s [%v]: %w", query, s, err)
+			}
+			viaRDB, err := execOn(ctx, localSnap, res)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s [%v] on rdb: %w", query, s, err)
+			}
+			viaSQL, err := execOn(ctx, sqlSnap, res)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s [%v] on sql: %w", query, s, err)
+			}
+			if err := agreeWithOracle(query, s.String(), viaRDB.IDs, viaSQL.IDs, oracle); err != nil {
+				return nil, err
+			}
+
+			row := SQLBackendRow{Query: query, Strategy: s.String(), Answers: len(oracle)}
+			for _, side := range []struct {
+				name string
+				snap backend.Snapshot
+				ref  *backend.Result
+			}{
+				{"rdb", localSnap, viaRDB},
+				{"sql", sqlSnap, viaSQL},
+			} {
+				snap := side.snap
+				bres := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := execOn(ctx, snap, res); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				row.Runs = append(row.Runs, SQLBackendRun{
+					Backend:   side.name,
+					NsPerOp:   bres.NsPerOp(),
+					StmtsRun:  side.ref.Stats.StmtsRun,
+					TuplesOut: side.ref.Stats.TuplesOut,
+				})
+			}
+			if rdbNs := row.Runs[0].NsPerOp; rdbNs > 0 {
+				row.SQLOverRDB = float64(row.Runs[1].NsPerOp) / float64(rdbNs)
+			}
+			report.Rows = append(report.Rows, row)
+			c.printf("  %-42s %s  %4d answers  rdb %10d ns/op  sql %12d ns/op  %6.1fx\n",
+				query, row.Strategy, row.Answers,
+				row.Runs[0].NsPerOp, row.Runs[1].NsPerOp, row.SQLOverRDB)
+		}
+	}
+	return report, nil
+}
+
+// agreeWithOracle insists the two backends and the native evaluator return
+// the same answer set; the experiment is a differential check as much as a
+// benchmark.
+func agreeWithOracle(query, strategy string, rdbIDs, sqlIDs []int, oracle []int) error {
+	if len(rdbIDs) != len(oracle) || len(sqlIDs) != len(oracle) {
+		return fmt.Errorf("bench: %s [%s]: rdb=%d sql=%d oracle=%d answers disagree",
+			query, strategy, len(rdbIDs), len(sqlIDs), len(oracle))
+	}
+	for i := range oracle {
+		if rdbIDs[i] != oracle[i] || sqlIDs[i] != oracle[i] {
+			return fmt.Errorf("bench: %s [%s]: answer %d disagrees (rdb=%d sql=%d oracle=%d)",
+				query, strategy, i, rdbIDs[i], sqlIDs[i], oracle[i])
+		}
+	}
+	return nil
+}

@@ -24,17 +24,66 @@ type SQLRenderOptions struct {
 	// NodesTable names the catalog table holding (ID, VAL) for every
 	// shredded node, used to materialize the R_id identity relation.
 	NodesTable string
+	// TempPrefix is prepended to every generated temporary-table name
+	// (statements and lifted fixpoints alike). Backends that share one
+	// database across concurrent executions use it to keep each run's
+	// temporaries disjoint. Stored base relations are never prefixed.
+	TempPrefix string
 }
 
 // SQL renders the program as a sequence of SQL statements: one CREATE
 // TEMPORARY TABLE per program statement, in dependency order, with fixpoint
 // operators lifted into their own statements so every statement carries at
 // most one recursive construct (the "sequence of SQL queries" form of §5).
+//
+// SQL is the lenient text form: an unknown dialect renders as DB2 and plans
+// with no SQL form render an explanatory comment. Backends that execute the
+// output use RenderSQL, which validates and returns typed errors instead.
 func (p *Program) SQL(opts SQLRenderOptions) string {
+	rs, _ := p.renderSQL(opts)
+	var b strings.Builder
+	for _, s := range rs.Stmts {
+		b.WriteString(s.SQL)
+		b.WriteString(";\n\n")
+	}
+	b.WriteString(rs.ResultQuery)
+	b.WriteString(";\n")
+	return b.String()
+}
+
+// SQLStmt is one rendered statement: the temporary table it creates and the
+// full CREATE TEMPORARY TABLE … AS … text (no trailing semicolon), ready to
+// be executed verbatim by a database/sql backend.
+type SQLStmt struct {
+	Table string
+	SQL   string
+}
+
+// RenderedSQL is the structured form of a rendered program: the statements
+// in dependency order and the final answer query. Executing every statement
+// in order and then ResultQuery yields the answer node IDs in column T.
+type RenderedSQL struct {
+	Stmts       []SQLStmt
+	ResultTable string
+	ResultQuery string
+}
+
+// RenderSQL renders the program for execution: the same statement sequence
+// as SQL, but validated — an unknown dialect returns ErrDialect, a plan with
+// no SQL form returns ErrUnsupportedPlan — and split into per-statement
+// strings a backend can execute one at a time.
+func (p *Program) RenderSQL(opts SQLRenderOptions) (*RenderedSQL, error) {
+	if !opts.Dialect.Valid() {
+		return nil, fmt.Errorf("%w: Dialect(%d)", ErrDialect, int(opts.Dialect))
+	}
+	return p.renderSQL(opts)
+}
+
+func (p *Program) renderSQL(opts SQLRenderOptions) (*RenderedSQL, error) {
 	if opts.NodesTable == "" {
 		opts.NodesTable = "all_nodes"
 	}
-	r := &sqlRenderer{opts: opts, names: map[string]string{}, used: map[string]bool{}}
+	r := &sqlRenderer{opts: opts, names: map[string]string{}, used: map[string]bool{}, baseSeq: map[string]int{}}
 	// Pre-assign sanitized names for all statements.
 	for _, s := range p.Stmts {
 		r.names[s.Name] = r.fresh(s.Name)
@@ -42,16 +91,23 @@ func (p *Program) SQL(opts SQLRenderOptions) string {
 	// Topologically order statements (the optimizer may append shared
 	// temps after their uses).
 	ordered := topoStmts(p)
-	var b strings.Builder
+	rs := &RenderedSQL{}
 	for _, s := range ordered {
 		for _, pre := range r.lift(s.Plan) {
-			fmt.Fprintf(&b, "CREATE TEMPORARY TABLE %s AS\n%s;\n\n", pre.name, pre.sql)
+			rs.Stmts = append(rs.Stmts, SQLStmt{
+				Table: pre.name,
+				SQL:   fmt.Sprintf("CREATE TEMPORARY TABLE %s AS\n%s", pre.name, pre.sql),
+			})
 		}
 		sql := r.render(s.Plan, 0)
-		fmt.Fprintf(&b, "CREATE TEMPORARY TABLE %s AS\n%s;\n\n", r.names[s.Name], sql)
+		rs.Stmts = append(rs.Stmts, SQLStmt{
+			Table: r.names[s.Name],
+			SQL:   fmt.Sprintf("CREATE TEMPORARY TABLE %s AS\n%s", r.names[s.Name], sql),
+		})
 	}
-	fmt.Fprintf(&b, "SELECT DISTINCT T FROM %s;\n", r.names[p.Result])
-	return b.String()
+	rs.ResultTable = r.names[p.Result]
+	rs.ResultQuery = fmt.Sprintf("SELECT DISTINCT T FROM %s", rs.ResultTable)
+	return rs, r.err
 }
 
 // topoStmts orders statements so every Temp reference points backwards.
@@ -150,12 +206,15 @@ type sqlRenderer struct {
 	opts    SQLRenderOptions
 	names   map[string]string
 	used    map[string]bool
+	baseSeq map[string]int // next numeric suffix per colliding base name
 	counter int
 	lifts   []lifted
 	aliasN  int
+	err     error
 }
 
-// fresh sanitizes a statement name into a unique SQL identifier.
+// fresh sanitizes a statement name into a unique SQL identifier, applying
+// the configured temporary-table prefix.
 func (r *sqlRenderer) fresh(name string) string {
 	var b strings.Builder
 	for _, c := range name {
@@ -170,10 +229,26 @@ func (r *sqlRenderer) fresh(name string) string {
 	if s == "" {
 		s = "t"
 	}
-	base := s
-	for i := 2; r.used[s]; i++ {
-		s = fmt.Sprintf("%s_%d", base, i)
+	s = r.opts.TempPrefix + s
+	if !r.used[s] {
+		r.used[s] = true
+		return s
 	}
+	// Collision: programs lift thousands of same-named fixpoint temps, so
+	// the suffix search must not restart from 2 each time.
+	base := s
+	i := r.baseSeq[base]
+	if i < 2 {
+		i = 2
+	}
+	for {
+		s = fmt.Sprintf("%s_%d", base, i)
+		i++
+		if !r.used[s] {
+			break
+		}
+	}
+	r.baseSeq[base] = i
 	r.used[s] = true
 	return s
 }
@@ -297,7 +372,7 @@ func (r *sqlRenderer) render(p Plan, depth int) string {
 		}
 		parts := make([]string, len(p.Kids))
 		for i, k := range p.Kids {
-			parts[i] = r.render(k, depth+1)
+			parts[i] = r.setOperand(k, depth+1)
 		}
 		return strings.Join(parts, "\nUNION\n")
 	case SelectVal:
@@ -319,7 +394,7 @@ func (r *sqlRenderer) render(p Plan, depth int) string {
 			l, l, l, indent(r.render(p.L, depth+1), 1), l,
 			indent(r.render(p.R, depth+1), 1), w, w, l)
 	case Diff:
-		return fmt.Sprintf("%s\nEXCEPT\n%s", r.render(p.L, depth+1), r.render(p.R, depth+1))
+		return fmt.Sprintf("%s\nEXCEPT\n%s", r.setOperand(p.L, depth+1), r.setOperand(p.R, depth+1))
 	case TypeFilter:
 		a := r.alias()
 		col := "T"
@@ -340,7 +415,31 @@ func (r *sqlRenderer) render(p Plan, depth int) string {
 		}
 		return r.renderRecUnion(p)
 	}
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %T", ErrUnsupportedPlan, p)
+	}
 	return "-- unsupported plan"
+}
+
+// setOperand renders a plan as an operand of UNION / EXCEPT. SQL gives the
+// two operators equal precedence with left associativity, so an operand
+// that is itself a set operation must be wrapped in a subselect: a bare
+// "a EXCEPT b UNION c" parses as "(a EXCEPT b) UNION c" regardless of the
+// plan shape that produced it.
+func (r *sqlRenderer) setOperand(p Plan, depth int) string {
+	compound := false
+	switch p := p.(type) {
+	case UnionAll:
+		compound = len(p.Kids) > 1
+	case Diff:
+		compound = true
+	}
+	if !compound {
+		return r.render(p, depth)
+	}
+	a := r.alias()
+	return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s",
+		a, a, a, indent(r.render(p, depth+1), 1), a)
 }
 
 // renderFix renders the single-input LFP operator Φ(R) (Eq. 2 / Fig 4).
@@ -423,14 +522,26 @@ func (r *sqlRenderer) renderRecUnion(p RecUnion) string {
 	if p.ResultTag != "" {
 		final = fmt.Sprintf("SELECT DISTINCT F, T, V FROM R WHERE Rid = '%s'", escapeSQL(p.ResultTag))
 	}
+	// A fixpoint can degenerate to seeds only (no recursive edges reach the
+	// result); emitting a bare "UNION ALL" arm would be invalid SQL.
+	rec := indent(strings.Join(init, "\nUNION ALL\n"), 1)
+	if len(body) > 0 {
+		rec += "\n  UNION ALL\n" + indent(strings.Join(body, "\nUNION ALL\n"), 1)
+	}
 	return fmt.Sprintf(`WITH RECURSIVE R (F, T, Rid, V) AS (
 %s
-  UNION ALL
-%s
 )
-%s`, indent(strings.Join(init, "\nUNION ALL\n"), 1), indent(strings.Join(body, "\nUNION ALL\n"), 1), final)
+%s`, rec, final)
 }
 
+// escapeSQL escapes a value for embedding in a standard SQL string literal.
+// Quote doubling is the only escape standard SQL defines: backslashes, NUL
+// bytes, newlines and non-UTF8 byte sequences are all ordinary literal
+// content and must pass through unchanged, or σ_{V=c} would compare against
+// a different value than the one the store holds. EscapeStringLiteral is the
+// exported form; the INSERT path never embeds values at all (InsertSQL is
+// fully parameterized), so hostile bytes only ever travel as bind arguments
+// or inside a quoted literal.
 func escapeSQL(s string) string {
 	return strings.ReplaceAll(s, "'", "''")
 }

@@ -1,0 +1,105 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Typed rendering errors. Backends and the public facade match on these
+// with errors.Is.
+var (
+	// ErrDialect reports an unknown or unsupported SQL dialect value.
+	ErrDialect = errors.New("ra: unknown SQL dialect")
+	// ErrUnsupportedPlan reports a plan with no SQL rendering.
+	ErrUnsupportedPlan = errors.New("ra: plan has no SQL rendering")
+)
+
+// Valid reports whether d is a known dialect value.
+func (d Dialect) Valid() bool {
+	return d == DialectDB2 || d == DialectOracle
+}
+
+// String returns the canonical lowercase dialect name ("db2", "oracle").
+func (d Dialect) String() string {
+	switch d {
+	case DialectDB2:
+		return "db2"
+	case DialectOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("Dialect(%d)", int(d))
+}
+
+// ParseDialect resolves a dialect name ("db2", "oracle", case-insensitive)
+// to its Dialect value, or returns ErrDialect.
+func ParseDialect(s string) (Dialect, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "db2", "sql99", "":
+		return DialectDB2, nil
+	case "oracle":
+		return DialectOracle, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrDialect, s)
+}
+
+// The DDL and INSERT emitters below define the relational image of the
+// shredded store for SQL backends: one (F, T, V) table per element type
+// plus the (ID, VAL) node catalog. Columns are character-typed because the
+// rendered programs compare against the virtual root marker '_' (RootSeed,
+// SelectRoot); node IDs are stored as their decimal strings via
+// EncodeNodeID.
+
+// EdgeTableDDL returns the CREATE TABLE statement for a stored edge
+// relation R_A(F, T, V).
+func EdgeTableDDL(table string) string {
+	return fmt.Sprintf("CREATE TABLE %s (F VARCHAR(32), T VARCHAR(32), V VARCHAR(32672))", table)
+}
+
+// NodesTableDDL returns the CREATE TABLE statement for the node catalog
+// (ID, VAL) backing the R_id identity relation.
+func NodesTableDDL(table string) string {
+	return fmt.Sprintf("CREATE TABLE %s (ID VARCHAR(32), VAL VARCHAR(32672))", table)
+}
+
+// DropTableSQL returns the idempotent DROP statement for a table.
+func DropTableSQL(table string) string {
+	return "DROP TABLE IF EXISTS " + table
+}
+
+// InsertSQL returns a fully parameterized multi-row INSERT for the given
+// columns: every value travels as a bind argument, so hostile content
+// (quotes, NULs, newlines, non-UTF8) never reaches the SQL text. rows must
+// be >= 1.
+func InsertSQL(table string, cols []string, rows int) string {
+	one := "(?" + strings.Repeat(", ?", len(cols)-1) + ")"
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s (%s) VALUES %s", table, strings.Join(cols, ", "), one)
+	for i := 1; i < rows; i++ {
+		b.WriteString(", ")
+		b.WriteString(one)
+	}
+	return b.String()
+}
+
+// RootMarker is the F value of tuples whose parent is the virtual document
+// root (node ID 0), as rendered by RootSeed and tested by SelectRoot.
+const RootMarker = "_"
+
+// EncodeNodeID maps a node ID to its stored string form: the root marker
+// for the virtual root, the decimal string otherwise.
+func EncodeNodeID(id int) string {
+	if id == 0 {
+		return RootMarker
+	}
+	return strconv.Itoa(id)
+}
+
+// DecodeNodeID inverts EncodeNodeID.
+func DecodeNodeID(s string) (int, error) {
+	if s == RootMarker {
+		return 0, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -24,6 +24,11 @@
 // faults follow the same "user faults never 500" rule: a non-conforming
 // update is 422, an unknown node ID 404, a malformed fragment 400.
 //
+// With Config.Backend the server executes through a storage-neutral
+// Backend instead — e.g. the database/sql executor that ships the generated
+// WITH RECURSIVE text to a real RDBMS. Backend mode is read-only and serves
+// /v1/query, /v1/batch and /v1/translate only.
+//
 // Robustness model:
 //
 //   - Admission control: a semaphore bounds concurrent executions, a bounded
@@ -79,6 +84,13 @@ type Config struct {
 	// current epoch snapshot, and POST /v1/update and POST /admin/snapshot
 	// are enabled. DB is ignored when Store is set.
 	Store *store.Store
+	// Backend, when set, executes queries through a storage-neutral Backend
+	// (e.g. a database/sql executor running the generated recursive SQL)
+	// instead of an in-process *DB. Exactly one of DB, Store or Backend must
+	// be set. Backend mode is read-only (no update/snapshot endpoints) and
+	// incompatible with BatchWindow (the micro-batcher coalesces queries
+	// into one merged in-process run, which needs a *DB).
+	Backend xpath2sql.Backend
 
 	// MaxConcurrent bounds simultaneously executing requests (admission
 	// semaphore). Default: GOMAXPROCS.
@@ -134,7 +146,8 @@ type Server struct {
 	cfg     Config
 	eng     *xpath2sql.Engine
 	db      *xpath2sql.DB
-	store   *store.Store // nil for a read-only server
+	store   *store.Store      // nil for a read-only server
+	backend xpath2sql.Backend // nil unless the server executes via a Backend
 	adm     *admission
 	batcher *batcher // nil when micro-batching is disabled
 	m       *metrics
@@ -154,8 +167,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("server: Config.Engine is required")
 	}
-	if cfg.DB == nil && cfg.Store == nil {
-		return nil, errors.New("server: Config.DB or Config.Store is required")
+	sources := 0
+	for _, set := range []bool{cfg.DB != nil, cfg.Store != nil, cfg.Backend != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, errors.New("server: exactly one of Config.DB, Config.Store or Config.Backend is required")
+	}
+	if cfg.Backend != nil && cfg.BatchWindow > 0 {
+		return nil, errors.New("server: BatchWindow requires an in-process DB or Store (micro-batching is incompatible with Config.Backend)")
 	}
 	cfg.fillDefaults()
 	endpoints := []string{epQuery, epBatch, epTranslate}
@@ -163,12 +185,13 @@ func New(cfg Config) (*Server, error) {
 		endpoints = append(endpoints, epUpdate, epSnapshot)
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		db:    cfg.DB,
-		store: cfg.Store,
-		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		m:     newMetrics(endpoints),
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		db:      cfg.DB,
+		store:   cfg.Store,
+		backend: cfg.Backend,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		m:       newMetrics(endpoints),
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s.eng, s.database, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
@@ -196,6 +219,15 @@ func (s *Server) database() *xpath2sql.DB {
 		return s.store.View().DB
 	}
 	return s.db
+}
+
+// execute runs one prepared query against the server's data source: through
+// the configured Backend when one is set, else against the pinned database.
+func (s *Server) execute(ctx context.Context, t *xpath2sql.Translation) (*xpath2sql.Answer, error) {
+	if s.backend != nil {
+		return t.ExecuteOn(ctx, s.backend)
+	}
+	return t.ExecuteContext(ctx, s.database())
 }
 
 // Handler returns the server's HTTP handler (panic isolation included), for
@@ -253,6 +285,19 @@ type execStatsJSON struct {
 	RecFixes  int `json:"rec_fixes"`
 	TuplesOut int `json:"tuples_out"`
 	Morsels   int `json:"morsels"`
+}
+
+// addStats accumulates per-query work counters into a batch total.
+func addStats(a, b xpath2sql.ExecStats) xpath2sql.ExecStats {
+	a.StmtsRun += b.StmtsRun
+	a.Joins += b.Joins
+	a.Unions += b.Unions
+	a.LFPs += b.LFPs
+	a.LFPIters += b.LFPIters
+	a.RecFixes += b.RecFixes
+	a.TuplesOut += b.TuplesOut
+	a.Morsels += b.Morsels
+	return a
 }
 
 func statsJSON(st xpath2sql.ExecStats) execStatsJSON {
@@ -521,7 +566,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	ans, err := p.ExecuteContext(ctx, s.database())
+	ans, err := s.execute(ctx, &p.Translation)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -571,6 +616,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 	t0 := time.Now()
+	if s.backend != nil {
+		// Backend mode has no merged-program executor, so the batch keeps
+		// its one admission slot and runs query by query on the backend.
+		var total xpath2sql.ExecStats
+		results := make([]batchItem, len(queries))
+		for i, q := range queries {
+			p, err := s.eng.Prepare(ctx, q)
+			if err != nil {
+				s.fail(w, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
+			ans, err := p.ExecuteOn(ctx, s.backend)
+			if err != nil {
+				s.fail(w, fmt.Errorf("query %d: %w", i, err))
+				return
+			}
+			total = addStats(total, ans.Stats)
+			results[i] = batchItem{IDs: ans.IDs, Count: len(ans.IDs), Stats: statsJSON(ans.Stats)}
+		}
+		s.m.recordExec(total)
+		writeJSON(w, http.StatusOK, batchResponse{
+			ElapsedMS: time.Since(t0).Seconds() * 1000,
+			Stats:     statsJSON(total),
+			Results:   results,
+		})
+		return
+	}
 	b, err := s.eng.TranslateBatch(ctx, queries)
 	if err != nil {
 		s.fail(w, err)
@@ -635,10 +707,20 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		resp.ExtendedXPath = eq.String()
 	}
 	if req.Dialect == "" || req.Dialect == "db2" {
-		resp.SQL["db2"] = p.SQL(xpath2sql.DialectDB2)
+		sql, err := p.SQL(xpath2sql.DialectDB2)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.SQL["db2"] = sql
 	}
 	if req.Dialect == "" || req.Dialect == "oracle" {
-		resp.SQL["oracle"] = p.SQL(xpath2sql.DialectOracle)
+		sql, err := p.SQL(xpath2sql.DialectOracle)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.SQL["oracle"] = sql
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -12,7 +12,8 @@
 //	dtd, _ := xpath2sql.ParseDTD(dtdText)      // recursive DTDs welcome
 //	eng := xpath2sql.New(dtd)
 //	p, _ := eng.PrepareString(ctx, "dept//project")
-//	fmt.Println(p.SQL(xpath2sql.DialectDB2))   // the SQL to ship to an RDBMS
+//	sql, _ := p.SQL(xpath2sql.DialectDB2)      // the SQL to ship to an RDBMS
+//	fmt.Println(sql)
 //
 // For self-contained use, the package bundles an in-memory relational
 // engine, a shredder and an XML generator:
@@ -20,6 +21,17 @@
 //	doc, _ := xpath2sql.ParseXML(xmlText)
 //	db, _ := xpath2sql.Shred(doc, dtd)
 //	ans, _ := p.ExecuteContext(ctx, db)        // ans.IDs: answer node IDs
+//
+// Execution is pluggable through the Backend interface: the bundled
+// in-process engine (NewLocalBackend) and a database/sql executor that runs
+// the generated recursive SQL on a real database (OpenSQLBackend). An Engine
+// built with WithBackend executes through it:
+//
+//	be, _ := xpath2sql.OpenSQLBackend(ctx, "pgx", dsn)
+//	be.Load(ctx, db)
+//	eng = xpath2sql.New(dtd, xpath2sql.WithBackend(be))
+//	p, _ = eng.PrepareString(ctx, "dept//project")
+//	ans, _ = p.Execute(ctx)                    // runs WITH RECURSIVE SQL
 //
 // Three translation strategies are provided for comparison, matching the
 // paper's experiments: the extended-XPath approach with CycleEX (X, the
@@ -29,8 +41,8 @@
 package xpath2sql
 
 import (
-	"context"
 	"math/rand"
+	"strings"
 
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/dtd"
@@ -93,6 +105,11 @@ const (
 	DialectOracle = ra.DialectOracle
 )
 
+// ParseDialect maps a dialect name to a Dialect: "db2", "sql99" and "" give
+// DB2 (the executable WITH RECURSIVE form), "oracle" gives Oracle
+// (render-only CONNECT BY). Unknown names return ErrDialect.
+func ParseDialect(s string) (Dialect, error) { return ra.ParseDialect(s) }
+
 // Options configures translation.
 type Options = core.Options
 
@@ -125,29 +142,10 @@ type Translation struct {
 	// cache, when the translation came through a caching Engine, lets each
 	// Answer snapshot the plan-cache counters for its Explain footer.
 	cache *plancache.Cache
-}
-
-// Translate rewrites an XPath query over a (possibly recursive) DTD into a
-// sequence of relational queries.
-//
-// Deprecated: use New(d, …).Translate(ctx, q) — the context-first Engine
-// API, which adds cancellation, resource limits and execution traces. This
-// wrapper routes through a throwaway unbounded Engine (no cache, no limits)
-// on the background context, so cancellation and LimitError semantics are
-// identical to the Engine path.
-func Translate(q Query, d *DTD, opts Options) (*Translation, error) {
-	return defaultEngine(d, opts).Translate(context.Background(), q)
-}
-
-// TranslateString parses and translates in one step.
-//
-// Deprecated: use New(d, …).TranslateString(ctx, query); see Translate.
-func TranslateString(query string, d *DTD, opts Options) (*Translation, error) {
-	q, err := ParseQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	return Translate(q, d, opts)
+	// backend, when the engine was built with WithBackend, is the execution
+	// target of Execute (nil = ErrNoBackend; ExecuteContext and ExecuteOn
+	// name their target explicitly).
+	backend Backend
 }
 
 // Strategy reports which translation strategy produced this plan.
@@ -160,24 +158,42 @@ func (t *Translation) ExtendedXPath() *ExtendedQuery { return t.res.EQ }
 // Program returns the relational-algebra statement sequence.
 func (t *Translation) Program() *Program { return t.res.Program }
 
-// SQL renders the program as SQL text in the given dialect.
-func (t *Translation) SQL(d Dialect) string {
-	return t.res.Program.SQL(ra.SQLRenderOptions{Dialect: d})
+// SQLOption adjusts SQL rendering beyond the dialect.
+type SQLOption func(*ra.SQLRenderOptions)
+
+// WithNodesTable names the (ID, VAL) node-catalog table the rendered SQL
+// reads ("all_nodes" when not given).
+func WithNodesTable(name string) SQLOption {
+	return func(o *ra.SQLRenderOptions) { o.NodesTable = name }
 }
 
-// Execute runs the program on a shredded database, returning the answer
-// node IDs (ascending) and execution statistics.
-//
-// Deprecated: use ExecuteContext, which adds cancellation, resource limits
-// and a per-statement trace. Execute delegates to ExecuteContext on the
-// background context, so the translation's limits (if it came from a bounded
-// Engine) are enforced with the same typed *LimitError values.
-func (t *Translation) Execute(db *DB) ([]int, *ExecStats, error) {
-	ans, err := t.ExecuteContext(context.Background(), db)
-	if err != nil {
-		return nil, nil, err
+// WithTempPrefix prefixes every temporary-table name in the rendered SQL, so
+// concurrent statement sequences over one database never collide.
+func WithTempPrefix(prefix string) SQLOption {
+	return func(o *ra.SQLRenderOptions) { o.TempPrefix = prefix }
+}
+
+// SQL renders the program as SQL text in the given dialect: the statement
+// sequence in dependency order, then the answer query. The dialect is
+// validated (ErrDialect) and plans with no SQL form are reported
+// (ErrUnsupportedPlan) instead of rendering placeholder comments.
+func (t *Translation) SQL(d Dialect, opts ...SQLOption) (string, error) {
+	o := ra.SQLRenderOptions{Dialect: d}
+	for _, f := range opts {
+		f(&o)
 	}
-	return ans.IDs, &ans.Stats, nil
+	rs, err := t.res.Program.RenderSQL(o)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, s := range rs.Stmts {
+		b.WriteString(s.SQL)
+		b.WriteString(";\n\n")
+	}
+	b.WriteString(rs.ResultQuery)
+	b.WriteString(";\n")
+	return b.String(), nil
 }
 
 // Shred maps a document into the per-type edge relations R_A(F, T, V) of
