@@ -1,0 +1,120 @@
+// Command perfgate compares serve-benchmark reports against a committed
+// baseline and exits nonzero on regression. It is the CI half of the serving
+// perf gate: benchexp -exp serve produces the reports, perfgate enforces
+// that throughput and tail latency stay within tolerance of the baseline.
+//
+//	perfgate -baseline BENCH_serve_ci.json current1.json [current2.json ...]
+//
+// Several current reports may be given; the gate scores each concurrency
+// level on the best observation across them (highest QPS, lowest p99).
+// Short benchmark runs on shared machines are noisy in one direction —
+// interference makes a run slower, never faster — so best-of-N measures the
+// machine's capability while a single run measures its worst moment. A real
+// regression shows up in every run; noise does not survive the max.
+//
+// A level regresses when best QPS falls below (1-tol)×baseline, or best p99
+// rises above (1+tol)×baseline plus an absolute floor. The floor keeps
+// sub-millisecond baselines from turning scheduler jitter into failures: 20%
+// of 2ms is noise, 20% of 200ms is a regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"xpath2sql/internal/serveload"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_serve_ci.json", "committed baseline report")
+	tol := flag.Float64("tol", 0.20, "relative tolerance for QPS and p99")
+	floor := flag.Float64("floor-ms", 2, "absolute p99 slack in milliseconds, added on top of the relative tolerance")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline FILE current.json [current.json ...]")
+		os.Exit(2)
+	}
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var curs []*serveload.ServeReport
+	for _, path := range flag.Args() {
+		r, err := readReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+			os.Exit(2)
+		}
+		curs = append(curs, r)
+	}
+
+	violations, summary := gate(base, curs, *tol, *floor)
+	for _, line := range summary {
+		fmt.Println(line)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok (%d levels within %.0f%% of %s)\n", len(base.Levels), *tol*100, *baseline)
+}
+
+func readReport(path string) (*serveload.ServeReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r serveload.ServeReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Levels) == 0 {
+		return nil, fmt.Errorf("%s: no levels", path)
+	}
+	return &r, nil
+}
+
+// gate scores every baseline level against the best current observation and
+// returns the violations plus a human-readable summary table.
+func gate(base *serveload.ServeReport, curs []*serveload.ServeReport, tol, floorMS float64) (violations, summary []string) {
+	summary = append(summary, fmt.Sprintf("%-8s %12s %12s %12s %12s", "clients", "base qps", "best qps", "base p99", "best p99"))
+	for _, bl := range base.Levels {
+		bestQPS, bestP99 := 0.0, 0.0
+		seen := false
+		for _, cur := range curs {
+			for _, cl := range cur.Levels {
+				if cl.Concurrency != bl.Concurrency {
+					continue
+				}
+				if !seen || cl.QPS > bestQPS {
+					bestQPS = cl.QPS
+				}
+				if !seen || cl.P99MS < bestP99 {
+					bestP99 = cl.P99MS
+				}
+				seen = true
+			}
+		}
+		if !seen {
+			violations = append(violations, fmt.Sprintf("level %d: missing from current reports", bl.Concurrency))
+			continue
+		}
+		summary = append(summary, fmt.Sprintf("%-8d %12.0f %12.0f %11.1fms %11.1fms",
+			bl.Concurrency, bl.QPS, bestQPS, bl.P99MS, bestP99))
+		if minQPS := bl.QPS * (1 - tol); bestQPS < minQPS {
+			violations = append(violations, fmt.Sprintf("level %d: QPS %.0f < %.0f (baseline %.0f - %.0f%%)",
+				bl.Concurrency, bestQPS, minQPS, bl.QPS, tol*100))
+		}
+		if maxP99 := bl.P99MS*(1+tol) + floorMS; bestP99 > maxP99 {
+			violations = append(violations, fmt.Sprintf("level %d: p99 %.1fms > %.1fms (baseline %.1fms + %.0f%% + %.0fms)",
+				bl.Concurrency, bestP99, maxP99, bl.P99MS, tol*100, floorMS))
+		}
+	}
+	return violations, summary
+}

@@ -24,6 +24,9 @@ type (
 	// CacheStats reports the engine's plan-cache counters: hits, misses,
 	// singleflight-coalesced lookups, evictions and resident entries.
 	CacheStats = obs.CacheStats
+	// EngineStats is the engine's aggregate stats surface (Engine.Stats):
+	// plan-cache counters, configured parallelism and backend kind.
+	EngineStats = obs.EngineStats
 )
 
 // ErrLimit is the sentinel every *LimitError unwraps to.
@@ -215,14 +218,40 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.Stats()
 }
 
+// Stats is the engine's one aggregate stats surface: the plan-cache
+// counters plus the static execution configuration (parallelism, backend
+// kind), so callers — the /metrics endpoint in particular — need not stitch
+// CacheStats and Parallelism together themselves.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Cache:       e.CacheStats(),
+		Parallelism: e.workers,
+		Backend:     "local",
+	}
+	if e.backend != nil {
+		s.Backend = e.backend.Name()
+	}
+	return s
+}
+
 // TranslateBatch translates several queries into one merged program with
 // cross-query common-sub-query sharing; the batch carries the engine's
-// limits and parallelism into its ExecuteContext.
+// limits and parallelism into its ExecuteContext. Each member query resolves
+// through the plan cache, so a batch of warm queries skips translation
+// entirely and only pays the (cheap, content-addressed) merge.
 func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	b, err := core.TranslateBatch(queries, e.dtd, e.opts)
+	results := make([]*core.Result, len(queries))
+	for i, q := range queries {
+		res, err := e.translate(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	b, err := core.MergeBatch(results)
 	if err != nil {
 		return nil, err
 	}
@@ -268,16 +297,31 @@ func (a *Answer) Explain() string {
 	return obs.Explain(a.prog, a.Trace, a.cache)
 }
 
-// ExecuteContext runs the translated program on a shredded database under a
-// context: cancellation is honored between statements and between fixpoint
-// iterations (the run returns promptly with context.Canceled or
-// context.DeadlineExceeded), the translation's limits are enforced with
-// typed *LimitError values, and a per-statement trace is recorded in the
-// returned Answer (render it with Answer.Explain). Safe to call
-// concurrently on one shared Translation or Prepared: each run's state
-// lives entirely in its Answer.
+// ExecuteContext runs the translated program on a shredded database by
+// adopting it as a zero-cost backend snapshot; semantics are exactly those
+// of the one execution path (see executeSnap / ExecuteOn).
+//
+// Deprecated: the Backend interface is the one execution surface — use
+// Execute (engine built WithBackend) or ExecuteOn(ctx,
+// NewLocalBackend(db)). ExecuteContext remains supported as a shim for code
+// holding a bare *DB.
 func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, error) {
 	return t.executeSnap(ctx, backend.AdoptDB(db, 1))
+}
+
+// WithParallelism returns a copy of the translation bound to a different
+// intra-query worker count, leaving the receiver untouched. Serving layers
+// use it for admission-aware scheduling: the engine's configured
+// parallelism is a per-request ceiling, scaled down when many requests
+// execute concurrently so total worker fan-out never oversubscribes the
+// machine.
+func (t *Translation) WithParallelism(workers int) *Translation {
+	if workers < 1 {
+		workers = 1
+	}
+	c := *t
+	c.workers = workers
+	return &c
 }
 
 // Execute runs the translated program on the engine's configured backend
@@ -304,8 +348,17 @@ func (t *Translation) ExecuteOn(ctx context.Context, b Backend) (*Answer, error)
 }
 
 // executeSnap is the single execution path every Execute variant funnels
-// into: one backend snapshot, the translation's limits and parallelism, and
-// a per-run trace collected into the Answer.
+// into, with one documented semantics:
+//
+//   - Limits: the translation's limits (the engine's WithLimits) are
+//     enforced by the snapshot's executor; breaches return *LimitError.
+//   - Parallelism: the translation's worker count (WithParallelism on the
+//     engine, or Translation.WithParallelism per run) bounds intra-query
+//     fan-out; 1 runs the serial pooled-state path.
+//   - Trace: every run records a per-statement trace into its Answer
+//     (Answer.Explain renders it); runs never share mutable state.
+//   - Cancellation: honored between statements and fixpoint iterations,
+//     returning the context's error.
 func (t *Translation) executeSnap(ctx context.Context, snap BackendSnapshot) (*Answer, error) {
 	trace := &obs.Trace{}
 	res, err := snap.Execute(ctx, t.res.Program, backend.ExecOptions{

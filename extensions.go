@@ -49,6 +49,18 @@ type Batch struct {
 // Program returns the merged statement sequence.
 func (b *Batch) Program() *Program { return b.b.Program }
 
+// WithParallelism returns a copy of the batch bound to a different worker
+// count, leaving the receiver untouched — the batch analogue of
+// Translation.WithParallelism, for admission-aware serving layers.
+func (b *Batch) WithParallelism(workers int) *Batch {
+	if workers < 1 {
+		workers = 1
+	}
+	c := *b
+	c.workers = workers
+	return &c
+}
+
 // Explain renders the merged program's bare plan: one line per RA
 // statement, shared sub-queries appearing once. Per-run annotations travel
 // with each execution's BatchAnswer; render them with BatchAnswer.Explain.

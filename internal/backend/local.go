@@ -87,7 +87,10 @@ func (s *localSnap) Close() error { return nil }
 
 // Execute runs the program on the rdb engine: the morsel-parallel evaluator
 // when Workers > 1, the serial lazy executor otherwise. This is the single
-// home of the logic every in-process execution path used to duplicate.
+// home of the logic every in-process execution path used to duplicate. The
+// serial path runs on a pooled rdb.ExecState, so a warm request reuses the
+// previous request's relations, sets and index backings; the answer IDs are
+// copied out before the state is released.
 func (s *localSnap) Execute(ctx context.Context, prog *ra.Program, opts ExecOptions) (*Result, error) {
 	if opts.Workers > 1 {
 		rel, stats, err := rdb.RunParallelCtx(ctx, s.db, prog, opts.Workers, opts.Limits, opts.Trace)
@@ -96,7 +99,9 @@ func (s *localSnap) Execute(ctx context.Context, prog *ra.Program, opts ExecOpti
 		}
 		return &Result{IDs: ExtractIDs(rel), Stats: *stats}, nil
 	}
-	ex := rdb.NewExec(s.db)
+	st := rdb.AcquireState(s.db)
+	defer st.Release()
+	ex := st.Exec()
 	ex.Limits = opts.Limits
 	rel, err := ex.RunCtx(ctx, prog, opts.Trace)
 	if err != nil {

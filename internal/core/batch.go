@@ -31,44 +31,107 @@ func TranslateBatch(queries []xpath.Path, d *dtd.DTD, opts Options) (*BatchResul
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
-	merged := &ra.Program{}
-	out := &BatchResult{}
+	results := make([]*Result, len(queries))
 	for i, q := range queries {
 		res, err := Translate(q, d, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch query %d (%s): %w", i, q, err)
 		}
-		prefix := fmt.Sprintf("q%d.", i)
+		results[i] = res
+	}
+	return MergeBatch(results)
+}
+
+// MergeBatch merges already-translated queries into one batch program with
+// content-addressed statement sharing: every statement is renamed to a name
+// derived from its canonical plan (temp references resolved to the merged
+// names first), so structurally identical statements collapse onto one
+// definition *across* queries — including statements that arrived from a
+// shared plan cache. Duplicate queries in a batch merge to the same result
+// statement for free. The inputs are never mutated, so cached Results can
+// be merged concurrently.
+//
+// While canonicalizing, every fully constrained fixpoint
+// Φ(seed; start; end) without path tracking is split into
+// Semijoin(Φ(seed; start), end): the engine evaluates the constrained-both
+// form as the forward closure from start followed by an end filter (§5.2),
+// so the split is cost-neutral for one query, while the expensive closure
+// becomes textually identical across queries that differ only in their end
+// constraint — the common case for a micro-batch of //-queries over one
+// DTD — and is then computed once per batch.
+func MergeBatch(results []*Result) (*BatchResult, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	merged := &ra.Program{}
+	defs := map[string]string{} // canonical plan string -> merged stmt name
+	out := &BatchResult{}
+	for qi, res := range results {
 		prog := res.Program
-		renameStmts(prog, prefix)
-		merged.Stmts = append(merged.Stmts, prog.Stmts...)
-		out.ResultNames = append(out.ResultNames, prog.Result)
+		local := map[string]string{} // source stmt name -> merged stmt name
+		var resolve func(name string) (string, error)
+		var canon func(pl ra.Plan) (ra.Plan, error)
+		canon = func(pl ra.Plan) (ra.Plan, error) {
+			if t, ok := pl.(ra.Temp); ok {
+				nm, err := resolve(t.Name)
+				if err != nil {
+					return nil, err
+				}
+				return ra.Temp{Name: nm}, nil
+			}
+			kids := children(pl)
+			ck := make([]ra.Plan, len(kids))
+			for i, k := range kids {
+				var err error
+				if ck[i], err = canon(k); err != nil {
+					return nil, err
+				}
+			}
+			p := rebuild(pl, ck)
+			if f, ok := p.(ra.Fix); ok {
+				f.TrackPaths = pl.(ra.Fix).TrackPaths
+				if f.Start != nil && f.End != nil && !f.TrackPaths {
+					return ra.Semijoin{L: ra.Fix{Seed: f.Seed, Start: f.Start}, R: f.End}, nil
+				}
+				return f, nil
+			}
+			return p, nil
+		}
+		resolve = func(name string) (string, error) {
+			if nm, ok := local[name]; ok {
+				return nm, nil
+			}
+			src := prog.Lookup(name)
+			if src == nil {
+				return "", fmt.Errorf("core: batch query %d: unknown statement %q", qi, name)
+			}
+			plan, err := canon(src)
+			if err != nil {
+				return "", err
+			}
+			key := plan.String()
+			nm, ok := defs[key]
+			if !ok {
+				nm = fmt.Sprintf("m%d", len(defs)+1)
+				defs[key] = nm
+				merged.Stmts = append(merged.Stmts, ra.Stmt{Name: nm, Plan: plan})
+			}
+			local[name] = nm
+			return nm, nil
+		}
+		rn, err := resolve(prog.Result)
+		if err != nil {
+			return nil, err
+		}
+		out.ResultNames = append(out.ResultNames, rn)
 		out.Strategies = append(out.Strategies, res.Strategy)
 	}
-	// Cross-query sharing: identical statements collapse onto one
-	// definition; identical sub-plans get shared temps.
+	// Sub-statement sharing: identical inline sub-plans (now spelled
+	// identically thanks to canonical temp names) get shared temps.
 	ExtractCommon(merged)
 	merged.Result = out.ResultNames[len(out.ResultNames)-1]
 	out.Program = merged
 	return out, nil
-}
-
-// renameStmts prefixes every statement name and temp reference of the
-// program, so merged programs cannot collide.
-func renameStmts(p *ra.Program, prefix string) {
-	rename := func(name string) string { return prefix + name }
-	var walk func(pl ra.Plan) ra.Plan
-	walk = func(pl ra.Plan) ra.Plan {
-		if t, ok := pl.(ra.Temp); ok {
-			return ra.Temp{Name: rename(t.Name)}
-		}
-		return rebuild(pl, rewriteKids(pl, walk))
-	}
-	for i := range p.Stmts {
-		p.Stmts[i].Name = rename(p.Stmts[i].Name)
-		p.Stmts[i].Plan = walk(p.Stmts[i].Plan)
-	}
-	p.Result = rename(p.Result)
 }
 
 // Execute runs the batch and returns the answers per query (virtual-root
@@ -89,7 +152,9 @@ func (b *BatchResult) Execute(db *rdb.DB) ([][]int, *rdb.Stats, error) {
 // RunMore calls. Limits.Timeout budgets each query's run separately; when
 // trace is non-nil all queries' statement events accumulate into it.
 func (b *BatchResult) ExecuteCtx(ctx context.Context, db *rdb.DB, limits obs.Limits, trace *obs.Trace) ([][]int, []rdb.Stats, *rdb.Stats, error) {
-	ex := rdb.NewExec(db)
+	st := rdb.AcquireState(db)
+	defer st.Release()
+	ex := st.Exec()
 	ex.Limits = limits
 	answers := make([][]int, len(b.ResultNames))
 	perQuery := make([]rdb.Stats, len(b.ResultNames))
@@ -104,7 +169,8 @@ func (b *BatchResult) ExecuteCtx(ctx context.Context, db *rdb.DB, limits obs.Lim
 		perQuery[i] = ex.Stats.Minus(before)
 		answers[i] = ExtractIDs(rel)
 	}
-	return answers, perQuery, &ex.Stats, nil
+	total := ex.Stats
+	return answers, perQuery, &total, nil
 }
 
 // ExecuteParallelCtx answers every query of the batch in one parallel pass:

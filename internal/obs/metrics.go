@@ -152,11 +152,13 @@ type MetricsSnapshot struct {
 	Rejections     int64 // 429s: admission queue overflow
 	LimitErrors    int64 // 422s: typed *LimitError from execution
 	Panics         int64 // handler panics converted to 500s
-	BatchRuns      int64 // micro-batch scheduler runs covering >1 query
-	BatchedQueries int64 // single queries coalesced into those runs
+	BatchRuns       int64 // micro-batch scheduler runs covering >1 query
+	BatchedQueries  int64 // single queries coalesced into those runs
+	BatchAnswerHits int64 // batched queries answered from materialized answers
 
-	// Engine plan cache.
-	Cache CacheStats
+	// Engine carries the engine's aggregate stats surface (Engine.Stats):
+	// plan-cache counters, configured parallelism and the execution backend.
+	Engine EngineStats
 
 	// Data plane, summed over all served executions.
 	Exec     OpStats
@@ -238,12 +240,17 @@ func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
 	counter("panics_total", "Handler panics converted to 500s.", m.Panics)
 	counter("batch_runs_total", "Micro-batch runs covering more than one query.", m.BatchRuns)
 	counter("batched_queries_total", "Single queries coalesced into micro-batch runs.", m.BatchedQueries)
+	counter("batch_answer_hits_total", "Batched queries served from materialized answers without execution.", m.BatchAnswerHits)
 
-	counter("plancache_hits_total", "Plan-cache lookups served from cache.", m.Cache.Hits)
-	counter("plancache_misses_total", "Plan-cache lookups that ran a translation.", m.Cache.Misses)
-	counter("plancache_coalesced_total", "Plan-cache lookups coalesced onto an in-flight translation.", m.Cache.Coalesced)
-	counter("plancache_evictions_total", "Plan-cache entries evicted by the LRU bound.", m.Cache.Evictions)
-	gauge("plancache_entries", "Plans currently cached.", int64(m.Cache.Entries))
+	counter("plancache_hits_total", "Plan-cache lookups served from cache.", m.Engine.Cache.Hits)
+	counter("plancache_misses_total", "Plan-cache lookups that ran a translation.", m.Engine.Cache.Misses)
+	counter("plancache_coalesced_total", "Plan-cache lookups coalesced onto an in-flight translation.", m.Engine.Cache.Coalesced)
+	counter("plancache_evictions_total", "Plan-cache entries evicted by the LRU bound.", m.Engine.Cache.Evictions)
+	gauge("plancache_entries", "Plans currently cached.", int64(m.Engine.Cache.Entries))
+	gauge("engine_parallelism", "Per-execution worker count the engine was built with.", int64(m.Engine.Parallelism))
+	fmt.Fprintf(w, "# HELP %s_engine_backend Execution backend, as an info-style gauge.\n", p)
+	fmt.Fprintf(w, "# TYPE %s_engine_backend gauge\n", p)
+	fmt.Fprintf(w, "%s_engine_backend{kind=%q} 1\n", p, m.Engine.Backend)
 
 	counter("exec_statements_total", "Relational statements evaluated.", m.StmtsRun)
 	counter("exec_joins_total", "Hash joins performed.", int64(m.Exec.Joins))

@@ -92,7 +92,7 @@ func TestWritePrometheusFormat(t *testing.T) {
 		LimitErrors:    1,
 		BatchRuns:      3,
 		BatchedQueries: 9,
-		Cache:          CacheStats{Hits: 5, Misses: 2, Entries: 2},
+		Engine:         EngineStats{Cache: CacheStats{Hits: 5, Misses: 2, Entries: 2}, Parallelism: 1, Backend: "rdb"},
 		Exec:           OpStats{Joins: 10, TuplesOut: 1000, LFPIters: 12, Morsels: 4},
 		StmtsRun:       20,
 	}

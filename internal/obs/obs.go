@@ -216,6 +216,23 @@ type CacheStats struct {
 	Entries int
 }
 
+// EngineStats is the engine's one aggregate stats surface (Engine.Stats):
+// the plan-cache counters plus the static execution configuration, so
+// serving layers report engine state without stitching individual accessors
+// together.
+type EngineStats struct {
+	// Cache holds the plan cache's counters (all zero when caching is
+	// disabled).
+	Cache CacheStats
+	// Parallelism is the per-execution worker count the engine was built
+	// with (1 = serial).
+	Parallelism int
+	// Backend names the configured execution backend's kind ("rdb", "sql",
+	// ...); "local" when the engine executes in-process without a configured
+	// Backend.
+	Backend string
+}
+
 // Lookups is the total number of cache lookups observed.
 func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
 

@@ -73,6 +73,7 @@ type Exec struct {
 	env     map[string]*Relation
 	ident   *Relation // cached R_id
 	running map[string]bool
+	arena   *ExecState // non-nil for pooled executors (AcquireState)
 
 	// Cancellation, limit and trace state (RunCtx).
 	ctx      context.Context
@@ -101,7 +102,11 @@ func NewExec(db *DB) *Exec {
 
 // newRel returns an empty temporary sharing the database interner, so every
 // relation an execution touches moves V symbols without string traffic.
+// Pooled executors draw temporaries from their arena instead of the heap.
 func (e *Exec) newRel(name string) *Relation {
+	if e.arena != nil {
+		return e.arena.alloc(name)
+	}
 	return newRelation(name, e.DB.Syms)
 }
 
@@ -153,8 +158,13 @@ func (e *Exec) Run(p *ra.Program) (*Relation, error) {
 // the trace totals then agree with e.Stats.
 func (e *Exec) RunCtx(ctx context.Context, p *ra.Program, trace *obs.Trace) (*Relation, error) {
 	e.prog = p
-	e.env = map[string]*Relation{}
-	e.running = map[string]bool{}
+	if e.env == nil {
+		e.env = map[string]*Relation{}
+		e.running = map[string]bool{}
+	} else {
+		clear(e.env)
+		clear(e.running)
+	}
 	e.prepare(ctx, trace)
 	if !e.Lazy {
 		for _, s := range p.Stmts {
@@ -251,7 +261,13 @@ func (e *Exec) stmt(name string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.Name = name
+	// Name the result after the statement, but never rename a relation that
+	// already carries one: a statement evaluating straight to a stored base
+	// relation returns the DB's shared *Relation, which concurrent
+	// executions read.
+	if r.Name == "" {
+		r.Name = name
+	}
 	e.env[name] = r
 	return r, nil
 }
@@ -351,7 +367,7 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			return nil, err
 		}
 		out := e.newRel("")
-		seen := make(map[int32]struct{}, child.distinctHint(nil))
+		seen := e.idScratch(child.distinctHint(nil))
 		for i := range child.rows {
 			id := child.rows[i].t
 			if pl.OnF {
@@ -432,8 +448,32 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 			return nil, err
 		}
 		e.Stats.Joins++
-		wit := r.fIndex()
 		out := e.newRel("")
+		if r.Len()*8 < l.Len() {
+			// Small witness side: probe L's T index with R's distinct F
+			// values — O(|R| + |out|) instead of a full scan of L. This is
+			// the shape merged batch programs produce (many per-query end
+			// filters against one shared closure), where L's index snapshot
+			// is built once and amortized across every filter probing it.
+			idx := l.tIndex()
+			lrows := l.rows
+			seen := e.idScratch(r.distinctHint(r.idxF.Load()))
+			for _, w := range r.rows {
+				if _, dup := seen[w.f]; dup {
+					continue
+				}
+				seen[w.f] = struct{}{}
+				snap, over := idx.lookup(w.f)
+				for _, part := range [2][]int32{snap, over} {
+					for _, pos := range part {
+						out.addFrom(l, lrows[pos])
+					}
+				}
+			}
+			e.Stats.TuplesOut += out.Len()
+			return out, nil
+		}
+		wit := r.fIndex()
 		for _, w := range l.rows {
 			if wit.contains(w.t) {
 				out.addFrom(l, w)
@@ -522,7 +562,9 @@ func (e *Exec) valSym(id int) int32 {
 // root is a context, never a result.
 func (e *Exec) identRel() *Relation {
 	if e.ident == nil {
-		r := e.newRel("Rid")
+		// Allocated off-arena: pooled executors retain R_id across requests
+		// against the same DB (AcquireState drops it on a rebind).
+		r := newRelation("Rid", e.DB.Syms)
 		r.grow(len(e.DB.Vals) + 1)
 		r.addRow(row{})
 		for id, v := range e.DB.Vals {
@@ -539,52 +581,51 @@ func (e *Exec) identRel() *Relation {
 
 // compose performs the path join π_{l.F, r.T, r.V}(l ⋈_{l.T=r.F} r): the
 // smaller side is scanned as the probe, the larger side's CSR index is the
-// build side. Large probes run morsel-parallel.
+// build side. Large probes run morsel-parallel; serial probes fold matches
+// straight into the output with no candidate buffer and no closure state,
+// producing the identical tuple order.
 func (e *Exec) compose(l, r *Relation) (*Relation, error) {
 	e.Stats.Joins++
 	out := e.newRel("")
-	var scan func(lo, hi int, buf []cand) []cand
-	var n int
-	if l.Len() <= r.Len() {
-		idx := r.fIndex()
-		lrows, rrows := l.rows, r.rows
+	probeL := l.Len() <= r.Len()
+	lrows, rrows := l.rows, r.rows
+	n := len(rrows)
+	if probeL {
 		n = len(lrows)
-		scan = func(lo, hi int, buf []cand) []cand {
-			for i := lo; i < hi; i++ {
-				lt := lrows[i]
-				snap, over := idx.lookup(lt.t)
-				for _, pos := range snap {
-					rt := rrows[pos]
-					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
-				}
-				for _, pos := range over {
-					rt := rrows[pos]
-					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
-				}
-			}
-			return buf
-		}
-	} else {
-		idx := l.tIndex()
-		lrows, rrows := l.rows, r.rows
-		n = len(rrows)
-		scan = func(lo, hi int, buf []cand) []cand {
-			for i := lo; i < hi; i++ {
-				rt := rrows[i]
-				snap, over := idx.lookup(rt.f)
-				for _, pos := range snap {
-					lt := lrows[pos]
-					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
-				}
-				for _, pos := range over {
-					lt := lrows[pos]
-					buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
-				}
-			}
-			return buf
-		}
 	}
 	if workers := e.parWorkers(n); workers > 1 {
+		var scan func(lo, hi int, buf []cand) []cand
+		if probeL {
+			idx := r.fIndex()
+			scan = func(lo, hi int, buf []cand) []cand {
+				for i := lo; i < hi; i++ {
+					lt := lrows[i]
+					snap, over := idx.lookup(lt.t)
+					for _, part := range [2][]int32{snap, over} {
+						for _, pos := range part {
+							rt := rrows[pos]
+							buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
+						}
+					}
+				}
+				return buf
+			}
+		} else {
+			idx := l.tIndex()
+			scan = func(lo, hi int, buf []cand) []cand {
+				for i := lo; i < hi; i++ {
+					rt := rrows[i]
+					snap, over := idx.lookup(rt.f)
+					for _, part := range [2][]int32{snap, over} {
+						for _, pos := range part {
+							lt := lrows[pos]
+							buf = append(buf, cand{out: row{f: lt.f, t: rt.t, v: rt.v}})
+						}
+					}
+				}
+				return buf
+			}
+		}
 		bufs, err := e.scanMorsels(n, workers, scan)
 		if err != nil {
 			return nil, err
@@ -598,31 +639,63 @@ func (e *Exec) compose(l, r *Relation) (*Relation, error) {
 		}
 		return out, nil
 	}
-	buf := scan(0, n, nil)
-	for _, c := range buf {
-		if out.addRow(c.out) {
-			e.Stats.TuplesOut++
+	if probeL {
+		idx := r.fIndex()
+		for i := range lrows {
+			lt := lrows[i]
+			snap, over := idx.lookup(lt.t)
+			for _, part := range [2][]int32{snap, over} {
+				for _, pos := range part {
+					rt := rrows[pos]
+					if out.addRow(row{f: lt.f, t: rt.t, v: rt.v}) {
+						e.Stats.TuplesOut++
+					}
+				}
+			}
+		}
+	} else {
+		idx := l.tIndex()
+		for i := range rrows {
+			rt := rrows[i]
+			snap, over := idx.lookup(rt.f)
+			for _, part := range [2][]int32{snap, over} {
+				for _, pos := range part {
+					lt := lrows[pos]
+					if out.addRow(row{f: lt.f, t: rt.t, v: rt.v}) {
+						e.Stats.TuplesOut++
+					}
+				}
+			}
 		}
 	}
 	return out, nil
 }
 
-// tColumnSet / fColumnSet collect the distinct values of one column as an
-// int32 membership set for fixpoint constraints.
-func tColumnSet(r *Relation) map[int32]struct{} {
-	out := make(map[int32]struct{}, r.distinctHint(r.idxT.Load()))
-	for i := range r.rows {
-		out[r.rows[i].t] = struct{}{}
-	}
-	return out
+// fixDir is the iteration direction of a constrained fixpoint.
+type fixDir int
+
+const (
+	fixFwd fixDir = iota // probe seed.F with delta.T; new (d.F, s.T)
+	fixBwd               // probe seed.T with delta.F; new (s.F, d.T)
+)
+
+// fixExtendPath / fixPrependPath maintain the P attribute of §5.2 ("XML
+// reconstruction"): the path of a new tuple concatenates the extending edge
+// onto the witnessing path.
+func fixExtendPath(out *Relation, baseF, baseT, newT int32) {
+	prev := out.PathOf(int(baseF), int(baseT))
+	path := make([]int, len(prev)+1)
+	copy(path, prev)
+	path[len(prev)] = int(newT)
+	out.SetPath(int(baseF), int(newT), path)
 }
 
-func fColumnSet(r *Relation) map[int32]struct{} {
-	out := make(map[int32]struct{}, r.distinctHint(r.idxF.Load()))
-	for i := range r.rows {
-		out[r.rows[i].f] = struct{}{}
-	}
-	return out
+func fixPrependPath(out *Relation, newF, baseF, baseT int32) {
+	prev := out.PathOf(int(baseF), int(baseT))
+	path := make([]int, 0, len(prev)+1)
+	path = append(path, int(baseF))
+	path = append(path, prev...)
+	out.SetPath(int(newF), int(baseT), path)
 }
 
 // fix evaluates Φ(R) (Eq. 2): the transitive closure of the seed relation,
@@ -630,101 +703,137 @@ func fColumnSet(r *Relation) map[int32]struct{} {
 // iteration joins only the previous delta against the seed's CSR index;
 // large deltas expand morsel-parallel, with the per-worker candidate buffers
 // merged in morsel order so results and statistics match a serial run.
+// Constraint membership probes go through the constraint relation's column
+// index instead of materializing per-Φ value-set maps, and the serial path
+// is free of heap-escaping closures — both for the pooled zero-allocation
+// serving contract (see ExecState).
 func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 	seed, err := e.eval(pl.Seed)
 	if err != nil {
 		return nil, err
 	}
 	e.Stats.LFPs++
-	var startSet, endSet map[int32]struct{}
+	// startIdx answers w.f ∈ π_T(Start); endIdx answers w.t ∈ π_F(End).
+	var startIdx, endIdx *colIndex
 	if pl.Start != nil {
 		s, err := e.eval(pl.Start)
 		if err != nil {
 			return nil, err
 		}
-		startSet = tColumnSet(s)
+		startIdx = s.tIndex()
 	}
 	if pl.End != nil {
 		s, err := e.eval(pl.End)
 		if err != nil {
 			return nil, err
 		}
-		endSet = fColumnSet(s)
+		endIdx = s.fIndex()
 	}
 
 	out := e.newRel("")
-	addOut := func(w row) bool {
-		if out.addRow(w) {
-			e.Stats.TuplesOut++
-			return true
+	track := pl.TrackPaths
+	dir := fixFwd
+	delta := e.getRowBuf()
+	switch {
+	case startIdx != nil:
+		// Forward iteration from the constrained frontier:
+		// C = R.F ∈ π_T(Start) ∧ R_{i-1}.T = R_0.F.
+		for _, w := range seed.rows {
+			if startIdx.contains(w.f) && out.addRow(w) {
+				e.Stats.TuplesOut++
+				if track {
+					out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
+				}
+				delta = append(delta, w)
+			}
 		}
-		return false
+	case endIdx != nil:
+		// Backward iteration: C = R.T ∈ π_F(End) ∧ R_{i-1}.F = R_0.T.
+		dir = fixBwd
+		for _, w := range seed.rows {
+			if endIdx.contains(w.t) && out.addRow(w) {
+				e.Stats.TuplesOut++
+				if track {
+					out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
+				}
+				delta = append(delta, w)
+			}
+		}
+	default:
+		// Unconstrained transitive closure.
+		for _, w := range seed.rows {
+			if out.addRow(w) {
+				e.Stats.TuplesOut++
+				if track {
+					out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
+				}
+				delta = append(delta, w)
+			}
+		}
 	}
-	// step guards one fixpoint iteration: cancellation and limit checks
-	// happen here, between iterations, so an abandoned Φ leaves no shared
-	// state behind.
+
 	iters := 0
-	step := func() error {
+	next := e.getRowBuf()
+	for len(delta) > 0 {
+		// Cancellation and limit checks happen here, between iterations, so
+		// an abandoned Φ leaves no shared state behind.
 		iters++
 		e.Stats.LFPIters++
 		if e.Limits.MaxLFPIters > 0 && iters > e.Limits.MaxLFPIters {
-			return &obs.LimitError{
+			return nil, &obs.LimitError{
 				Kind: obs.LimitLFPIters, Stmt: e.curStmt(),
 				Limit: int64(e.Limits.MaxLFPIters), Actual: int64(iters),
 			}
 		}
-		return e.check()
-	}
-	// Path tracking (§5.2 "XML reconstruction"): the P attribute of a new
-	// tuple concatenates the extending edge onto the witnessing path.
-	track := pl.TrackPaths
-	setSeedPath := func(w row) {
-		if track {
-			out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
+		if err := e.check(); err != nil {
+			return nil, err
 		}
-	}
-	extendPath := func(baseF, baseT, newT int32) {
-		if track {
-			prev := out.PathOf(int(baseF), int(baseT))
-			path := make([]int, len(prev)+1)
-			copy(path, prev)
-			path[len(prev)] = int(newT)
-			out.SetPath(int(baseF), int(newT), path)
+		e.Stats.Joins++
+		if next, err = e.fixExpand(seed, out, delta, next[:0], dir, track); err != nil {
+			return nil, err
 		}
+		e.Stats.Unions++
+		delta, next = next, delta
 	}
-	prependPath := func(newF, baseF, baseT int32) {
-		if track {
-			prev := out.PathOf(int(baseF), int(baseT))
-			path := make([]int, 0, len(prev)+1)
-			path = append(path, int(baseF))
-			path = append(path, prev...)
-			out.SetPath(int(newF), int(baseT), path)
-		}
-	}
+	e.putRowBuf(delta)
+	e.putRowBuf(next)
 
-	// expand runs one semi-naive iteration: every delta row probes the seed
-	// index and the candidates (new row + the delta row that produced it)
-	// are folded into out in scan order.
-	type direction int
-	const (
-		forward  direction = iota // probe seed.F with delta.T; new (d.F, s.T)
-		backward                  // probe seed.T with delta.F; new (s.F, d.T)
-	)
-	expand := func(delta []row, dir direction) ([]row, error) {
-		var idx *colIndex
-		if dir == forward {
-			idx = seed.fIndex()
-		} else {
-			idx = seed.tIndex()
+	if startIdx != nil && endIdx != nil {
+		// Both constraints pushed: the forward closure is post-filtered by
+		// the end constraint.
+		filtered := e.newRel("")
+		for _, w := range out.rows {
+			if endIdx.contains(w.t) {
+				filtered.addRow(w)
+				if track {
+					filtered.SetPath(int(w.f), int(w.t), out.PathOf(int(w.f), int(w.t)))
+				}
+			}
 		}
-		srows := seed.rows
+		out = filtered
+	}
+	return out, nil
+}
+
+// fixExpand runs one semi-naive iteration: every delta row probes the seed
+// index and the new tuples are folded into out in scan order, appending the
+// genuinely new ones to next. The parallel path scans into per-morsel
+// candidate buffers merged in morsel order, so results and statistics are
+// byte-identical to the serial fold.
+func (e *Exec) fixExpand(seed, out *Relation, delta, next []row, dir fixDir, track bool) ([]row, error) {
+	var idx *colIndex
+	if dir == fixFwd {
+		idx = seed.fIndex()
+	} else {
+		idx = seed.tIndex()
+	}
+	srows := seed.rows
+	if workers := e.parWorkers(len(delta)); workers > 1 {
 		scan := func(lo, hi int, buf []cand) []cand {
 			for i := lo; i < hi; i++ {
 				d := delta[i]
-				var key int32
-				if dir == forward {
-					key = d.t
-				} else {
+				key := d.t
+				if dir == fixBwd {
 					key = d.f
 				}
 				snap, over := idx.lookup(key)
@@ -732,7 +841,7 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 					for _, pos := range part {
 						st := srows[pos]
 						var nw row
-						if dir == forward {
+						if dir == fixFwd {
 							nw = row{f: d.f, t: st.t, v: st.v}
 						} else {
 							nw = row{f: st.f, t: d.t, v: d.v}
@@ -743,105 +852,58 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			}
 			return buf
 		}
-		merge := func(buf []cand, next []row) []row {
+		bufs, err := e.scanMorsels(len(delta), workers, scan)
+		if err != nil {
+			return next, err
+		}
+		for _, buf := range bufs {
 			for _, c := range buf {
-				if addOut(c.out) {
-					if dir == forward {
-						extendPath(c.baseF, c.baseT, c.out.t)
-					} else {
-						prependPath(c.out.f, c.baseF, c.baseT)
+				if out.addRow(c.out) {
+					e.Stats.TuplesOut++
+					if track {
+						if dir == fixFwd {
+							fixExtendPath(out, c.baseF, c.baseT, c.out.t)
+						} else {
+							fixPrependPath(out, c.out.f, c.baseF, c.baseT)
+						}
 					}
 					next = append(next, c.out)
 				}
 			}
-			return next
 		}
-		if workers := e.parWorkers(len(delta)); workers > 1 {
-			bufs, err := e.scanMorsels(len(delta), workers, scan)
-			if err != nil {
-				return nil, err
-			}
-			var next []row
-			for _, buf := range bufs {
-				next = merge(buf, next)
-			}
-			return next, nil
-		}
-		return merge(scan(0, len(delta), nil), nil), nil
+		return next, nil
 	}
-
-	runLoop := func(delta []row, dir direction) error {
-		for len(delta) > 0 {
-			if err := step(); err != nil {
-				return err
-			}
-			e.Stats.Joins++
-			next, err := expand(delta, dir)
-			if err != nil {
-				return err
-			}
-			e.Stats.Unions++
-			delta = next
+	for i := range delta {
+		d := delta[i]
+		key := d.t
+		if dir == fixBwd {
+			key = d.f
 		}
-		return nil
-	}
-
-	switch {
-	case startSet != nil:
-		// Forward iteration from the constrained frontier:
-		// C = R.F ∈ π_T(Start) ∧ R_{i-1}.T = R_0.F.
-		var delta []row
-		for _, w := range seed.rows {
-			if _, ok := startSet[w.f]; ok {
-				if addOut(w) {
-					setSeedPath(w)
-					delta = append(delta, w)
+		snap, over := idx.lookup(key)
+		for _, part := range [2][]int32{snap, over} {
+			for _, pos := range part {
+				st := srows[pos]
+				var nw row
+				if dir == fixFwd {
+					nw = row{f: d.f, t: st.t, v: st.v}
+				} else {
+					nw = row{f: st.f, t: d.t, v: d.v}
 				}
-			}
-		}
-		if err := runLoop(delta, forward); err != nil {
-			return nil, err
-		}
-		if endSet != nil {
-			filtered := e.newRel("")
-			for _, w := range out.rows {
-				if _, ok := endSet[w.t]; ok {
-					filtered.addRow(w)
+				if out.addRow(nw) {
+					e.Stats.TuplesOut++
 					if track {
-						filtered.SetPath(int(w.f), int(w.t), out.PathOf(int(w.f), int(w.t)))
+						if dir == fixFwd {
+							fixExtendPath(out, d.f, d.t, nw.t)
+						} else {
+							fixPrependPath(out, nw.f, d.f, d.t)
+						}
 					}
+					next = append(next, nw)
 				}
 			}
-			out = filtered
-		}
-	case endSet != nil:
-		// Backward iteration: C = R.T ∈ π_F(End) ∧ R_{i-1}.F = R_0.T.
-		var delta []row
-		for _, w := range seed.rows {
-			if _, ok := endSet[w.t]; ok {
-				if addOut(w) {
-					setSeedPath(w)
-					delta = append(delta, w)
-				}
-			}
-		}
-		if err := runLoop(delta, backward); err != nil {
-			return nil, err
-		}
-	default:
-		// Unconstrained transitive closure.
-		delta := make([]row, 0, len(seed.rows))
-		for _, w := range seed.rows {
-			if addOut(w) {
-				setSeedPath(w)
-				delta = append(delta, w)
-			}
-		}
-		if err := runLoop(delta, forward); err != nil {
-			return nil, err
 		}
 	}
-	return out, nil
+	return next, nil
 }
 
 // recUnion evaluates the SQL'99-style multi-relation fixpoint of SQLGen-R.

@@ -1,0 +1,126 @@
+package rdb
+
+import (
+	"sync"
+
+	"xpath2sql/internal/obs"
+)
+
+// ExecState is a pooled per-request execution context: an Exec plus the
+// arena of scratch structures it allocates while evaluating a program —
+// temporary relations (with their pair sets, row arrays and index
+// backings), fixpoint delta buffers and dedup scratch. States are acquired
+// per request and released when the answer has been extracted; a released
+// state keeps every capacity its request grew, so a warm steady-state
+// request allocates (almost) nothing.
+//
+// The contract is strictly request-scoped: every *Relation an arena-backed
+// Exec returns is recycled by Release, so callers must copy out whatever
+// they keep (IDs, tuples, stats) before releasing. One state serves one
+// goroutine at a time; the package-level pool makes acquisition safe from
+// any number of concurrent requests.
+type ExecState struct {
+	exec    Exec
+	free    []*Relation // reset pooled temporaries ready for reuse
+	owned   []*Relation // temporaries handed out since the last Release
+	rowBufs [][]row     // pooled fixpoint delta buffers
+	seen    map[int32]struct{}
+	lastDB  *DB
+}
+
+var statePool = sync.Pool{New: func() any { return new(ExecState) }}
+
+// AcquireState returns a pooled execution state bound to db, with lazy
+// evaluation, single-threaded operators and no limits — the same defaults
+// as NewExec. A state last used against a different DB drops its cached
+// relations (they reference the old interner) but is otherwise reused.
+func AcquireState(db *DB) *ExecState {
+	s := statePool.Get().(*ExecState)
+	if s.lastDB != db {
+		s.free = s.free[:0]
+		s.exec.ident = nil
+		s.lastDB = db
+	}
+	e := &s.exec
+	e.DB = db
+	e.Lazy = true
+	e.Parallelism = 1
+	e.Limits = obs.Limits{}
+	e.Stats = Stats{}
+	e.arena = s
+	return s
+}
+
+// Exec returns the state's executor. Callers may set Parallelism and
+// Limits before running; the next AcquireState resets both.
+func (s *ExecState) Exec() *Exec { return &s.exec }
+
+// Release resets every arena structure the request used and returns the
+// state to the pool. All relations the executor returned become invalid.
+func (s *ExecState) Release() {
+	for _, r := range s.owned {
+		r.reset()
+		s.free = append(s.free, r)
+	}
+	s.owned = s.owned[:0]
+	e := &s.exec
+	if e.env != nil {
+		clear(e.env)
+		clear(e.running)
+	}
+	e.prog = nil
+	e.ctx = nil
+	e.trace = nil
+	statePool.Put(s)
+}
+
+// alloc hands out a pooled temporary relation bound to the current DB's
+// interner.
+func (s *ExecState) alloc(name string) *Relation {
+	var r *Relation
+	if n := len(s.free); n > 0 {
+		r = s.free[n-1]
+		s.free = s.free[:n-1]
+		r.Name = name
+		r.syms = s.exec.DB.Syms
+	} else {
+		r = newRelation(name, s.exec.DB.Syms)
+		r.pooled = true
+	}
+	s.owned = append(s.owned, r)
+	return r
+}
+
+// getRowBuf returns a pooled row buffer (nil without an arena; append grows
+// it either way).
+func (e *Exec) getRowBuf() []row {
+	if e.arena != nil {
+		if n := len(e.arena.rowBufs); n > 0 {
+			b := e.arena.rowBufs[n-1]
+			e.arena.rowBufs = e.arena.rowBufs[:n-1]
+			return b[:0]
+		}
+	}
+	return nil
+}
+
+// putRowBuf returns a buffer taken with getRowBuf to the arena.
+func (e *Exec) putRowBuf(b []row) {
+	if e.arena != nil && b != nil {
+		e.arena.rowBufs = append(e.arena.rowBufs, b)
+	}
+}
+
+// idScratch returns an empty int32 set for a single tight dedup loop. The
+// arena keeps one; callers must not hold it across a nested eval.
+func (e *Exec) idScratch(hint int) map[int32]struct{} {
+	if e.arena != nil {
+		if e.arena.seen == nil {
+			e.arena.seen = make(map[int32]struct{}, hint)
+		} else {
+			clear(e.arena.seen)
+		}
+		return e.arena.seen
+	}
+	return make(map[int32]struct{}, hint)
+}

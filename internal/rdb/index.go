@@ -27,14 +27,37 @@ type colIndex struct {
 // count; beyond it the offsets array would dominate memory.
 const denseLimit = 8
 
-// buildColIndex indexes rows[0:len(rows)] on the given column
-// (keyOf returns the column value of row i).
-func buildColIndex(n int, keyOf func(i int) int32) *colIndex {
-	idx := &colIndex{built: n}
+// buildColIndex indexes rows on the F column (onF) or the T column.
+func buildColIndex(rows []row, onF bool) *colIndex {
+	idx := &colIndex{}
+	buildColIndexInto(idx, rows, onF)
+	return idx
+}
+
+// colKey returns the indexed column of one row.
+func colKey(w row, onF bool) int32 {
+	if onF {
+		return w.f
+	}
+	return w.t
+}
+
+// buildColIndexInto (re)builds idx over rows, reusing its offs/pos backing
+// arrays when their capacity suffices — the pooled-execution path rebuilds
+// indexes over same-shaped temporaries every request, so after warmup a
+// rebuild allocates nothing. The CSR placement runs fill-free: buckets are
+// filled by advancing offs[k] itself, which afterwards holds bucket ends,
+// and one shift restores the starts.
+func buildColIndexInto(idx *colIndex, rows []row, onF bool) {
+	n := len(rows)
+	idx.built = n
+	if idx.extra != nil {
+		clear(idx.extra)
+	}
 	maxKey := int32(-1)
 	sparse := false
 	for i := 0; i < n; i++ {
-		k := keyOf(i)
+		k := colKey(rows[i], onF)
 		if k < 0 {
 			sparse = true
 			break
@@ -47,18 +70,33 @@ func buildColIndex(n int, keyOf func(i int) int32) *colIndex {
 		sparse = true
 	}
 	if sparse {
-		m := make(map[int32][]int32, n)
+		m := idx.sparse
+		if m == nil {
+			m = make(map[int32][]int32, n)
+		} else {
+			clear(m)
+		}
 		for i := 0; i < n; i++ {
-			k := keyOf(i)
+			k := colKey(rows[i], onF)
 			m[k] = append(m[k], int32(i))
 		}
 		idx.sparse = m
+		idx.offs, idx.pos = nil, nil
 		idx.distinct = len(m)
-		return idx
+		return
 	}
-	offs := make([]int32, int(maxKey)+2)
+	need := int(maxKey) + 2
+	if cap(idx.offs) >= need {
+		idx.offs = idx.offs[:need]
+		for i := range idx.offs {
+			idx.offs[i] = 0
+		}
+	} else {
+		idx.offs = make([]int32, need)
+	}
+	offs := idx.offs
 	for i := 0; i < n; i++ {
-		offs[keyOf(i)+1]++
+		offs[colKey(rows[i], onF)+1]++
 	}
 	distinct := 0
 	for k := 1; k < len(offs); k++ {
@@ -67,15 +105,21 @@ func buildColIndex(n int, keyOf func(i int) int32) *colIndex {
 		}
 		offs[k] += offs[k-1]
 	}
-	pos := make([]int32, n)
-	fill := make([]int32, len(offs)-1)
-	for i := 0; i < n; i++ {
-		k := keyOf(i)
-		pos[offs[k]+fill[k]] = int32(i)
-		fill[k]++
+	if cap(idx.pos) >= n {
+		idx.pos = idx.pos[:n]
+	} else {
+		idx.pos = make([]int32, n)
 	}
-	idx.offs, idx.pos, idx.distinct = offs, pos, distinct
-	return idx
+	pos := idx.pos
+	for i := 0; i < n; i++ {
+		k := colKey(rows[i], onF)
+		pos[offs[k]] = int32(i)
+		offs[k]++
+	}
+	copy(offs[1:], offs[:len(offs)-1])
+	offs[0] = 0
+	idx.sparse = nil
+	idx.distinct = distinct
 }
 
 // lookup returns the snapshot positions and the overflow positions for a

@@ -1,6 +1,9 @@
 package rdb
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Interner dictionary-encodes strings as dense int32 symbol IDs so relations
 // store three machine words per tuple instead of carrying string headers.
@@ -8,62 +11,128 @@ import "sync"
 // relation of a DB (stored and temporary), so joins move symbols around
 // without ever touching string data; equality on V becomes an int32 compare.
 //
-// The interner is safe for concurrent use: the statement-level scheduler
-// (RunParallel) and the morsel workers inside operators may intern and
-// resolve symbols from multiple goroutines. After a database is loaded the
-// working set of strings is almost always already present, so Intern is a
-// read-locked lookup on the hot path.
+// The interner is safe for concurrent use and, after a database is loaded,
+// lock-free on the read path: resolved symbols live in an immutable
+// copy-on-write snapshot behind an atomic pointer (the same discipline as
+// Relation's index pointers). New strings go into a small mutex-guarded
+// dirty map that is promoted into a fresh snapshot once it has either grown
+// by a constant fraction of the snapshot or absorbed enough locked lookups
+// — the sync.Map promotion idea, with an insert-count trigger added so bulk
+// loads amortize to O(n) total promotion work. Steady-state serving, where
+// the working set of strings is already interned, touches no lock at all.
 type Interner struct {
-	mu   sync.RWMutex
+	// clean is the immutable snapshot: every symbol below len(clean.strs)
+	// resolves through it without locking.
+	clean atomic.Pointer[internSnap]
+
+	mu      sync.Mutex
+	dirty   map[string]int32 // strings interned since the last promotion
+	strs    []string         // all strings; clean.strs is a stable prefix
+	misses  int              // locked lookups that hit dirty
+	inserts int              // strings added since the last promotion
+}
+
+// internSnap is one immutable snapshot of the dictionary.
+type internSnap struct {
 	ids  map[string]int32
 	strs []string
 }
 
 // NewInterner returns an interner holding only the empty string (symbol 0).
 func NewInterner() *Interner {
-	return &Interner{ids: map[string]int32{"": 0}, strs: []string{""}}
+	in := &Interner{strs: []string{""}}
+	in.clean.Store(&internSnap{ids: map[string]int32{"": 0}, strs: in.strs[:1:1]})
+	return in
 }
 
 // Intern returns the symbol for s, assigning a new one on first sight.
 func (in *Interner) Intern(s string) int32 {
-	in.mu.RLock()
-	id, ok := in.ids[s]
-	in.mu.RUnlock()
-	if ok {
+	if id, ok := in.clean.Load().ids[s]; ok {
 		return id
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if id, ok = in.ids[s]; ok {
+	// Re-check under the lock: a promotion may have landed s in clean.
+	if id, ok := in.clean.Load().ids[s]; ok {
 		return id
 	}
-	id = int32(len(in.strs))
-	in.ids[s] = id
+	if id, ok := in.dirty[s]; ok {
+		in.missLocked()
+		return id
+	}
+	id := int32(len(in.strs))
 	in.strs = append(in.strs, s)
+	if in.dirty == nil {
+		in.dirty = map[string]int32{}
+	}
+	in.dirty[s] = id
+	in.inserts++
+	if in.inserts >= len(in.clean.Load().ids)/4+16 {
+		in.promoteLocked()
+	}
 	return id
+}
+
+// missLocked counts a locked lookup that had to fall through to the dirty
+// map and promotes once enough of them accumulate, so a burst of new
+// strings followed by a read-heavy phase self-heals to lock-free.
+func (in *Interner) missLocked() {
+	in.misses++
+	if in.misses >= 64 {
+		in.promoteLocked()
+	}
+}
+
+// promoteLocked publishes a fresh immutable snapshot covering every interned
+// string. Callers hold mu.
+func (in *Interner) promoteLocked() {
+	old := in.clean.Load()
+	ids := make(map[string]int32, len(old.ids)+len(in.dirty))
+	for s, id := range old.ids {
+		ids[s] = id
+	}
+	for s, id := range in.dirty {
+		ids[s] = id
+	}
+	in.clean.Store(&internSnap{ids: ids, strs: in.strs[:len(in.strs):len(in.strs)]})
+	in.dirty = nil
+	in.misses = 0
+	in.inserts = 0
 }
 
 // Lookup returns the symbol for s without assigning one. A miss means no
 // stored tuple carries s, so a selection on s is empty.
 func (in *Interner) Lookup(s string) (int32, bool) {
-	in.mu.RLock()
-	id, ok := in.ids[s]
-	in.mu.RUnlock()
+	if id, ok := in.clean.Load().ids[s]; ok {
+		return id, true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.clean.Load().ids[s]; ok {
+		return id, true
+	}
+	id, ok := in.dirty[s]
+	if ok {
+		in.missLocked()
+	}
 	return id, ok
 }
 
 // Str resolves a symbol back to its string.
 func (in *Interner) Str(id int32) string {
-	in.mu.RLock()
+	if snap := in.clean.Load(); int(id) < len(snap.strs) {
+		return snap.strs[id]
+	}
+	in.mu.Lock()
 	s := in.strs[id]
-	in.mu.RUnlock()
+	in.mu.Unlock()
 	return s
 }
 
 // Len returns the number of distinct strings interned.
 func (in *Interner) Len() int {
-	in.mu.RLock()
+	in.mu.Lock()
 	n := len(in.strs)
-	in.mu.RUnlock()
+	in.mu.Unlock()
 	return n
 }

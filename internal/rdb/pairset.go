@@ -169,6 +169,17 @@ func (s *pairSet) grow() {
 	*s = next
 }
 
+// clear empties the set keeping its slot array, so a pooled relation's next
+// use starts from the capacity the previous request grew it to instead of
+// re-walking the power-of-two ladder.
+func (s *pairSet) clear() {
+	for i := range s.slots {
+		s.slots[i] = pairEmpty
+	}
+	s.used, s.dels = 0, 0
+	s.hasMax, s.hasDel = false, false
+}
+
 // clone returns a deep copy.
 func (s *pairSet) clone() pairSet {
 	c := *s

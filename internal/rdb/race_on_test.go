@@ -1,0 +1,9 @@
+//go:build race
+
+package rdb
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. sync.Pool deliberately drops a fraction of Puts under the race
+// detector to widen interleaving coverage, so steady-state allocation bounds
+// that depend on pool reuse are meaningless there and skip themselves.
+const raceEnabled = true

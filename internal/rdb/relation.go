@@ -70,6 +70,14 @@ type Relation struct {
 	// probe index positions directly.
 	dead  []bool
 	nDead int
+
+	// pooled marks a request-private temporary owned by an ExecState arena.
+	// Pooled relations rebuild their indexes into retained scratch structs
+	// (fScratch/tScratch) so a warm request's index builds allocate nothing;
+	// shared relations keep allocating fresh snapshots, which concurrent
+	// readers may hold indefinitely.
+	pooled             bool
+	fScratch, tScratch *colIndex
 }
 
 // NewRelation returns an empty relation with the given name. Relations
@@ -329,8 +337,16 @@ func (r *Relation) fIndex() *colIndex {
 	if idx := r.idxF.Load(); idx != nil {
 		return idx
 	}
-	rows := r.rows
-	idx := buildColIndex(len(rows), func(i int) int32 { return rows[i].f })
+	var idx *colIndex
+	if r.pooled {
+		if r.fScratch == nil {
+			r.fScratch = &colIndex{}
+		}
+		idx = r.fScratch
+		buildColIndexInto(idx, r.rows, true)
+	} else {
+		idx = buildColIndex(r.rows, true)
+	}
 	r.idxBuilds.Add(1)
 	r.idxF.Store(idx)
 	return idx
@@ -346,8 +362,16 @@ func (r *Relation) tIndex() *colIndex {
 	if idx := r.idxT.Load(); idx != nil {
 		return idx
 	}
-	rows := r.rows
-	idx := buildColIndex(len(rows), func(i int) int32 { return rows[i].t })
+	var idx *colIndex
+	if r.pooled {
+		if r.tScratch == nil {
+			r.tScratch = &colIndex{}
+		}
+		idx = r.tScratch
+		buildColIndexInto(idx, r.rows, false)
+	} else {
+		idx = buildColIndex(r.rows, false)
+	}
 	r.idxBuilds.Add(1)
 	r.idxT.Store(idx)
 	return idx
@@ -467,6 +491,22 @@ func (r *Relation) Clone() *Relation {
 		c.nDead = r.nDead
 	}
 	return c
+}
+
+// reset empties a pooled relation for reuse, retaining every capacity the
+// previous request grew: the row array, the pair-set slot array, the path
+// map buckets and the index scratch backings. The interner pointer is kept;
+// ExecState drops the relation instead when it is rebound to another DB.
+func (r *Relation) reset() {
+	r.Name = ""
+	r.rows = r.rows[:0]
+	r.set.clear()
+	r.idxF.Store(nil)
+	r.idxT.Store(nil)
+	if r.paths != nil {
+		clear(r.paths)
+	}
+	r.dead, r.nDead = nil, 0
 }
 
 func (r *Relation) String() string {

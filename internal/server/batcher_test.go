@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,6 +25,26 @@ func TestBatcherCoalesces(t *testing.T) {
 		c.MaxConcurrent = 16
 		c.QueueDepth = 64
 	})
+	// Barrier: hold every request after admission until all 16 are in, so
+	// the solo-bypass (a request executing alone skips the batcher) sees
+	// real concurrency and every request takes the batching path.
+	var (
+		barrierMu sync.Mutex
+		admitted  int
+		barrier   = sync.NewCond(&barrierMu)
+	)
+	s.hookAfterAdmit = func() {
+		barrierMu.Lock()
+		admitted++
+		if admitted >= 16 {
+			barrier.Broadcast()
+		} else {
+			for admitted < 16 {
+				barrier.Wait()
+			}
+		}
+		barrierMu.Unlock()
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -130,11 +151,10 @@ func TestBatcherFallback(t *testing.T) {
 	}
 }
 
-// TestBatcherSingleEntryPath: with no concurrency the window collects one
-// entry and the batcher uses the plan-cached single-query path — no batch
-// run is counted, and the response is still marked batched (it went through
-// the batching pipeline).
-func TestBatcherSingleEntryPath(t *testing.T) {
+// TestBatcherSoloBypass: a request executing alone skips the batcher
+// entirely — no collection-window latency, response not marked batched, no
+// batch run counted.
+func TestBatcherSoloBypass(t *testing.T) {
 	s := newDeptServer(t, func(c *Config) {
 		c.BatchWindow = time.Millisecond
 	})
@@ -150,11 +170,139 @@ func TestBatcherSingleEntryPath(t *testing.T) {
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}
-	if qr.Count != 1 || !qr.Batched {
-		t.Fatalf("response %+v", qr)
+	if qr.Count != 1 || qr.Batched {
+		t.Fatalf("response %+v, want count 1 and not batched (solo bypass)", qr)
 	}
 	if s.m.batchRuns.Load() != 0 {
 		t.Fatalf("batchRuns = %d for a lone query", s.m.batchRuns.Load())
+	}
+}
+
+// TestBatcherSingleEntryPath: when the window collects exactly one entry the
+// batcher uses the plan-cached single-query path — no batch run is counted
+// and the answer matches the direct path.
+func TestBatcherSingleEntryPath(t *testing.T) {
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMetrics(nil)
+	b := newBatcher(xpath2sql.New(d), func() *xpath2sql.DB { return db }, time.Millisecond, 4, time.Second, m)
+	defer b.close()
+	ids, stats, err := b.submit(context.Background(), "dept//project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || stats.StmtsRun == 0 {
+		t.Fatalf("ids %v stats %+v", ids, stats)
+	}
+	if m.batchRuns.Load() != 0 {
+		t.Fatalf("batchRuns = %d for a single-entry window", m.batchRuns.Load())
+	}
+}
+
+// TestBatcherAnswerCache: a repeated batch of the same query set against the
+// same DB version is served from the materialized answers (no new batch run,
+// zero stats), and swapping the DB pointer — what a live store's epoch
+// publish does — invalidates the cache so the next batch re-executes against
+// the new data.
+func TestBatcherAnswerCache(t *testing.T) {
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shred := func(xml string) *xpath2sql.DB {
+		doc, err := xpath2sql.ParseXML(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := xpath2sql.Shred(doc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db1 := shred(deptXML)
+	// Same document plus one more project: the answer to dept//project
+	// changes between versions.
+	db2 := shred(strings.Replace(deptXML,
+		"<project><pno>p1</pno><ptitle>x</ptitle><required/></project>",
+		"<project><pno>p1</pno><ptitle>x</ptitle><required/></project><project><pno>p2</pno><ptitle>y</ptitle><required/></project>", 1))
+
+	var cur atomic.Pointer[xpath2sql.DB]
+	cur.Store(db1)
+	m := newMetrics(nil)
+	b := newBatcher(xpath2sql.New(d), cur.Load, 50*time.Millisecond, 2, time.Second, m)
+	defer b.close()
+
+	// submitPair coalesces two concurrent queries into one batch (maxBatch 2,
+	// so the window closes as soon as both arrive) and returns the count and
+	// stats of the dept//project entry.
+	submitPair := func() (int, xpath2sql.ExecStats) {
+		type res struct {
+			ids   []int
+			stats xpath2sql.ExecStats
+			err   error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			ids, stats, err := b.submit(context.Background(), "dept//project")
+			ch <- res{ids, stats, err}
+		}()
+		if _, _, err := b.submit(context.Background(), "dept//cno"); err != nil {
+			t.Fatal(err)
+		}
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		return len(r.ids), r.stats
+	}
+
+	if n, _ := submitPair(); n != 1 {
+		t.Fatalf("first batch: %d projects, want 1", n)
+	}
+	runs := m.batchRuns.Load()
+	if runs == 0 {
+		t.Fatal("first pair did not run as a batch")
+	}
+
+	// Same query set, same DB pointer: served from the materialized answers —
+	// no new execution, zero stats on the reply.
+	n, stats := submitPair()
+	if n != 1 {
+		t.Fatalf("cached batch: %d projects, want 1", n)
+	}
+	if got := m.batchRuns.Load(); got != runs {
+		t.Fatalf("batchRuns grew %d -> %d on a cache-served batch", runs, got)
+	}
+	if m.batchAnswerHits.Load() < 2 {
+		t.Fatalf("batchAnswerHits = %d, want >= 2", m.batchAnswerHits.Load())
+	}
+	if stats != (xpath2sql.ExecStats{}) {
+		t.Fatalf("cache-served reply carries stats %+v, want zero", stats)
+	}
+
+	// New DB version: pointer identity fails, the batch re-executes and sees
+	// the second project.
+	cur.Store(db2)
+	n, stats = submitPair()
+	if n != 2 {
+		t.Fatalf("after DB swap: %d projects, want 2", n)
+	}
+	if stats.StmtsRun == 0 {
+		t.Fatal("post-swap batch served stale materialized answers (zero stats)")
+	}
+	if got := m.batchRuns.Load(); got != runs+1 {
+		t.Fatalf("batchRuns = %d after swap, want %d", got, runs+1)
 	}
 }
 

@@ -10,23 +10,28 @@ import (
 )
 
 // metrics is the server's counter set: lock-free on the request path
-// (atomics and pre-built histograms; the per-(endpoint, code) map takes a
-// mutex only the first time a pair is seen), assembled into an
-// obs.MetricsSnapshot per /metrics scrape.
+// (atomics and pre-built histograms; the per-(endpoint, code) map is a
+// copy-on-write snapshot that takes a mutex only the first time a pair is
+// seen), assembled into an obs.MetricsSnapshot per /metrics scrape.
 type metrics struct {
 	start time.Time
 
-	mu       sync.Mutex
-	requests map[reqKey]*atomic.Int64
-	latency  map[string]*obs.Histogram // per endpoint, created eagerly
+	// requests holds an immutable map snapshot; observe reads it with one
+	// atomic load. A miss (first request for an (endpoint, code) pair)
+	// clones the map under mu and publishes the extended copy, so the
+	// steady state — every pair already present — never locks.
+	requests atomic.Pointer[map[reqKey]*atomic.Int64]
+	mu       sync.Mutex                 // serializes requests-map cloning
+	latency  map[string]*obs.Histogram // per endpoint, created eagerly, read-only after newMetrics
 
 	inFlight    atomic.Int64
 	rejections  atomic.Int64
 	limitErrors atomic.Int64
 	panics      atomic.Int64
 
-	batchRuns      atomic.Int64
-	batchedQueries atomic.Int64
+	batchRuns       atomic.Int64
+	batchedQueries  atomic.Int64
+	batchAnswerHits atomic.Int64
 
 	// Data-plane work summed over every served execution.
 	stmtsRun  atomic.Int64
@@ -46,30 +51,49 @@ type reqKey struct {
 
 func newMetrics(endpoints []string) *metrics {
 	m := &metrics{
-		start:    time.Now(),
-		requests: make(map[reqKey]*atomic.Int64),
-		latency:  make(map[string]*obs.Histogram, len(endpoints)),
+		start:   time.Now(),
+		latency: make(map[string]*obs.Histogram, len(endpoints)),
 	}
+	empty := map[reqKey]*atomic.Int64{}
+	m.requests.Store(&empty)
 	for _, ep := range endpoints {
 		m.latency[ep] = obs.NewHistogram(nil)
 	}
 	return m
 }
 
-// observe records one finished request.
+// observe records one finished request. The warm path — the (endpoint,
+// code) pair has been seen before — is lock-free and allocation-free: one
+// atomic map load, one counter add, one histogram observe.
 func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 	k := reqKey{endpoint, code}
-	m.mu.Lock()
-	c := m.requests[k]
-	if c == nil {
-		c = new(atomic.Int64)
-		m.requests[k] = c
+	if c := (*m.requests.Load())[k]; c != nil {
+		c.Add(1)
+	} else {
+		m.counter(k).Add(1)
 	}
-	m.mu.Unlock()
-	c.Add(1)
 	if h := m.latency[endpoint]; h != nil {
 		h.Observe(d)
 	}
+}
+
+// counter publishes a counter for a first-seen (endpoint, code) pair by
+// cloning the snapshot under the mutex — the only locking observe ever does.
+func (m *metrics) counter(k reqKey) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.requests.Load()
+	if c := cur[k]; c != nil { // lost the race to another first observer
+		return c
+	}
+	next := make(map[reqKey]*atomic.Int64, len(cur)+1)
+	for kk, vv := range cur {
+		next[kk] = vv
+	}
+	c := new(atomic.Int64)
+	next[k] = c
+	m.requests.Store(&next)
+	return c
 }
 
 // recordExec accumulates one execution's data-plane statistics.
@@ -85,8 +109,9 @@ func (m *metrics) recordExec(st xpath2sql.ExecStats) {
 }
 
 // snapshot assembles the full MetricsSnapshot: server counters plus the
-// engine's plan-cache counters and the admission controller's live gauges.
-func (m *metrics) snapshot(service string, cache obs.CacheStats, adm *admission) *obs.MetricsSnapshot {
+// engine's aggregate stats (Engine.Stats) and the admission controller's
+// live gauges.
+func (m *metrics) snapshot(service string, eng obs.EngineStats, adm *admission) *obs.MetricsSnapshot {
 	s := &obs.MetricsSnapshot{
 		Service:        service,
 		Uptime:         time.Since(m.start),
@@ -94,9 +119,10 @@ func (m *metrics) snapshot(service string, cache obs.CacheStats, adm *admission)
 		Rejections:     m.rejections.Load(),
 		LimitErrors:    m.limitErrors.Load(),
 		Panics:         m.panics.Load(),
-		BatchRuns:      m.batchRuns.Load(),
-		BatchedQueries: m.batchedQueries.Load(),
-		Cache:          cache,
+		BatchRuns:       m.batchRuns.Load(),
+		BatchedQueries:  m.batchedQueries.Load(),
+		BatchAnswerHits: m.batchAnswerHits.Load(),
+		Engine:         eng,
 		StmtsRun:       m.stmtsRun.Load(),
 		Exec: obs.OpStats{
 			Joins:     int(m.joins.Load()),
@@ -111,13 +137,11 @@ func (m *metrics) snapshot(service string, cache obs.CacheStats, adm *admission)
 	if adm != nil {
 		s.Queued = int64(adm.queued())
 	}
-	m.mu.Lock()
-	for k, c := range m.requests {
+	for k, c := range *m.requests.Load() {
 		s.Requests = append(s.Requests, obs.RequestCount{Endpoint: k.endpoint, Code: k.code, Count: c.Load()})
 	}
 	for ep, h := range m.latency {
 		s.Latency = append(s.Latency, obs.EndpointLatency{Endpoint: ep, Hist: h.Snapshot()})
 	}
-	m.mu.Unlock()
 	return s
 }

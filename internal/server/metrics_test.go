@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"xpath2sql/internal/obs"
+)
+
+// TestObserveLockFreeUnderScrape hammers observe from many goroutines while
+// a scraper snapshots concurrently; run under -race this proves the
+// copy-on-write requests map publishes safely. Counts must be exact — the
+// clone-on-miss path must not drop increments racing with publication.
+func TestObserveLockFreeUnderScrape(t *testing.T) {
+	m := newMetrics([]string{"/v1/query"})
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var observers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.snapshot("test", obs.EngineStats{}, nil)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		observers.Add(1)
+		go func(w int) {
+			defer observers.Done()
+			for i := 0; i < perW; i++ {
+				// Every goroutine races the first-seen clone for its own
+				// code, then hammers the warm path.
+				m.observe("/v1/query", 200+w%3, time.Millisecond)
+			}
+		}(w)
+	}
+	observers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var total int64
+	for _, rc := range m.snapshot("test", obs.EngineStats{}, nil).Requests {
+		total += rc.Count
+	}
+	if want := int64(workers * perW); total != want {
+		t.Fatalf("observed %d requests, want %d (lost increments in CoW publish)", total, want)
+	}
+}
+
+// TestObserveWarmPathAllocs: once every (endpoint, code) pair has been seen,
+// observe must not allocate — it is on the per-request serving path.
+func TestObserveWarmPathAllocs(t *testing.T) {
+	m := newMetrics([]string{"/v1/query"})
+	m.observe("/v1/query", 200, time.Millisecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.observe("/v1/query", 200, 250*time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm observe allocates %.1f per call, want 0", allocs)
+	}
+}

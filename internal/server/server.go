@@ -71,25 +71,33 @@ const (
 	epMetrics   = "metrics"
 )
 
-// Config assembles a Server. Engine and DB are required; everything else
-// has serving-grade defaults.
+// Config assembles a Server. Engine and a data source (Source, or one
+// legacy field) are required; everything else has serving-grade defaults.
 type Config struct {
 	// Engine answers queries; its plan cache, limits and parallelism are
 	// the server's. Required.
 	Engine *xpath2sql.Engine
-	// DB is the shredded database queries execute against. Required unless
-	// Store is set.
+	// Source is the data source queries execute against: FromDB for a
+	// static shredded database, FromStore for a live store (update and
+	// snapshot endpoints enabled), FromBackend for a storage-neutral
+	// Backend (read-only, no micro-batching). Required unless one legacy
+	// field below is set.
+	Source Source
+
+	// DB is a legacy shim for Source: when set (and Source is nil) it
+	// populates Source with FromDB(DB).
+	//
+	// Deprecated: use Source: FromDB(db).
 	DB *xpath2sql.DB
-	// Store, when set, makes the service live: every query pins the store's
-	// current epoch snapshot, and POST /v1/update and POST /admin/snapshot
-	// are enabled. DB is ignored when Store is set.
+	// Store is a legacy shim for Source: when set (and Source is nil) it
+	// populates Source with FromStore(Store).
+	//
+	// Deprecated: use Source: FromStore(st).
 	Store *store.Store
-	// Backend, when set, executes queries through a storage-neutral Backend
-	// (e.g. a database/sql executor running the generated recursive SQL)
-	// instead of an in-process *DB. Exactly one of DB, Store or Backend must
-	// be set. Backend mode is read-only (no update/snapshot endpoints) and
-	// incompatible with BatchWindow (the micro-batcher coalesces queries
-	// into one merged in-process run, which needs a *DB).
+	// Backend is a legacy shim for Source: when set (and Source is nil) it
+	// populates Source with FromBackend(Backend).
+	//
+	// Deprecated: use Source: FromBackend(b).
 	Backend xpath2sql.Backend
 
 	// MaxConcurrent bounds simultaneously executing requests (admission
@@ -143,11 +151,15 @@ func (c *Config) fillDefaults() {
 // http.Server or test harness) or Serve/ListenAndServe (managed listener
 // with graceful Shutdown).
 type Server struct {
-	cfg     Config
-	eng     *xpath2sql.Engine
-	db      *xpath2sql.DB
-	store   *store.Store      // nil for a read-only server
-	backend xpath2sql.Backend // nil unless the server executes via a Backend
+	cfg    Config
+	eng    *xpath2sql.Engine
+	source Source
+	// Derived from source at New: the one execution backend, the in-process
+	// DB resolver (nil in backend mode) and the live store (nil when
+	// read-only).
+	execBe  xpath2sql.Backend
+	dbFn    func() *xpath2sql.DB
+	store   *store.Store
 	adm     *admission
 	batcher *batcher // nil when micro-batching is disabled
 	m       *metrics
@@ -162,36 +174,60 @@ type Server struct {
 	hookAfterAdmit func()
 }
 
+// resolveSource returns the config's Source, populating it from the legacy
+// DB/Store/Backend shims when Source is nil.
+func resolveSource(cfg Config) (Source, error) {
+	legacy := 0
+	for _, set := range []bool{cfg.DB != nil, cfg.Store != nil, cfg.Backend != nil} {
+		if set {
+			legacy++
+		}
+	}
+	if cfg.Source != nil {
+		if legacy > 0 {
+			return nil, errors.New("server: Config.Source excludes the deprecated DB/Store/Backend fields")
+		}
+		return cfg.Source, nil
+	}
+	if legacy != 1 {
+		return nil, errors.New("server: Config.Source is required (FromDB, FromStore or FromBackend)")
+	}
+	switch {
+	case cfg.Store != nil:
+		return FromStore(cfg.Store), nil
+	case cfg.Backend != nil:
+		return FromBackend(cfg.Backend), nil
+	default:
+		return FromDB(cfg.DB), nil
+	}
+}
+
 // New validates the config and builds a ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("server: Config.Engine is required")
 	}
-	sources := 0
-	for _, set := range []bool{cfg.DB != nil, cfg.Store != nil, cfg.Backend != nil} {
-		if set {
-			sources++
-		}
+	src, err := resolveSource(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if sources != 1 {
-		return nil, errors.New("server: exactly one of Config.DB, Config.Store or Config.Backend is required")
-	}
-	if cfg.Backend != nil && cfg.BatchWindow > 0 {
-		return nil, errors.New("server: BatchWindow requires an in-process DB or Store (micro-batching is incompatible with Config.Backend)")
+	if cfg.BatchWindow > 0 && src.liveDB() == nil {
+		return nil, errors.New("server: BatchWindow requires an in-process source (FromDB or FromStore); micro-batching merges queries into one in-process run")
 	}
 	cfg.fillDefaults()
 	endpoints := []string{epQuery, epBatch, epTranslate}
-	if cfg.Store != nil {
+	if src.liveStore() != nil {
 		endpoints = append(endpoints, epUpdate, epSnapshot)
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     cfg.Engine,
-		db:      cfg.DB,
-		store:   cfg.Store,
-		backend: cfg.Backend,
-		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		m:       newMetrics(endpoints),
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		source: src,
+		execBe: src.execBackend(),
+		dbFn:   src.liveDB(),
+		store:  src.liveStore(),
+		adm:    newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		m:      newMetrics(endpoints),
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s.eng, s.database, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
@@ -211,23 +247,46 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// database resolves the database for one request or batch run. With a live
-// store it pins the current epoch — immutable, so the whole execution sees
-// one consistent version however many updates land meanwhile.
+// database resolves the in-process database for one merged batch run. With
+// a live store it pins the current epoch — immutable, so the whole
+// execution sees one consistent version however many updates land
+// meanwhile. Nil source DB means backend mode (handlers branch on s.dbFn).
 func (s *Server) database() *xpath2sql.DB {
-	if s.store != nil {
-		return s.store.View().DB
-	}
-	return s.db
+	return s.dbFn()
 }
 
-// execute runs one prepared query against the server's data source: through
-// the configured Backend when one is set, else against the pinned database.
-func (s *Server) execute(ctx context.Context, t *xpath2sql.Translation) (*xpath2sql.Answer, error) {
-	if s.backend != nil {
-		return t.ExecuteOn(ctx, s.backend)
+// effectiveWorkers is the admission-aware intra-query parallelism policy:
+// the engine's configured worker count is a per-request ceiling, scaled
+// down by the number of concurrently executing requests so total morsel
+// fan-out stays within GOMAXPROCS instead of multiplying with concurrency
+// (N requests × N workers oversubscribes the machine N-fold).
+func (s *Server) effectiveWorkers() int {
+	w := s.eng.Parallelism()
+	if w <= 1 {
+		return 1
 	}
-	return t.ExecuteContext(ctx, s.database())
+	inflight := s.adm.executing()
+	if inflight < 1 {
+		inflight = 1
+	}
+	if budget := runtime.GOMAXPROCS(0) / inflight; budget < w {
+		w = budget
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// execute runs one prepared query against the server's data source — the
+// one execution path: every source is a Backend, every run goes through
+// Translation.ExecuteOn, with intra-query parallelism scaled by the current
+// admission load.
+func (s *Server) execute(ctx context.Context, t *xpath2sql.Translation) (*xpath2sql.Answer, error) {
+	if w := s.effectiveWorkers(); w != s.eng.Parallelism() {
+		t = t.WithParallelism(w)
+	}
+	return t.ExecuteOn(ctx, s.execBe)
 }
 
 // Handler returns the server's HTTP handler (panic isolation included), for
@@ -544,14 +603,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	// Explain needs the Answer (trace + plan), so it always takes the
 	// direct path; plain queries go through the micro-batcher when enabled.
-	if s.batcher != nil && !req.Explain {
+	// Solo bypass: a request executing alone (admission says nobody else
+	// holds a slot) skips the batcher entirely — no collection-window
+	// latency when there is nothing to coalesce with. Under sustained
+	// concurrency the in-flight count is a flickering signal — a batch run
+	// answers every client at once, so the first client to come back
+	// momentarily sees itself alone — so recent batching activity keeps
+	// requests routed to the batcher through that gap.
+	if s.batcher != nil && !req.Explain && (s.adm.executing() > 1 || s.batcher.recentlyBatching()) {
 		ids, stats, err := s.batcher.submit(ctx, req.Query)
 		if err != nil {
 			s.fail(w, err)
 			return
 		}
 		s.m.recordExec(stats)
-		writeJSON(w, http.StatusOK, queryResponse{
+		writeQueryResponse(w, &queryResponse{
 			IDs:       ids,
 			Count:     len(ids),
 			ElapsedMS: time.Since(t0).Seconds() * 1000,
@@ -581,7 +647,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Explain {
 		resp.Explain = ans.Explain()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeQueryResponse(w, &resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -616,7 +682,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 	t0 := time.Now()
-	if s.backend != nil {
+	if s.dbFn == nil {
 		// Backend mode has no merged-program executor, so the batch keeps
 		// its one admission slot and runs query by query on the backend.
 		var total xpath2sql.ExecStats
@@ -627,7 +693,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.fail(w, fmt.Errorf("query %d: %w", i, err))
 				return
 			}
-			ans, err := p.ExecuteOn(ctx, s.backend)
+			ans, err := s.execute(ctx, &p.Translation)
 			if err != nil {
 				s.fail(w, fmt.Errorf("query %d: %w", i, err))
 				return
@@ -647,6 +713,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if ew := s.effectiveWorkers(); ew != s.eng.Parallelism() {
+		b = b.WithParallelism(ew)
 	}
 	ans, err := b.ExecuteContext(ctx, s.database())
 	if err != nil {
@@ -808,7 +877,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.m.snapshot(s.cfg.Service, s.eng.CacheStats(), s.adm)
+	es := s.eng.Stats()
+	// The server's source decides the actual execution backend; it wins
+	// over whatever the engine was (or wasn't) configured with.
+	es.Backend = s.execBe.Name()
+	snap := s.m.snapshot(s.cfg.Service, es, s.adm)
 	snap.InFlight = int64(s.adm.executing())
 	if s.store != nil {
 		st := s.store.Stats()
