@@ -16,11 +16,19 @@
 // (-exp sqlbackend), which executes the same translated programs on the
 // in-process rdb engine and as rendered WITH RECURSIVE text on the
 // database/sql executor over the in-repo hermetic driver, cross-checking
-// every answer (-json, the committed BENCH_sqlbackend.json).
+// every answer (-json, the committed BENCH_sqlbackend.json), the bulk-ingest
+// experiment (-exp ingest), which streams a generated document of a
+// scale-dependent byte size through the parallel streaming shredder at 1/2/4
+// loader workers and reports elements/sec, MB/sec and peak RSS against the
+// parse-then-shred tree baseline (-json, the committed BENCH_ingest.json),
+// and the interval experiment (-exp interval), which times descendant-heavy
+// queries under the pure least-fixpoint plan vs the interval-containment
+// kernel with a differential proof that both answer sets match the native
+// XPath oracle (-json, the committed BENCH_interval.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|sqlbackend]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|sqlbackend|ingest|interval]
 //	         [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
 //	         [-write-frac 0.2] [-cpuprofile file] [-memprofile file]
@@ -49,7 +57,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store or sqlbackend")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store, sqlbackend, ingest or interval")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
@@ -121,6 +129,22 @@ func main() {
 	case "store":
 		var report *serveload.StoreReport
 		if report, err = serveload.RunStore(cfg, *writeFrac); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "ingest":
+		var report *bench.IngestReport
+		if report, err = bench.RunIngest(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "interval":
+		var report *bench.IntervalReport
+		if report, err = bench.RunInterval(cfg); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

@@ -16,6 +16,14 @@
 // rises above (1+tol)×baseline plus an absolute floor. The floor keeps
 // sub-millisecond baselines from turning scheduler jitter into failures: 20%
 // of 2ms is noise, 20% of 200ms is a regression.
+//
+// With -ingest-baseline the gate instead compares bulk-ingest reports
+// (benchexp -exp ingest): for each (engine, workers) level in the baseline,
+// the best elements/sec across the current reports must stay above
+// (1-tol)×baseline. Peak RSS is reported but not gated — it depends on GC
+// timing and the runner's memory pressure.
+//
+//	perfgate -ingest-baseline BENCH_ingest_ci.json current.json [...]
 package main
 
 import (
@@ -24,17 +32,24 @@ import (
 	"fmt"
 	"os"
 
+	"xpath2sql/internal/bench"
 	"xpath2sql/internal/serveload"
 )
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_serve_ci.json", "committed baseline report")
-	tol := flag.Float64("tol", 0.20, "relative tolerance for QPS and p99")
+	baseline := flag.String("baseline", "BENCH_serve_ci.json", "committed baseline serve report")
+	ingestBaseline := flag.String("ingest-baseline", "", "committed baseline ingest report; when set, gate ingest throughput instead of serve")
+	tol := flag.Float64("tol", 0.20, "relative tolerance for QPS and p99 (serve) or elements/sec (ingest)")
 	floor := flag.Float64("floor-ms", 2, "absolute p99 slack in milliseconds, added on top of the relative tolerance")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline FILE current.json [current.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: perfgate [-baseline FILE | -ingest-baseline FILE] current.json [current.json ...]")
 		os.Exit(2)
+	}
+
+	if *ingestBaseline != "" {
+		gateIngest(*ingestBaseline, flag.Args(), *tol)
+		return
 	}
 
 	base, err := readReport(*baseline)
@@ -63,6 +78,90 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("perfgate: ok (%d levels within %.0f%% of %s)\n", len(base.Levels), *tol*100, *baseline)
+}
+
+// gateIngest compares ingest reports against the committed baseline and
+// exits: 0 when every baseline (engine, workers) level keeps best
+// elements/sec within tolerance, 1 on regression, 2 on bad input.
+func gateIngest(baselinePath string, curPaths []string, tol float64) {
+	base, err := readIngestReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var curs []*bench.IngestReport
+	for _, path := range curPaths {
+		r, err := readIngestReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+			os.Exit(2)
+		}
+		curs = append(curs, r)
+	}
+
+	violations, summary := ingestGate(base, curs, tol)
+	for _, line := range summary {
+		fmt.Println(line)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok (%d ingest levels within %.0f%% of %s)\n", len(base.Runs), tol*100, baselinePath)
+}
+
+// ingestGate scores every baseline (engine, workers) level on the best
+// elements/sec across the current reports and returns the violations plus a
+// summary table. Peak RSS is reported (best = lowest) but never gated.
+func ingestGate(base *bench.IngestReport, curs []*bench.IngestReport, tol float64) (violations, summary []string) {
+	summary = append(summary, fmt.Sprintf("%-8s %-8s %14s %14s %10s %10s",
+		"engine", "workers", "base elems/s", "best elems/s", "base rss", "best rss"))
+	for _, bl := range base.Runs {
+		bestEPS, bestRSS := 0.0, 0.0
+		seen := false
+		for _, cur := range curs {
+			for _, cl := range cur.Runs {
+				if cl.Engine != bl.Engine || cl.Workers != bl.Workers {
+					continue
+				}
+				if !seen || cl.ElemsPerSec > bestEPS {
+					bestEPS = cl.ElemsPerSec
+				}
+				if !seen || cl.PeakRSSMB < bestRSS {
+					bestRSS = cl.PeakRSSMB
+				}
+				seen = true
+			}
+		}
+		if !seen {
+			violations = append(violations, fmt.Sprintf("%s w=%d: missing from current reports", bl.Engine, bl.Workers))
+			continue
+		}
+		summary = append(summary, fmt.Sprintf("%-8s %-8d %14.0f %14.0f %8.0fMB %8.0fMB",
+			bl.Engine, bl.Workers, bl.ElemsPerSec, bestEPS, bl.PeakRSSMB, bestRSS))
+		if minEPS := bl.ElemsPerSec * (1 - tol); bestEPS < minEPS {
+			violations = append(violations, fmt.Sprintf("%s w=%d: %.0f elems/s < %.0f (baseline %.0f - %.0f%%)",
+				bl.Engine, bl.Workers, bestEPS, minEPS, bl.ElemsPerSec, tol*100))
+		}
+	}
+	return violations, summary
+}
+
+func readIngestReport(path string) (*bench.IngestReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.IngestReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return &r, nil
 }
 
 func readReport(path string) (*serveload.ServeReport, error) {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"xpath2sql/internal/bench"
 	"xpath2sql/internal/serveload"
 )
 
@@ -72,6 +73,61 @@ func TestGateMissingLevel(t *testing.T) {
 	base := report(level(1, 100, 10), level(8, 400, 20))
 	cur := report(level(1, 100, 10))
 	v, _ := gate(base, []*serveload.ServeReport{cur}, 0.20, 2)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func ingestReport(runs ...bench.IngestResult) *bench.IngestReport {
+	return &bench.IngestReport{Runs: runs}
+}
+
+func ingestRun(engine string, workers int, eps, rss float64) bench.IngestResult {
+	return bench.IngestResult{Engine: engine, Workers: workers, ElemsPerSec: eps, PeakRSSMB: rss}
+}
+
+func TestIngestGatePassesWithinTolerance(t *testing.T) {
+	base := ingestReport(ingestRun("stream", 1, 100000, 200), ingestRun("tree", 1, 60000, 350))
+	cur := ingestReport(ingestRun("stream", 1, 85000, 220), ingestRun("tree", 1, 50000, 340))
+	v, _ := ingestGate(base, []*bench.IngestReport{cur}, 0.20)
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestIngestGateFailsOnThroughputRegression(t *testing.T) {
+	base := ingestReport(ingestRun("stream", 4, 100000, 200))
+	cur := ingestReport(ingestRun("stream", 4, 70000, 200)) // 30% down
+	v, _ := ingestGate(base, []*bench.IngestReport{cur}, 0.20)
+	if len(v) != 1 || !strings.Contains(v[0], "elems/s") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestIngestGateBestOfN(t *testing.T) {
+	base := ingestReport(ingestRun("stream", 2, 100000, 200))
+	noisy := ingestReport(ingestRun("stream", 2, 40000, 500))
+	healthy := ingestReport(ingestRun("stream", 2, 95000, 210))
+	v, _ := ingestGate(base, []*bench.IngestReport{noisy, healthy}, 0.20)
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestIngestGateIgnoresRSS(t *testing.T) {
+	// Higher RSS alone is not a regression; the gate is throughput-only.
+	base := ingestReport(ingestRun("stream", 1, 100000, 200))
+	cur := ingestReport(ingestRun("stream", 1, 99000, 900))
+	v, _ := ingestGate(base, []*bench.IngestReport{cur}, 0.20)
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestIngestGateMissingLevel(t *testing.T) {
+	base := ingestReport(ingestRun("stream", 1, 100000, 200), ingestRun("stream", 4, 300000, 250))
+	cur := ingestReport(ingestRun("stream", 1, 100000, 200))
+	v, _ := ingestGate(base, []*bench.IngestReport{cur}, 0.20)
 	if len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("violations: %v", v)
 	}

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	xmlgen -dtd dept.dtd [-xl 4] [-xr 12] [-seed 0] [-max 0] > doc.xml
+//	xmlgen -dtd dept.dtd -target-mb 512 > big.xml
+//
+// With -target-mb the document is streamed to stdout without ever being
+// held in memory: root-level collections keep growing until the byte target
+// is met, so arbitrarily large conforming documents can be produced for
+// bulk-ingest experiments.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ func main() {
 	xr := flag.Int("xr", 12, "maximum repeats under * or + (X_R)")
 	seed := flag.Int64("seed", 0, "random seed")
 	maxNodes := flag.Int("max", 0, "element budget (0 = unlimited)")
+	targetMB := flag.Int64("target-mb", 0, "stream a document of at least this many MiB (0 = in-memory generation)")
 	stats := flag.Bool("stats", false, "print element counts to stderr")
 	flag.Parse()
 
@@ -36,6 +44,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *targetMB > 0 {
+		out := bufio.NewWriterSize(os.Stdout, 1<<20)
+		st, err := xpath2sql.StreamGenerate(out, d, xpath2sql.GenStreamOptions{
+			XL: *xl, XR: *xr, Seed: *seed,
+			TargetBytes: *targetMB << 20,
+			MaxElems:    int64(*maxNodes),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := out.Flush(); err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "elements: %d, bytes: %d\n", st.Elements, st.Bytes)
+		}
+		return
+	}
+
 	doc, err := xpath2sql.Generate(d, xpath2sql.GenOptions{XL: *xl, XR: *xr, Seed: *seed, MaxNodes: *maxNodes})
 	if err != nil {
 		fatal(err)

@@ -7,6 +7,27 @@ import (
 	"xpath2sql/internal/core"
 	"xpath2sql/internal/obs"
 	"xpath2sql/internal/plancache"
+	"xpath2sql/internal/rdb"
+)
+
+// IntervalMode selects the physical path for descendant steps: the
+// document-order interval kernel, the least-fixpoint plan, or automatic
+// selection (see internal/rdb).
+type IntervalMode = rdb.IntervalMode
+
+// The interval modes (rdb re-exports).
+const (
+	// IntervalAuto (the default) uses the interval kernel whenever the
+	// database carries a valid encoding stamped with the program's DTD
+	// fingerprint, falling back to the fixpoint plan otherwise.
+	IntervalAuto = rdb.IntervalAuto
+	// IntervalOff runs every descendant step through the pure fixpoint plan
+	// — the benchmark baseline, and the mode for tests that exercise
+	// fixpoint behavior (iteration limits, Φ statistics).
+	IntervalOff = rdb.IntervalOff
+	// IntervalForce errors when a descendant scan cannot use the kernel;
+	// differential tests use it to prove the kernel actually ran.
+	IntervalForce = rdb.IntervalForce
 )
 
 // Re-exported observability types (internal/obs).
@@ -64,6 +85,7 @@ type Engine struct {
 	cache     *plancache.Cache
 	dtdFP     string
 	backend   Backend
+	intervals IntervalMode
 }
 
 // EngineOption configures an Engine at construction.
@@ -127,6 +149,16 @@ func WithOptions(opts Options) EngineOption {
 	return func(e *Engine) { e.opts = opts }
 }
 
+// WithIntervalMode pins the physical path for descendant steps on every
+// execution started through this engine's translations. The default,
+// IntervalAuto, uses the document-order interval kernel when the database
+// carries a matching encoding; IntervalOff forces the fixpoint plan (the
+// baseline for benchmarks and for tests of fixpoint limits); IntervalForce
+// errors when the kernel cannot run.
+func WithIntervalMode(m IntervalMode) EngineOption {
+	return func(e *Engine) { e.intervals = m }
+}
+
 // WithBackend makes every translation built by this engine execute through
 // the given backend (Translation.Execute / Prepared.Execute). The backend is
 // the only way an Engine selects an execution target; it is not closed by
@@ -164,7 +196,7 @@ func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend}, nil
+	return &Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend, intervals: e.intervals}, nil
 }
 
 // TranslateString parses and translates in one step.
@@ -195,7 +227,7 @@ func (e *Engine) Prepare(ctx context.Context, q Query) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend}}, nil
+	return &Prepared{Translation{res: res, limits: e.limits, workers: e.workers, cache: e.cache, backend: e.backend, intervals: e.intervals}}, nil
 }
 
 // PrepareString parses and prepares in one step. The cache key is derived
@@ -362,9 +394,10 @@ func (t *Translation) ExecuteOn(ctx context.Context, b Backend) (*Answer, error)
 func (t *Translation) executeSnap(ctx context.Context, snap BackendSnapshot) (*Answer, error) {
 	trace := &obs.Trace{}
 	res, err := snap.Execute(ctx, t.res.Program, backend.ExecOptions{
-		Workers: t.workers,
-		Limits:  t.limits,
-		Trace:   trace,
+		Workers:   t.workers,
+		Limits:    t.limits,
+		Trace:     trace,
+		Intervals: t.intervals,
 	})
 	if err != nil {
 		return nil, err

@@ -64,7 +64,9 @@ func TestEngineAnswerMatchesOracle(t *testing.T) {
 func TestExplainAccountsForAllWork(t *testing.T) {
 	d, _, db := deptSetup(t)
 	ctx := context.Background()
-	eng := xpath2sql.New(d)
+	// Pin the fixpoint path: this test asserts Φ iteration accounting, which
+	// the interval kernel would legitimately leave at zero.
+	eng := xpath2sql.New(d, xpath2sql.WithIntervalMode(xpath2sql.IntervalOff))
 	tr, err := eng.TranslateString(ctx, "dept//project")
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +214,11 @@ func TestEngineDeadline(t *testing.T) {
 // typed error naming the offending statement.
 func TestEngineLFPIterLimit(t *testing.T) {
 	d, db := deepChain(t, 50)
-	eng := xpath2sql.New(d, xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 1}))
+	// The interval kernel answers a//a with no Φ iterations, so the limit
+	// under test only trips on the pinned fixpoint path.
+	eng := xpath2sql.New(d,
+		xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 1}),
+		xpath2sql.WithIntervalMode(xpath2sql.IntervalOff))
 	tr, err := eng.TranslateString(context.Background(), "a//a")
 	if err != nil {
 		t.Fatal(err)
@@ -307,6 +313,8 @@ func TestEngineBatchPerQueryStats(t *testing.T) {
 		sum.RecFixes += s.RecFixes
 		sum.TuplesOut += s.TuplesOut
 		sum.StmtsRun += s.StmtsRun
+		sum.Morsels += s.Morsels
+		sum.DescScans += s.DescScans
 	}
 	if sum != ans.Stats {
 		t.Fatalf("per-query stats sum %+v != total %+v", sum, ans.Stats)
@@ -376,6 +384,8 @@ func TestEngineBatchParallelAgrees(t *testing.T) {
 		sum.RecFixes += s.RecFixes
 		sum.TuplesOut += s.TuplesOut
 		sum.StmtsRun += s.StmtsRun
+		sum.Morsels += s.Morsels
+		sum.DescScans += s.DescScans
 	}
 	if sum != pAns.Stats {
 		t.Fatalf("parallel per-query stats sum %+v != total %+v", sum, pAns.Stats)

@@ -50,6 +50,10 @@ type ExecOptions struct {
 	// Trace, when non-nil, receives one obs.StmtEvent per executed
 	// statement.
 	Trace *obs.Trace
+	// Intervals selects the physical path for descendant steps (see
+	// rdb.IntervalMode); the zero value is IntervalAuto. Backends without an
+	// interval kernel (e.g. the SQL backend) may ignore it.
+	Intervals rdb.IntervalMode
 }
 
 // Result is one execution's answer: node IDs ascending (virtual root

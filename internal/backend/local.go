@@ -93,7 +93,7 @@ func (s *localSnap) Close() error { return nil }
 // copied out before the state is released.
 func (s *localSnap) Execute(ctx context.Context, prog *ra.Program, opts ExecOptions) (*Result, error) {
 	if opts.Workers > 1 {
-		rel, stats, err := rdb.RunParallelCtx(ctx, s.db, prog, opts.Workers, opts.Limits, opts.Trace)
+		rel, stats, err := rdb.RunParallelIntervalsCtx(ctx, s.db, prog, opts.Workers, opts.Limits, opts.Trace, opts.Intervals)
 		if err != nil {
 			return nil, err
 		}
@@ -103,6 +103,7 @@ func (s *localSnap) Execute(ctx context.Context, prog *ra.Program, opts ExecOpti
 	defer st.Release()
 	ex := st.Exec()
 	ex.Limits = opts.Limits
+	ex.IntervalMode = opts.Intervals
 	rel, err := ex.RunCtx(ctx, prog, opts.Trace)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/shred"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmlgen"
+	"xpath2sql/internal/xmltree"
+)
+
+// The bulk-ingest experiment: stream a synthetic document of a target byte
+// size straight from the generator into the parallel streaming shredder and
+// measure ingest throughput (elements/sec, MB/sec) and the process's peak
+// RSS. The tree baseline — parse the whole text, then Shred — runs at sizes
+// it can afford, showing what the streaming path saves: it never holds the
+// document text or the element tree, so its peak memory is the database
+// being built rather than text + tree + database.
+
+// IngestResult is one bulk-ingest measurement.
+type IngestResult struct {
+	Engine      string  `json:"engine"`  // "stream" or "tree"
+	Workers     int     `json:"workers"` // relation-loader goroutines (stream); 1 for tree
+	Elements    int64   `json:"elements"`
+	Bytes       int64   `json:"bytes"`
+	Seconds     float64 `json:"seconds"`
+	ElemsPerSec float64 `json:"elems_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	// PeakRSSMB is the process VmHWM after the run. It is monotone over the
+	// process lifetime, so within one report later runs can only show equal
+	// or higher values; the stream runs execute first, so a higher tree
+	// value is attributable to the tree path.
+	PeakRSSMB float64 `json:"peak_rss_mb"`
+}
+
+// IngestReport is the serialized form of BENCH_ingest.json.
+type IngestReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	Scale       string         `json:"scale"`
+	TargetMB    int64          `json:"target_mb"`
+	Runs        []IngestResult `json:"runs"`
+}
+
+// JSON renders the report, indented, with a trailing newline.
+func (r *IngestReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// IngestWorkers are the loader parallelism levels measured for the
+// streaming path.
+var IngestWorkers = []int{1, 2, 4}
+
+// ingestTarget maps the scale to a document byte size: the committed
+// BENCH_ingest.json is produced at paper scale (multi-hundred-MB); CI smoke
+// runs small.
+func ingestTarget(s Scale) int64 {
+	switch s {
+	case ScalePaper:
+		return 512 << 20
+	case ScaleMedium:
+		return 128 << 20
+	default:
+		return 16 << 20
+	}
+}
+
+// treeBaselineCap bounds the document size the tree baseline is asked to
+// hold in memory (text + tree + database at once).
+const treeBaselineCap = int64(64 << 20)
+
+var ingestGenOpts = func(target int64) xmlgen.StreamOptions {
+	return xmlgen.StreamOptions{XL: 8, XR: 6, Seed: 42, TargetBytes: target}
+}
+
+// streamIngestOnce pipes StreamGenerate into StreamShred and times the
+// shredder. Generation runs concurrently on the producer side of the pipe,
+// so the measured wall clock is the ingest pipeline's, with the generator
+// (cheap string writes) hidden behind the parse.
+func streamIngestOnce(d *dtd.DTD, target int64, workers int) (IngestResult, error) {
+	pr, pw := io.Pipe()
+	done := make(chan xmlgen.StreamStats, 1)
+	go func() {
+		st, err := xmlgen.StreamGenerate(pw, d, ingestGenOpts(target))
+		pw.CloseWithError(err)
+		done <- st
+	}()
+	start := time.Now()
+	db, err := shred.StreamShred(pr, d, shred.StreamOptions{Workers: workers})
+	secs := time.Since(start).Seconds()
+	gstats := <-done
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if !db.HasIntervals() || db.IntervalCount() != db.NumNodes() {
+		return IngestResult{}, fmt.Errorf("bench: stream ingest left %d/%d nodes without intervals",
+			db.NumNodes()-db.IntervalCount(), db.NumNodes())
+	}
+	if int64(db.NumNodes()) != gstats.Elements {
+		return IngestResult{}, fmt.Errorf("bench: stream ingest stored %d nodes, generator emitted %d",
+			db.NumNodes(), gstats.Elements)
+	}
+	return ingestResult("stream", workers, gstats.Elements, gstats.Bytes, secs), nil
+}
+
+// treeIngestOnce generates the same document into memory (untimed), then
+// times the tree path: Parse + Shred.
+func treeIngestOnce(d *dtd.DTD, target int64) (IngestResult, error) {
+	var sb strings.Builder
+	gstats, err := xmlgen.StreamGenerate(&sb, d, ingestGenOpts(target))
+	if err != nil {
+		return IngestResult{}, err
+	}
+	text := sb.String()
+	start := time.Now()
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	secs := time.Since(start).Seconds()
+	if int64(db.NumNodes()) != gstats.Elements {
+		return IngestResult{}, fmt.Errorf("bench: tree ingest stored %d nodes, generator emitted %d",
+			db.NumNodes(), gstats.Elements)
+	}
+	return ingestResult("tree", 1, gstats.Elements, gstats.Bytes, secs), nil
+}
+
+func ingestResult(engine string, workers int, elems, bytes int64, secs float64) IngestResult {
+	r := IngestResult{
+		Engine:    engine,
+		Workers:   workers,
+		Elements:  elems,
+		Bytes:     bytes,
+		Seconds:   secs,
+		PeakRSSMB: peakRSSMB(),
+	}
+	if secs > 0 {
+		r.ElemsPerSec = float64(elems) / secs
+		r.MBPerSec = float64(bytes) / (1 << 20) / secs
+	}
+	return r
+}
+
+// peakRSSMB reads the process's high-water RSS (VmHWM) from
+// /proc/self/status; 0 where unavailable (non-Linux).
+func peakRSSMB() float64 {
+	blob, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// RunIngest runs the bulk-ingest experiment: the streaming path at every
+// IngestWorkers level, then (when the document fits the tree baseline's
+// budget) the tree path on the identical document. Every run regenerates
+// the same deterministic stream.
+func RunIngest(c Config) (*IngestReport, error) {
+	d := workload.Dept()
+	target := ingestTarget(c.Scale)
+	report := &IngestReport{
+		GeneratedBy: "benchexp -exp ingest",
+		Scale:       string(c.Scale),
+		TargetMB:    target >> 20,
+	}
+	c.printf("\ningest: dept document, target %d MiB\n", target>>20)
+	for _, w := range IngestWorkers {
+		res, err := streamIngestOnce(d, target, w)
+		if err != nil {
+			return nil, err
+		}
+		report.Runs = append(report.Runs, res)
+		c.printf("  %-6s w=%d  %9d elems  %8.1f MB  %6.2fs  %10.0f elems/s  %7.1f MB/s  rss %.0f MB\n",
+			res.Engine, res.Workers, res.Elements, float64(res.Bytes)/(1<<20), res.Seconds,
+			res.ElemsPerSec, res.MBPerSec, res.PeakRSSMB)
+	}
+	if target <= treeBaselineCap {
+		res, err := treeIngestOnce(d, target)
+		if err != nil {
+			return nil, err
+		}
+		// Same seed and target produce the same document, so the element
+		// counts must agree across engines.
+		if res.Elements != report.Runs[0].Elements {
+			return nil, fmt.Errorf("bench: tree parsed %d elements, stream ingested %d",
+				res.Elements, report.Runs[0].Elements)
+		}
+		report.Runs = append(report.Runs, res)
+		c.printf("  %-6s w=%d  %9d elems  %8.1f MB  %6.2fs  %10.0f elems/s  %7.1f MB/s  rss %.0f MB\n",
+			res.Engine, res.Workers, res.Elements, float64(res.Bytes)/(1<<20), res.Seconds,
+			res.ElemsPerSec, res.MBPerSec, res.PeakRSSMB)
+	} else {
+		c.printf("  tree baseline skipped: %d MiB exceeds its %d MiB budget\n",
+			target>>20, treeBaselineCap>>20)
+	}
+	return report, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xpath2sql/internal/workload"
+)
+
+// TestIngestPipelineSmall: both ingest engines process the identical tiny
+// document, agree on the element count, and the stream path leaves a fully
+// interval-encoded database (asserted inside streamIngestOnce).
+func TestIngestPipelineSmall(t *testing.T) {
+	d := workload.Dept()
+	const target = 1 << 20
+	sres, err := streamIngestOnce(d, target, 2)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	tres, err := treeIngestOnce(d, target)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	if sres.Elements != tres.Elements || sres.Bytes != tres.Bytes {
+		t.Fatalf("engines diverged: stream %d elems/%d bytes, tree %d elems/%d bytes",
+			sres.Elements, sres.Bytes, tres.Elements, tres.Bytes)
+	}
+	if sres.Bytes < target {
+		t.Fatalf("generated %d bytes, target %d", sres.Bytes, target)
+	}
+	if sres.ElemsPerSec <= 0 || sres.MBPerSec <= 0 {
+		t.Fatalf("stream rates not computed: %+v", sres)
+	}
+}
+
+// TestIngestReportJSON: the report serializes with the fields the perf gate
+// reads back.
+func TestIngestReportJSON(t *testing.T) {
+	r := &IngestReport{
+		GeneratedBy: "test",
+		Scale:       "small",
+		TargetMB:    16,
+		Runs: []IngestResult{
+			{Engine: "stream", Workers: 2, Elements: 10, Bytes: 100, Seconds: 0.5, ElemsPerSec: 20, MBPerSec: 1, PeakRSSMB: 3},
+		},
+	}
+	blob, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(blob), "\n") {
+		t.Fatal("missing trailing newline")
+	}
+	var back IngestReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].ElemsPerSec != 20 || back.Runs[0].Engine != "stream" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestRunIntervalSmoke runs the full interval experiment once at tiny scale;
+// the differential proof (LFP = interval = native XPath oracle, kernel
+// actually invoked) runs inside RunInterval and fails the experiment on any
+// mismatch.
+func TestRunIntervalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var sb strings.Builder
+	report, err := RunInterval(Config{Scale: ScaleSmall, Out: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != len(IntervalQueries) {
+		t.Fatalf("got %d results, want %d", len(report.Results), len(IntervalQueries))
+	}
+	for _, r := range report.Results {
+		if r.DescScans == 0 {
+			t.Fatalf("%s: kernel never invoked", r.Query)
+		}
+		if r.Answers == 0 {
+			t.Fatalf("%s: empty answer set", r.Query)
+		}
+	}
+	if !strings.Contains(sb.String(), "interval:") {
+		t.Fatal("no table output")
+	}
+}

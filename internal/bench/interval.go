@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"xpath2sql/internal/core"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xpath"
+)
+
+// The interval experiment: descendant-heavy queries of the paper's workload
+// executed twice on the same shredded database — once with the interval
+// kernel disabled (every descendant step runs the pure least-fixpoint plan,
+// the paper's §5.2 execution) and once with it on (containment range scans
+// over the begin-sorted per-type index). Answers are cross-checked against
+// each other and against the native XPath oracle on the document, so every
+// reported speedup is over a proven-identical answer set.
+
+// IntervalResult is one query's LFP-vs-interval measurement.
+type IntervalResult struct {
+	Query       string  `json:"query"`
+	Answers     int     `json:"answers"`
+	LFPNsPerOp  int64   `json:"lfp_ns_per_op"`
+	IntNsPerOp  int64   `json:"interval_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	DescScans   int     `json:"desc_scans"` // kernel invocations in one interval-mode run
+	LFPItersOff int     `json:"lfp_iters_off"`
+}
+
+// IntervalReport is the serialized form of BENCH_interval.json.
+type IntervalReport struct {
+	GeneratedBy string           `json:"generated_by"`
+	Scale       string           `json:"scale"`
+	Elements    int              `json:"elements"`
+	Results     []IntervalResult `json:"results"`
+}
+
+// JSON renders the report, indented, with a trailing newline.
+func (r *IntervalReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// IntervalQueries are the measured descendant-heavy queries over the dept
+// DTD (Example 2.2's dept//cno among them).
+var IntervalQueries = []string{
+	"dept//cno",
+	"dept//project",
+	"dept//course//title",
+	"dept//student[qualified//course]",
+}
+
+// runIntervalMode measures one translated program at the given interval
+// mode and returns ns/op, the answer IDs and the stats of one run.
+func runIntervalMode(db *rdb.DB, prog *core.Result, mode rdb.IntervalMode) (int64, []int, rdb.Stats, error) {
+	// One untimed run for the answers and stats.
+	ex := rdb.NewExec(db)
+	ex.IntervalMode = mode
+	rel, err := ex.Run(prog.Program)
+	if err != nil {
+		return 0, nil, rdb.Stats{}, err
+	}
+	ids := core.ExtractIDs(rel)
+	stats := ex.Stats
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex := rdb.NewExec(db)
+			ex.IntervalMode = mode
+			if _, err := ex.Run(prog.Program); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, nil, rdb.Stats{}, runErr
+	}
+	return res.NsPerOp(), ids, stats, nil
+}
+
+// RunInterval runs the interval experiment on a dept document sized by the
+// scale and returns the report serialized into BENCH_interval.json.
+func RunInterval(c Config) (*IntervalReport, error) {
+	d := workload.Dept()
+	ds, err := BuildDataset("dept-interval", d, 8, 6, 42, c.size(120_000))
+	if err != nil {
+		return nil, err
+	}
+	report := &IntervalReport{
+		GeneratedBy: "benchexp -exp interval",
+		Scale:       string(c.Scale),
+		Elements:    ds.DB.NumNodes(),
+	}
+	c.printf("\ninterval: dept document, %d elements\n", ds.DB.NumNodes())
+	for _, qs := range IntervalQueries {
+		q, err := xpath.Parse(qs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Translate(q, d, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		lfpNs, lfpIDs, lfpStats, err := runIntervalMode(ds.DB, res, rdb.IntervalOff)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (lfp): %w", qs, err)
+		}
+		intNs, intIDs, intStats, err := runIntervalMode(ds.DB, res, rdb.IntervalAuto)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (interval): %w", qs, err)
+		}
+		// Differential proof: both physical paths and the native oracle
+		// must agree exactly.
+		if !equalIntSlices(lfpIDs, intIDs) {
+			return nil, fmt.Errorf("bench: %s: interval answers differ from LFP (%d vs %d ids)",
+				qs, len(intIDs), len(lfpIDs))
+		}
+		oracleIDs := xpathOracle(q, ds)
+		if !equalIntSlices(lfpIDs, oracleIDs) {
+			return nil, fmt.Errorf("bench: %s: engine answers differ from the XPath oracle (%d vs %d ids)",
+				qs, len(lfpIDs), len(oracleIDs))
+		}
+		if intStats.DescScans == 0 {
+			return nil, fmt.Errorf("bench: %s: interval mode never invoked the kernel", qs)
+		}
+		r := IntervalResult{
+			Query:       qs,
+			Answers:     len(lfpIDs),
+			LFPNsPerOp:  lfpNs,
+			IntNsPerOp:  intNs,
+			DescScans:   intStats.DescScans,
+			LFPItersOff: lfpStats.LFPIters,
+		}
+		if intNs > 0 {
+			r.Speedup = float64(lfpNs) / float64(intNs)
+		}
+		report.Results = append(report.Results, r)
+		c.printf("  %-36s %7d ans  lfp %10d ns  interval %10d ns  %6.2fx  (descscans %d, Φ iters off %d)\n",
+			qs, r.Answers, r.LFPNsPerOp, r.IntNsPerOp, r.Speedup, r.DescScans, r.LFPItersOff)
+	}
+	return report, nil
+}
+
+func xpathOracle(q xpath.Path, ds *Dataset) []int {
+	set := xpath.EvalDoc(q, ds.Doc)
+	ids := set.IDs()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -64,6 +64,17 @@ func MergeBatch(results []*Result) (*BatchResult, error) {
 		return nil, fmt.Errorf("core: empty batch")
 	}
 	merged := &ra.Program{}
+	// The merged program keeps the shredding-DTD fingerprint when every
+	// member carries the same one — the interval kernel's gate reads it, and
+	// a batch is almost always homogeneous in DTD. A mixed batch drops the
+	// stamp and runs descendant steps through the fixpoint, which is sound.
+	merged.DTDFP = results[0].Program.DTDFP
+	for _, res := range results {
+		if res.Program.DTDFP != merged.DTDFP {
+			merged.DTDFP = ""
+			break
+		}
+	}
 	defs := map[string]string{} // canonical plan string -> merged stmt name
 	out := &BatchResult{}
 	for qi, res := range results {
@@ -91,7 +102,7 @@ func MergeBatch(results []*Result) (*BatchResult, error) {
 			if f, ok := p.(ra.Fix); ok {
 				f.TrackPaths = pl.(ra.Fix).TrackPaths
 				if f.Start != nil && f.End != nil && !f.TrackPaths {
-					return ra.Semijoin{L: ra.Fix{Seed: f.Seed, Start: f.Start}, R: f.End}, nil
+					return ra.Semijoin{L: ra.Fix{Seed: f.Seed, Start: f.Start, Desc: f.Desc}, R: f.End}, nil
 				}
 				return f, nil
 			}
@@ -237,6 +248,8 @@ func (b *BatchResult) attributeStats(trace *obs.Trace) []rdb.Stats {
 		per[q].LFPIters += ev.Ops.LFPIters
 		per[q].RecFixes += ev.Ops.RecFixes
 		per[q].TuplesOut += ev.Ops.TuplesOut
+		per[q].Morsels += ev.Ops.Morsels
+		per[q].DescScans += ev.Ops.DescScans
 		per[q].StmtsRun++
 	}
 	return per

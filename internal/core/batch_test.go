@@ -75,7 +75,7 @@ func TestBatchSharesWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sumJoins := 0
+	sumTuples := 0
 	for _, q := range queries {
 		res, err := core.Translate(q, d, opts)
 		if err != nil {
@@ -85,10 +85,13 @@ func TestBatchSharesWork(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sumJoins += st.Joins
+		sumTuples += st.TuplesOut
 	}
-	if batchStats.Joins >= sumJoins {
-		t.Errorf("batch performed %d joins, individually %d — no sharing", batchStats.Joins, sumJoins)
+	// Tuples produced is the work metric that holds on either physical path
+	// (fixpoint or interval kernel): shared statements materialize once, so
+	// the batch must produce strictly fewer tuples than the individual runs.
+	if batchStats.TuplesOut >= sumTuples {
+		t.Errorf("batch produced %d tuples, individually %d — no sharing", batchStats.TuplesOut, sumTuples)
 	}
 }
 

@@ -198,11 +198,34 @@ func (tr *sqlTranslator) e2s(e expath.Expr) tPlan {
 			}
 			return tPlan{pos: empty(), nullable: true}
 		}
-		fix := ra.Fix{Seed: tr.asTemp(seed)}
+		// Closures over child-step unions relate nodes to proper
+		// descendants; mark the fixpoint so interval-aware engines can
+		// prune expansion by containment.
+		fix := ra.Fix{Seed: tr.asTemp(seed), Desc: true}
 		if tr.opts.UseRid {
 			return tPlan{pos: union(fix, ra.Ident{})}
 		}
 		return tPlan{pos: fix, nullable: true}
+	case expath.DescSelf:
+		// Interval-annotated descendant closure: the plan of the non-ε
+		// paths becomes the DescScan's fallback alternative, and engines
+		// with a matching document-order encoding replace it with a
+		// containment scan from From-typed to To-typed nodes. Under the
+		// naive UseRid scheme the ε part is materialized inside the plan
+		// (not kept symbolic), so the scan — which computes exactly the
+		// proper descendants — would not match; the annotation is dropped.
+		inner := tr.e2s(e.Alt)
+		if tr.opts.UseRid || isEmpty(inner.pos) {
+			return inner
+		}
+		return tPlan{
+			pos: ra.DescScan{
+				From: tr.opts.RelName(e.From),
+				To:   tr.opts.RelName(e.To),
+				Alt:  tr.asTemp(inner.pos),
+			},
+			nullable: inner.nullable,
+		}
 	case expath.Qualified: // cases (7)–(12)
 		inner := tr.e2s(e.E)
 		pos := tr.applyQual(e.Q, inner.pos)

@@ -86,7 +86,7 @@ func ExtractCommon(p *ra.Program) {
 func shareable(pl ra.Plan) bool {
 	switch pl.(type) {
 	case ra.Compose, ra.UnionAll, ra.Fix, ra.Semijoin, ra.Antijoin, ra.Diff,
-		ra.TypeFilter, ra.IdentOf, ra.RecUnion:
+		ra.TypeFilter, ra.IdentOf, ra.RecUnion, ra.DescScan:
 		return true
 	}
 	return false
@@ -101,6 +101,15 @@ func children(pl ra.Plan) []ra.Plan {
 		return pl.Kids
 	case ra.Fix:
 		out := []ra.Plan{pl.Seed}
+		if pl.Start != nil {
+			out = append(out, pl.Start)
+		}
+		if pl.End != nil {
+			out = append(out, pl.End)
+		}
+		return out
+	case ra.DescScan:
+		out := []ra.Plan{pl.Alt}
 		if pl.Start != nil {
 			out = append(out, pl.Start)
 		}
@@ -153,7 +162,7 @@ func rebuild(pl ra.Plan, kids []ra.Plan) ra.Plan {
 	case ra.UnionAll:
 		return ra.UnionAll{Kids: kids}
 	case ra.Fix:
-		f := ra.Fix{Seed: kids[0]}
+		f := ra.Fix{Seed: kids[0], TrackPaths: pl.TrackPaths, Desc: pl.Desc}
 		i := 1
 		if pl.Start != nil {
 			f.Start = kids[i]
@@ -163,6 +172,17 @@ func rebuild(pl ra.Plan, kids []ra.Plan) ra.Plan {
 			f.End = kids[i]
 		}
 		return f
+	case ra.DescScan:
+		d := ra.DescScan{From: pl.From, To: pl.To, Alt: kids[0]}
+		i := 1
+		if pl.Start != nil {
+			d.Start = kids[i]
+			i++
+		}
+		if pl.End != nil {
+			d.End = kids[i]
+		}
+		return d
 	case ra.SelectVal:
 		return ra.SelectVal{Child: kids[0], Val: pl.Val}
 	case ra.SelectRoot:
@@ -220,8 +240,8 @@ func sinkRoot(p ra.Plan) ra.Plan {
 	case ra.Diff:
 		return ra.Diff{L: sinkRoot(p.L), R: sinkRoot(p.R)}
 	case ra.Fix:
-		f := ra.Fix{Seed: sinkRoot(p.Seed), Start: p.Start, End: p.End}
-		return f
+		return ra.Fix{Seed: sinkRoot(p.Seed), Start: p.Start, End: p.End,
+			TrackPaths: p.TrackPaths, Desc: p.Desc}
 	case ra.IdentOf:
 		return ra.IdentOf{Child: sinkRoot(p.Child), OnF: p.OnF}
 	case ra.TypeFilter:
@@ -259,7 +279,8 @@ func sinkRootInto(p ra.Plan) ra.Plan {
 	case ra.Fix:
 		if p.Start == nil {
 			// σ_{F='_'}(Φ(R)) = paths starting at the virtual root.
-			return ra.Fix{Seed: sinkRoot(p.Seed), Start: ra.RootSeed{}, End: p.End}
+			return ra.Fix{Seed: sinkRoot(p.Seed), Start: ra.RootSeed{}, End: p.End,
+				TrackPaths: p.TrackPaths, Desc: p.Desc}
 		}
 		return ra.SelectRoot{Child: sinkRoot(p)}
 	default:
@@ -287,6 +308,14 @@ func InlineSingleUse(p *ra.Program) {
 				}
 			case ra.Fix:
 				count(pl.Seed)
+				if pl.Start != nil {
+					count(pl.Start)
+				}
+				if pl.End != nil {
+					count(pl.End)
+				}
+			case ra.DescScan:
+				count(pl.Alt)
 				if pl.Start != nil {
 					count(pl.Start)
 				}
@@ -348,7 +377,7 @@ func InlineSingleUse(p *ra.Program) {
 				}
 				return ra.UnionAll{Kids: kids}
 			case ra.Fix:
-				f := ra.Fix{Seed: subst(pl.Seed)}
+				f := ra.Fix{Seed: subst(pl.Seed), TrackPaths: pl.TrackPaths, Desc: pl.Desc}
 				if pl.Start != nil {
 					f.Start = subst(pl.Start)
 				}
@@ -356,6 +385,15 @@ func InlineSingleUse(p *ra.Program) {
 					f.End = subst(pl.End)
 				}
 				return f
+			case ra.DescScan:
+				d := ra.DescScan{From: pl.From, To: pl.To, Alt: subst(pl.Alt)}
+				if pl.Start != nil {
+					d.Start = subst(pl.Start)
+				}
+				if pl.End != nil {
+					d.End = subst(pl.End)
+				}
+				return d
 			case ra.SelectVal:
 				return ra.SelectVal{Child: subst(pl.Child), Val: pl.Val}
 			case ra.SelectRoot:
@@ -474,7 +512,11 @@ func (o *optimizer) opt(p ra.Plan) ra.Plan {
 		}
 		return ra.UnionAll{Kids: kids}
 	case ra.Fix:
-		return ra.Fix{Seed: o.opt(p.Seed), Start: p.Start, End: p.End}
+		return ra.Fix{Seed: o.opt(p.Seed), Start: p.Start, End: p.End,
+			TrackPaths: p.TrackPaths, Desc: p.Desc}
+	case ra.DescScan:
+		return ra.DescScan{From: p.From, To: p.To, Alt: o.opt(p.Alt),
+			Start: p.Start, End: p.End}
 	case ra.SelectVal:
 		return ra.SelectVal{Child: o.opt(p.Child), Val: p.Val}
 	case ra.SelectRoot:
@@ -502,6 +544,8 @@ func containsOpenFix(p ra.Plan) bool {
 	switch p := p.(type) {
 	case ra.Fix:
 		return p.Start == nil
+	case ra.DescScan:
+		return p.Start == nil
 	case ra.RecUnion:
 		return false
 	default:
@@ -519,6 +563,8 @@ func containsOpenFix(p ra.Plan) bool {
 func hasOpenStart(p ra.Plan) bool {
 	switch p := p.(type) {
 	case ra.Fix:
+		return p.Start == nil
+	case ra.DescScan:
 		return p.Start == nil
 	case ra.Compose:
 		return hasOpenStart(p.L)
@@ -546,7 +592,16 @@ func pushStart(p ra.Plan, start ra.Plan) ra.Plan {
 	switch p := p.(type) {
 	case ra.Fix:
 		if p.Start == nil {
-			return ra.Fix{Seed: p.Seed, Start: start, End: p.End}
+			return ra.Fix{Seed: p.Seed, Start: start, End: p.End,
+				TrackPaths: p.TrackPaths, Desc: p.Desc}
+		}
+		return p
+	case ra.DescScan:
+		if p.Start == nil {
+			// The scan takes the constraint itself; the fallback alternative
+			// inherits it too, so a non-interval engine also benefits.
+			return ra.DescScan{From: p.From, To: p.To,
+				Alt: pushStart(p.Alt, start), Start: start, End: p.End}
 		}
 		return p
 	case ra.Compose:
@@ -574,6 +629,8 @@ func hasOpenEnd(p ra.Plan) bool {
 	switch p := p.(type) {
 	case ra.Fix:
 		return p.End == nil
+	case ra.DescScan:
+		return p.End == nil
 	case ra.Compose:
 		return hasOpenEnd(p.R)
 	case ra.UnionAll:
@@ -600,7 +657,14 @@ func pushEnd(p ra.Plan, end ra.Plan) ra.Plan {
 	switch p := p.(type) {
 	case ra.Fix:
 		if p.End == nil {
-			return ra.Fix{Seed: p.Seed, Start: p.Start, End: end}
+			return ra.Fix{Seed: p.Seed, Start: p.Start, End: end,
+				TrackPaths: p.TrackPaths, Desc: p.Desc}
+		}
+		return p
+	case ra.DescScan:
+		if p.End == nil {
+			return ra.DescScan{From: p.From, To: p.To,
+				Alt: pushEnd(p.Alt, end), Start: p.Start, End: end}
 		}
 		return p
 	case ra.Compose:

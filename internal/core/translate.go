@@ -80,6 +80,7 @@ func Translate(q xpath.Path, d *dtd.DTD, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		prog.DTDFP = d.Fingerprint()
 		return &Result{Strategy: opts.Strategy, Program: prog}, nil
 	case StrategyCycleE, StrategyCycleEX:
 		rec := RecFlat
@@ -97,6 +98,10 @@ func Translate(q xpath.Path, d *dtd.DTD, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Stamp the translation DTD so engines can check that a stored
+		// interval encoding (shredded against some DTD) matches before
+		// taking the DescScan fast path.
+		prog.DTDFP = d.Fingerprint()
 		return &Result{Strategy: opts.Strategy, EQ: eq, Program: prog}, nil
 	}
 	return nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)

@@ -115,8 +115,25 @@ func (tr *exTranslator) rec(a, c string) expath.Expr {
 		for _, eq := range tr.flat.eqs[before:] {
 			tr.defs[eq.X] = eq.E
 		}
+		return tr.annotateDesc(a, c, e)
+	}
+}
+
+// annotateDesc wraps a rec(a, c) expression in a DescSelf annotation so the
+// relational translation can answer the descendant closure with a
+// document-order interval scan (falling back to the wrapped fixpoint plan
+// when the stored encoding is missing or mismatched). Trivial closures and
+// the virtual document root — which has no stored relation to anchor a
+// containment scan — stay unannotated.
+func (tr *exTranslator) annotateDesc(a, c string, e expath.Expr) expath.Expr {
+	switch e.(type) {
+	case expath.Zero, expath.Eps:
 		return e
 	}
+	if a == DocType || c == DocType {
+		return e
+	}
+	return expath.DescSelf{From: a, To: c, Alt: e}
 }
 
 // bind ensures composite expressions are shared through a variable so the
@@ -299,6 +316,9 @@ func (tr *exTranslator) isNullable(e expath.Expr) bool {
 			// Conservative: a qualifier may fail at the context node, so a
 			// qualified ε is not statically true.
 			return false
+		case expath.DescSelf:
+			// Semantically transparent: same language as the alternative.
+			return nullable(e.Alt)
 		case expath.Var:
 			switch memo[e.Name] {
 			case 1:

@@ -191,6 +191,30 @@ func (e *estimator) plan(pl ra.Plan) float64 {
 		// Semi-naive evaluation probes the seed once per produced tuple.
 		e.cost += seed + out
 		return out
+	case ra.DescScan:
+		from := float64(e.stats.RelSizes[pl.From])
+		to := float64(e.stats.RelSizes[pl.To])
+		srcs := from
+		if pl.Start != nil {
+			srcs = math.Min(srcs, e.plan(pl.Start))
+		}
+		frac := 1.0
+		if from > 0 {
+			frac = srcs / from
+		}
+		// Each To node lies under at most one From-typed ancestor per tree
+		// level, so the full scan emits about |R_To| × depth tuples; the
+		// interval kernel pays one binary search per source plus one
+		// operation per emitted tuple — no fixpoint iteration. The fallback
+		// alternative is not charged: engines without the encoding cost it
+		// as the Fix it contains.
+		out := to * math.Max(1, e.stats.AvgDepth) * frac
+		if pl.End != nil {
+			e.plan(pl.End)
+			out *= 0.5
+		}
+		e.cost += srcs*math.Log2(math.Max(2, to)) + out
+		return out
 	case ra.RecUnion:
 		var acc float64
 		for _, t := range pl.Init {

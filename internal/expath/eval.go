@@ -195,6 +195,10 @@ func (ev *evaluator) evalUncached(e Expr) Rel {
 				}
 			}
 		}
+	case DescSelf:
+		// Semantically transparent: the tree evaluator always takes the
+		// annotated alternative.
+		return ev.eval(e.Alt)
 	}
 	return out
 }

@@ -63,6 +63,19 @@ type Qualified struct {
 	Q Qual
 }
 
+// DescSelf annotates the non-ε part of a recursive descendant closure
+// rec(From, To) with its physical alternative: the expression denotes
+// exactly what Alt denotes (DescSelf is semantically transparent — every
+// evaluator answers it by evaluating Alt), but the relational translation
+// may replace the equation plan with a document-order interval containment
+// scan from From-typed to To-typed nodes when the stored database carries a
+// matching interval encoding. Introduced by the XPath→extended-XPath
+// rewriting around every // step's rec() expression.
+type DescSelf struct {
+	From, To string
+	Alt      Expr
+}
+
 func (Zero) isExpr()      {}
 func (Eps) isExpr()       {}
 func (Label) isExpr()     {}
@@ -72,6 +85,7 @@ func (Cat) isExpr()       {}
 func (Union) isExpr()     {}
 func (Star) isExpr()      {}
 func (Qualified) isExpr() {}
+func (DescSelf) isExpr()  {}
 
 func (Zero) String() string    { return "∅" }
 func (Eps) String() string     { return "ε" }
@@ -91,6 +105,10 @@ func (s Star) String() string { return paren(s.E, 2) + "*" }
 
 func (q Qualified) String() string {
 	return paren(q.E, 1) + "[" + q.Q.String() + "]"
+}
+
+func (d DescSelf) String() string {
+	return "desc⟨" + d.From + "↝" + d.To + "⟩(" + d.Alt.String() + ")"
 }
 
 // paren parenthesizes operands whose precedence is below the context level:
@@ -215,6 +233,8 @@ func collectVars(e Expr, set map[string]bool) {
 	case Qualified:
 		collectVars(e.E, set)
 		collectQualVars(e.Q, set)
+	case DescSelf:
+		collectVars(e.Alt, set)
 	}
 }
 
@@ -301,6 +321,10 @@ func (q *Query) CountOps() OpCounts {
 		case Qualified:
 			count(e.E)
 			countQ(e.Q)
+		case DescSelf:
+			// An execution annotation, not an operator: count what the
+			// annotated alternative costs.
+			count(e.Alt)
 		}
 	}
 	countQ = func(qq Qual) {

@@ -96,6 +96,13 @@ func Substitute(e Expr, subst map[string]Expr) Expr {
 		return MkStar(Substitute(e.E, subst))
 	case Qualified:
 		return MkQual(Substitute(e.E, subst), substQual(e.Q, subst))
+	case DescSelf:
+		alt := Substitute(e.Alt, subst)
+		if _, zero := alt.(Zero); zero {
+			// DescSelf denotes exactly its alternative; ∅ stays ∅.
+			return Zero{}
+		}
+		return DescSelf{From: e.From, To: e.To, Alt: alt}
 	default:
 		return e
 	}

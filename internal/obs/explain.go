@@ -41,6 +41,8 @@ func OpKind(pl ra.Plan) string {
 		return "typefilter"
 	case ra.RecUnion:
 		return "recunion"
+	case ra.DescScan:
+		return "descscan"
 	}
 	return fmt.Sprintf("%T", pl)
 }
@@ -72,6 +74,9 @@ func Explain(p *ra.Program, t *Trace, cache *CacheStats) string {
 			ev.In, ev.Out, ev.Ops.TuplesOut, ev.Ops.LFPIters, ev.Wall.Round(time.Microsecond))
 		if ev.Ops.Morsels > 0 {
 			fmt.Fprintf(&b, " morsels=%d", ev.Ops.Morsels)
+		}
+		if ev.Ops.DescScans > 0 {
+			fmt.Fprintf(&b, " descscans=%d", ev.Ops.DescScans)
 		}
 		b.WriteString("\n")
 	}

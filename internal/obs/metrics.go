@@ -149,9 +149,9 @@ type MetricsSnapshot struct {
 	Queued   int64
 
 	// Admission, fault and batching counters.
-	Rejections     int64 // 429s: admission queue overflow
-	LimitErrors    int64 // 422s: typed *LimitError from execution
-	Panics         int64 // handler panics converted to 500s
+	Rejections      int64 // 429s: admission queue overflow
+	LimitErrors     int64 // 422s: typed *LimitError from execution
+	Panics          int64 // handler panics converted to 500s
 	BatchRuns       int64 // micro-batch scheduler runs covering >1 query
 	BatchedQueries  int64 // single queries coalesced into those runs
 	BatchAnswerHits int64 // batched queries answered from materialized answers

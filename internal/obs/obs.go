@@ -94,6 +94,7 @@ type OpStats struct {
 	RecFixes  int // multi-relation fixpoints (SQLGen-R)
 	TuplesOut int // tuples produced
 	Morsels   int // morsels scanned by intra-operator parallel sections
+	DescScans int // descendant closures answered by the interval kernel
 }
 
 // Add accumulates b into s.
@@ -105,6 +106,7 @@ func (s *OpStats) Add(b OpStats) {
 	s.RecFixes += b.RecFixes
 	s.TuplesOut += b.TuplesOut
 	s.Morsels += b.Morsels
+	s.DescScans += b.DescScans
 }
 
 // Sub removes b from s.
@@ -116,6 +118,7 @@ func (s *OpStats) Sub(b OpStats) {
 	s.RecFixes -= b.RecFixes
 	s.TuplesOut -= b.TuplesOut
 	s.Morsels -= b.Morsels
+	s.DescScans -= b.DescScans
 }
 
 // StmtEvent is the observation of one evaluated RA statement.

@@ -59,6 +59,31 @@ type Fix struct {
 	// concatenating edges as tuples join; the SQL rendering concatenates a
 	// path string column.
 	TrackPaths bool
+	// Desc marks a fixpoint that computes (part of) a descendant closure:
+	// every produced (F, T) pair relates a node to one of its proper
+	// descendants. It is an execution hint — engines with a document-order
+	// interval encoding may prune expansion candidates by containment — and
+	// does not change the operator's semantics (or its printed form).
+	Desc bool
+}
+
+// DescScan is the interval-containment descendant scan: the physical
+// alternative to a descendant-closure fixpoint. It denotes the typed
+// proper-descendant relation {(x, y, y.V) : x ∈ T(R_From), y ∈ T(R_To), y a
+// proper descendant of x} — exactly the non-ε part of the recursive closure
+// rec(From, To) over a document conforming to the DTD the program was
+// translated against. Engines with a document-order interval encoding
+// stamped with the same DTD fingerprint answer it with a begin-sorted range
+// scan; everyone else (the SQL rendering, the naive oracle, an engine
+// without intervals) evaluates Alt, the equivalent fixpoint plan.
+//
+// Start and End carry the same pushed selection constraints as Fix: sources
+// restricted to π_T(Start), targets to π_F(End).
+type DescScan struct {
+	From, To string
+	Alt      Plan
+	Start    Plan
+	End      Plan
 }
 
 // SelectVal is σ_{V=c}(child).
@@ -145,6 +170,7 @@ func (Diff) isPlan()       {}
 func (RootSeed) isPlan()   {}
 func (TypeFilter) isPlan() {}
 func (RecUnion) isPlan()   {}
+func (DescScan) isPlan()   {}
 
 func (b Base) String() string { return b.Rel }
 func (t Temp) String() string { return t.Name }
@@ -195,6 +221,17 @@ func (t TypeFilter) String() string {
 	return fmt.Sprintf("typefilter[%s.%s](%s)", t.Rel, col, t.Child)
 }
 
+func (d DescScan) String() string {
+	s := fmt.Sprintf("desc(%s→%s", d.From, d.To)
+	if d.Start != nil {
+		s += fmt.Sprintf("; start∈T(%s)", d.Start)
+	}
+	if d.End != nil {
+		s += fmt.Sprintf("; end∈F(%s)", d.End)
+	}
+	return s + fmt.Sprintf(")[%s]", d.Alt)
+}
+
 func (r RecUnion) String() string {
 	var b strings.Builder
 	b.WriteString("recunion(init:")
@@ -226,6 +263,13 @@ type Stmt struct {
 type Program struct {
 	Stmts  []Stmt
 	Result string
+	// DTDFP is the fingerprint of the DTD the program was translated
+	// against ("" when unknown). Engines compare it with the stored
+	// database's fingerprint before taking the DescScan interval fast path:
+	// a program translated against a sub-DTD under-approximates the
+	// descendant relation, so containment is only sound when they agree. It
+	// is metadata, not part of the printed plan.
+	DTDFP string
 }
 
 func (p *Program) String() string {
@@ -250,17 +294,18 @@ func (p *Program) Lookup(name string) Plan {
 // OpCounts summarizes operator usage in a program: the RA-side numbers of
 // Table 5 and the per-case counts quoted in §6.4.
 type OpCounts struct {
-	LFP    int // Fix operators (single-input Φ)
-	RecFix int // multi-relation RecUnion operators (SQLGen-R)
-	Joins  int // Compose + Semijoin + Antijoin + RecUnion edge joins
-	Unions int // two-way unions (an n-ary union counts n-1)
-	Diffs  int
-	Sels   int
+	LFP      int // Fix operators (single-input Φ)
+	RecFix   int // multi-relation RecUnion operators (SQLGen-R)
+	Joins    int // Compose + Semijoin + Antijoin + RecUnion edge joins
+	Unions   int // two-way unions (an n-ary union counts n-1)
+	Diffs    int
+	Sels     int
+	DescScan int // interval-containment descendant scans
 }
 
 // All returns the total operator count (the ALL column of Table 5).
 func (c OpCounts) All() int {
-	return c.LFP + c.RecFix + c.Joins + c.Unions + c.Diffs + c.Sels
+	return c.LFP + c.RecFix + c.Joins + c.Unions + c.Diffs + c.Sels + c.DescScan
 }
 
 // Count tallies the operators of every statement in the program.
@@ -312,6 +357,15 @@ func (p *Program) Count() OpCounts {
 		case TypeFilter:
 			c.Joins++
 			walk(pl.Child)
+		case DescScan:
+			c.DescScan++
+			walk(pl.Alt)
+			if pl.Start != nil {
+				walk(pl.Start)
+			}
+			if pl.End != nil {
+				walk(pl.End)
+			}
 		case RecUnion:
 			c.RecFix++
 			for _, t := range pl.Init {

@@ -162,6 +162,14 @@ func TempRefs(p Plan) []string {
 			if p.End != nil {
 				walk(p.End)
 			}
+		case DescScan:
+			walk(p.Alt)
+			if p.Start != nil {
+				walk(p.Start)
+			}
+			if p.End != nil {
+				walk(p.End)
+			}
 		case SelectVal:
 			walk(p.Child)
 		case SelectRoot:
@@ -302,6 +310,14 @@ func (r *sqlRenderer) liftPlan(p Plan) {
 			r.names[key] = name
 			r.lifts = append(r.lifts, lifted{name: name, sql: r.renderRecUnion(p)})
 		}
+	case DescScan:
+		r.liftPlan(p.Alt)
+		if p.Start != nil {
+			r.liftPlan(p.Start)
+		}
+		if p.End != nil {
+			r.liftPlan(p.End)
+		}
 	case Compose:
 		r.liftPlan(p.L)
 		r.liftPlan(p.R)
@@ -414,6 +430,26 @@ func (r *sqlRenderer) render(p Plan, depth int) string {
 			return fmt.Sprintf("SELECT F, T, V FROM %s", name)
 		}
 		return r.renderRecUnion(p)
+	case DescScan:
+		// A foreign RDBMS holds no interval encoding: the scan renders as
+		// its equivalent fixpoint alternative, with the pushed constraints
+		// as explicit filters (the alternative may be a shared temp that
+		// does not carry them itself).
+		if p.Start == nil && p.End == nil {
+			return r.render(p.Alt, depth)
+		}
+		a := r.alias()
+		var conds []string
+		if p.Start != nil {
+			conds = append(conds, fmt.Sprintf("%s.F IN (SELECT T FROM (\n%s\n) st)",
+				a, indent(r.render(p.Start, depth+2), 1)))
+		}
+		if p.End != nil {
+			conds = append(conds, fmt.Sprintf("%s.T IN (SELECT F FROM (\n%s\n) en)",
+				a, indent(r.render(p.End, depth+2), 1)))
+		}
+		return fmt.Sprintf("SELECT %s.F, %s.T, %s.V FROM (\n%s\n) %s WHERE %s",
+			a, a, a, indent(r.render(p.Alt, depth+1), 1), a, strings.Join(conds, " AND "))
 	}
 	if r.err == nil {
 		r.err = fmt.Errorf("%w: %T", ErrUnsupportedPlan, p)

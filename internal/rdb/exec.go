@@ -3,6 +3,7 @@ package rdb
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"xpath2sql/internal/obs"
@@ -20,6 +21,7 @@ type Stats struct {
 	TuplesOut int // tuples produced across all operators
 	StmtsRun  int // statements actually evaluated (lazy evaluation skips some)
 	Morsels   int // morsels scanned by intra-operator parallel sections
+	DescScans int // descendant closures answered by the interval kernel
 }
 
 // Ops converts the counters to the per-statement shape of the obs layer.
@@ -32,6 +34,7 @@ func (s Stats) Ops() obs.OpStats {
 		RecFixes:  s.RecFixes,
 		TuplesOut: s.TuplesOut,
 		Morsels:   s.Morsels,
+		DescScans: s.DescScans,
 	}
 }
 
@@ -47,6 +50,7 @@ func (a Stats) Minus(b Stats) Stats {
 		TuplesOut: a.TuplesOut - b.TuplesOut,
 		StmtsRun:  a.StmtsRun - b.StmtsRun,
 		Morsels:   a.Morsels - b.Morsels,
+		DescScans: a.DescScans - b.DescScans,
 	}
 }
 
@@ -68,6 +72,16 @@ type Exec struct {
 	// Limits bounds the resources the next Run/RunCtx may consume;
 	// exceeding one returns a *obs.LimitError. The zero value is unlimited.
 	Limits obs.Limits
+
+	// IntervalMode selects how DescScan operators execute: IntervalAuto
+	// (zero value) takes the interval-containment kernel whenever the
+	// database holds a valid document-order encoding stamped with the
+	// program's DTD fingerprint, falling back to the operator's fixpoint
+	// alternative otherwise; IntervalOff always evaluates the alternative
+	// (and disables Fix.Desc containment pruning); IntervalForce errors
+	// when the kernel is unusable — the differential harness uses it to
+	// prove the fast path ran.
+	IntervalMode IntervalMode
 
 	prog    *ra.Program
 	env     map[string]*Relation
@@ -340,6 +354,16 @@ func (e *Exec) inputCard(pl ra.Plan) int {
 		case ra.TypeFilter:
 			base(p.Rel)
 			walk(p.Child)
+		case ra.DescScan:
+			base(p.From)
+			base(p.To)
+			walk(p.Alt)
+			if p.Start != nil {
+				walk(p.Start)
+			}
+			if p.End != nil {
+				walk(p.End)
+			}
 		case ra.RecUnion:
 			for _, t := range p.Init {
 				walk(t.Plan)
@@ -542,6 +566,8 @@ func (e *Exec) eval(pl ra.Plan) (*Relation, error) {
 		return out, nil
 	case ra.RecUnion:
 		return e.recUnion(pl)
+	case ra.DescScan:
+		return e.descScan(pl)
 	}
 	return nil, fmt.Errorf("rdb: unsupported plan %T", pl)
 }
@@ -715,6 +741,7 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 	e.Stats.LFPs++
 	// startIdx answers w.f ∈ π_T(Start); endIdx answers w.t ∈ π_F(End).
 	var startIdx, endIdx *colIndex
+	var endRel *Relation
 	if pl.Start != nil {
 		s, err := e.eval(pl.Start)
 		if err != nil {
@@ -728,6 +755,50 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			return nil, err
 		}
 		endIdx = s.fIndex()
+		endRel = s
+	}
+
+	// On a descendant-closure fixpoint running forward between both pushed
+	// constraints, the interval encoding bounds the useful frontier: every
+	// tuple produced by expanding from node t has its target inside t's
+	// subtree, so when no end-constraint node lies strictly inside
+	// (begin(t), end(t)) the whole expansion from t would be discarded by
+	// the final end filter. prune(t) reports that, and the iteration drops
+	// such tuples from the delta (they still enter the result relation —
+	// t itself may satisfy the end constraint).
+	var prune func(t int32) bool
+	if pl.Desc && startIdx != nil && endIdx != nil && e.IntervalMode != IntervalOff {
+		if st := e.DB.ivs.Load(); st != nil {
+			begins := make([]int64, 0, endRel.Len())
+			seen := e.idScratch(endRel.distinctHint(endRel.idxF.Load()))
+			usable := true
+			for _, w := range endRel.rows {
+				if _, dup := seen[w.f]; dup {
+					continue
+				}
+				seen[w.f] = struct{}{}
+				iv, has := st.iv[int(w.f)]
+				if !has {
+					// An end node the encoding cannot place (e.g. the
+					// virtual root): pruning would be unsound.
+					usable = false
+					break
+				}
+				begins = append(begins, iv.Begin)
+			}
+			if usable {
+				sort.Slice(begins, func(i, j int) bool { return begins[i] < begins[j] })
+				iv := st.iv
+				prune = func(t int32) bool {
+					tiv, has := iv[int(t)]
+					if !has {
+						return false
+					}
+					i := sort.Search(len(begins), func(i int) bool { return begins[i] > tiv.Begin })
+					return i >= len(begins) || begins[i] >= tiv.End
+				}
+			}
+		}
 	}
 
 	out := e.newRel("")
@@ -744,7 +815,9 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 				if track {
 					out.SetPath(int(w.f), int(w.t), []int{int(w.t)})
 				}
-				delta = append(delta, w)
+				if prune == nil || !prune(w.t) {
+					delta = append(delta, w)
+				}
 			}
 		}
 	case endIdx != nil:
@@ -789,7 +862,7 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 			return nil, err
 		}
 		e.Stats.Joins++
-		if next, err = e.fixExpand(seed, out, delta, next[:0], dir, track); err != nil {
+		if next, err = e.fixExpand(seed, out, delta, next[:0], dir, track, prune); err != nil {
 			return nil, err
 		}
 		e.Stats.Unions++
@@ -820,7 +893,7 @@ func (e *Exec) fix(pl ra.Fix) (*Relation, error) {
 // genuinely new ones to next. The parallel path scans into per-morsel
 // candidate buffers merged in morsel order, so results and statistics are
 // byte-identical to the serial fold.
-func (e *Exec) fixExpand(seed, out *Relation, delta, next []row, dir fixDir, track bool) ([]row, error) {
+func (e *Exec) fixExpand(seed, out *Relation, delta, next []row, dir fixDir, track bool, prune func(t int32) bool) ([]row, error) {
 	var idx *colIndex
 	if dir == fixFwd {
 		idx = seed.fIndex()
@@ -867,7 +940,9 @@ func (e *Exec) fixExpand(seed, out *Relation, delta, next []row, dir fixDir, tra
 							fixPrependPath(out, c.out.f, c.baseF, c.baseT)
 						}
 					}
-					next = append(next, c.out)
+					if prune == nil || !prune(c.out.t) {
+						next = append(next, c.out)
+					}
 				}
 			}
 		}
@@ -898,12 +973,156 @@ func (e *Exec) fixExpand(seed, out *Relation, delta, next []row, dir fixDir, tra
 							fixPrependPath(out, nw.f, d.f, d.t)
 						}
 					}
-					next = append(next, nw)
+					if prune == nil || !prune(nw.t) {
+						next = append(next, nw)
+					}
 				}
 			}
 		}
 	}
 	return next, nil
+}
+
+// descScan evaluates the interval-containment descendant scan. With a valid
+// document-order encoding stamped with the program's DTD fingerprint, each
+// From-typed source node answers its To-typed proper descendants with one
+// binary-searched range over the To relation's begin-sorted index — no
+// fixpoint iteration at all. Otherwise the operator's fixpoint alternative is
+// evaluated and the pushed constraints are applied as post-filters, so the
+// result is identical on every path.
+func (e *Exec) descScan(pl ra.DescScan) (*Relation, error) {
+	var startIdx, endIdx *colIndex
+	if pl.Start != nil {
+		s, err := e.eval(pl.Start)
+		if err != nil {
+			return nil, err
+		}
+		startIdx = s.tIndex()
+	}
+	if pl.End != nil {
+		s, err := e.eval(pl.End)
+		if err != nil {
+			return nil, err
+		}
+		endIdx = s.fIndex()
+	}
+	if e.IntervalMode != IntervalOff {
+		out, ok, err := e.descScanFast(pl, startIdx, endIdx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
+	if e.IntervalMode == IntervalForce {
+		return nil, fmt.Errorf("rdb: interval scan forced but unusable for %s→%s (missing or mismatched document-order encoding)", pl.From, pl.To)
+	}
+	alt, err := e.eval(pl.Alt)
+	if err != nil {
+		return nil, err
+	}
+	if startIdx == nil && endIdx == nil {
+		return alt, nil
+	}
+	out := e.newRel("")
+	for _, w := range alt.rows {
+		if startIdx != nil && !startIdx.contains(w.f) {
+			continue
+		}
+		if endIdx != nil && !endIdx.contains(w.t) {
+			continue
+		}
+		out.addFrom(alt, w)
+	}
+	e.Stats.TuplesOut += out.Len()
+	return out, nil
+}
+
+// descScanFast is the interval kernel behind descScan. It reports ok=false —
+// without touching pl.Alt — when the fast path cannot be taken: no stored
+// encoding, a DTD fingerprint mismatch (a program translated against a
+// sub-DTD under-approximates the descendant relation, so containment would
+// over-answer), or a relation node the encoding cannot place.
+func (e *Exec) descScanFast(pl ra.DescScan, startIdx, endIdx *colIndex) (*Relation, bool, error) {
+	db := e.DB
+	if e.prog == nil || e.prog.DTDFP == "" || e.prog.DTDFP != db.DTDFP {
+		return nil, false, nil
+	}
+	st := db.ivs.Load()
+	if st == nil {
+		return nil, false, nil
+	}
+	toIdx, ok := db.descIndexFor(db.Rel(pl.To))
+	if !ok {
+		return nil, false, nil
+	}
+	// Distinct source nodes: the T values of R_From, in row order, filtered
+	// by the pushed start constraint. A source the encoding cannot place
+	// invalidates the whole scan (the encoding is stale for this document).
+	fromRel := db.Rel(pl.From)
+	frows := fromRel.rows
+	seen := e.idScratch(fromRel.distinctHint(fromRel.idxT.Load()))
+	type src struct {
+		id         int32
+		begin, end int64
+	}
+	srcs := make([]src, 0, len(seen))
+	for i := range frows {
+		if fromRel.isDead(i) {
+			continue
+		}
+		t := frows[i].t
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if startIdx != nil && !startIdx.contains(t) {
+			continue
+		}
+		iv, has := st.iv[int(t)]
+		if !has {
+			return nil, false, nil
+		}
+		srcs = append(srcs, src{id: t, begin: iv.Begin, end: iv.End})
+	}
+	e.Stats.DescScans++
+	out := e.newRel("")
+	n := len(srcs)
+	scan := func(lo, hi int, buf []cand) []cand {
+		for i := lo; i < hi; i++ {
+			x := srcs[i]
+			jlo, jhi := toIdx.rangeOf(x.begin, x.end)
+			for j := jlo; j < jhi; j++ {
+				t := toIdx.ids[j]
+				if endIdx != nil && !endIdx.contains(t) {
+					continue
+				}
+				buf = append(buf, cand{out: row{f: x.id, t: t, v: toIdx.vs[j]}})
+			}
+		}
+		return buf
+	}
+	if workers := e.parWorkers(n); workers > 1 {
+		bufs, err := e.scanMorsels(n, workers, scan)
+		if err != nil {
+			return nil, true, err
+		}
+		for _, buf := range bufs {
+			for _, c := range buf {
+				if out.addRow(c.out) {
+					e.Stats.TuplesOut++
+				}
+			}
+		}
+		return out, true, nil
+	}
+	for _, c := range scan(0, n, nil) {
+		if out.addRow(c.out) {
+			e.Stats.TuplesOut++
+		}
+	}
+	return out, true, nil
 }
 
 // recUnion evaluates the SQL'99-style multi-relation fixpoint of SQLGen-R.

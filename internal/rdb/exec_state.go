@@ -47,6 +47,7 @@ func AcquireState(db *DB) *ExecState {
 	e.Parallelism = 1
 	e.Limits = obs.Limits{}
 	e.Stats = Stats{}
+	e.IntervalMode = IntervalAuto
 	e.arena = s
 	return s
 }

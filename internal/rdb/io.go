@@ -14,8 +14,13 @@ import (
 //
 //	R <relation> <F> <T> <quoted V>
 //	N <id> <quoted label> <quoted V>       (node catalog entry)
+//	O <id> <begin> <end> <level>           (document-order interval, v2)
+//	D <fingerprint>                        (shredding DTD fingerprint, v2)
 //
-// Relations and tuples are written in deterministic order.
+// Relations and tuples are written in deterministic order, so Save∘Load is
+// the identity on the text form. The O/D records are format version 2: a
+// pre-interval (v1) image loads with no encoding, and boot-time owners (e.g.
+// store.Open) call RebuildIntervals to give old snapshots the fast path.
 func (db *DB) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var names []string
@@ -55,6 +60,24 @@ func (db *DB) Save(w io.Writer) error {
 			return err
 		}
 	}
+	if st := db.ivs.Load(); st != nil {
+		ivIDs := make([]int, 0, len(st.iv))
+		for id := range st.iv {
+			ivIDs = append(ivIDs, id)
+		}
+		sort.Ints(ivIDs)
+		for _, id := range ivIDs {
+			n := st.iv[id]
+			if _, err := fmt.Fprintf(bw, "O %d %d %d %d\n", id, n.Begin, n.End, n.Level); err != nil {
+				return err
+			}
+		}
+	}
+	if db.DTDFP != "" {
+		if _, err := fmt.Fprintf(bw, "D %s\n", db.DTDFP); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -66,6 +89,7 @@ func Load(r io.Reader) (*DB, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
+	var iv map[int]NodeInterval
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -130,12 +154,45 @@ func Load(r io.Reader) (*DB, error) {
 			db.Vals[id] = val
 			db.Labels[id] = label
 			db.ParentOf[id] = parent
+		case "O":
+			parts := strings.Fields(rest)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("rdb: line %d: malformed interval entry", lineNo)
+			}
+			id, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			begin, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			end, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			level, err := strconv.ParseInt(parts[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: line %d: %v", lineNo, err)
+			}
+			if end < begin {
+				return nil, fmt.Errorf("rdb: line %d: inverted interval [%d, %d)", lineNo, begin, end)
+			}
+			if iv == nil {
+				iv = map[int]NodeInterval{}
+			}
+			iv[id] = NodeInterval{Begin: begin, End: end, Level: int32(level)}
+		case "D":
+			db.DTDFP = strings.TrimSpace(rest)
 		default:
 			return nil, fmt.Errorf("rdb: line %d: unknown record kind %q", lineNo, kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if iv != nil {
+		db.AdoptIntervals(iv)
 	}
 	return db, nil
 }

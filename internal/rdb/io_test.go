@@ -179,3 +179,87 @@ func TestLoadEmpty(t *testing.T) {
 		t.Fatalf("nodes = %d", db.NumNodes())
 	}
 }
+
+// TestSaveLoadIntervals: a v2 image (O/D records) round-trips the interval
+// encoding and the DTD fingerprint, and saving the loaded copy reproduces
+// the exact text.
+func TestSaveLoadIntervals(t *testing.T) {
+	db := NewDB()
+	db.InsertLabeled("R_a", "a", 0, 1, "")
+	db.InsertLabeled("R_b", "b", 1, 2, "x")
+	db.InsertLabeled("R_b", "b", 1, 3, "y")
+	db.AdoptIntervals(map[int]NodeInterval{
+		1: {Begin: 0, End: 3, Level: 1},
+		2: {Begin: 1, End: 2, Level: 2},
+		3: {Begin: 2, End: 3, Level: 2},
+	})
+	db.DTDFP = "fp-test"
+	var sb strings.Builder
+	if err := db.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "O 1 0 3 1\n") || !strings.Contains(sb.String(), "D fp-test\n") {
+		t.Fatalf("v2 records missing:\n%s", sb.String())
+	}
+	got, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasIntervals() || got.IntervalCount() != 3 || got.DTDFP != "fp-test" {
+		t.Fatalf("encoding lost: has=%v count=%d fp=%q", got.HasIntervals(), got.IntervalCount(), got.DTDFP)
+	}
+	for id, want := range map[int]NodeInterval{1: {0, 3, 1}, 2: {1, 2, 2}, 3: {2, 3, 2}} {
+		if iv, ok := got.Interval(id); !ok || iv != want {
+			t.Fatalf("node %d: %+v ok=%v, want %+v", id, iv, ok, want)
+		}
+	}
+	var sb2 strings.Builder
+	if err := got.Save(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatalf("v2 save not deterministic:\n%s\nvs\n%s", sb.String(), sb2.String())
+	}
+}
+
+// TestLoadPreIntervalImage: a v1 image — no O/D records — loads cleanly
+// with no interval encoding; RebuildIntervals then computes the dense
+// preorder encoding from the relations alone (the boot-time upgrade path).
+func TestLoadPreIntervalImage(t *testing.T) {
+	v1 := "R R_a 0 1 \"\"\nR R_b 1 2 \"x\"\nR R_b 1 3 \"y\"\n" +
+		"N 1 0 \"a\" \"\"\nN 2 1 \"b\" \"x\"\nN 3 1 \"b\" \"y\"\n"
+	db, err := Load(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.HasIntervals() || db.DTDFP != "" {
+		t.Fatalf("v1 image should have no encoding: has=%v fp=%q", db.HasIntervals(), db.DTDFP)
+	}
+	db.RebuildIntervals()
+	// Levels are 0-based at the root element, matching the shredders.
+	for id, want := range map[int]NodeInterval{1: {0, 3, 0}, 2: {1, 2, 1}, 3: {2, 3, 1}} {
+		if iv, ok := db.Interval(id); !ok || iv != want {
+			t.Fatalf("rebuilt node %d: %+v ok=%v, want %+v", id, iv, ok, want)
+		}
+	}
+}
+
+// TestLoadIntervalErrors: corrupted O records are refused with their line
+// number; an inverted interval is corruption too.
+func TestLoadIntervalErrors(t *testing.T) {
+	for _, bad := range []string{
+		"O 1 2",
+		"O 1 2 3",
+		"O x 0 1 1",
+		"O 1 a 2 1",
+		"O 1 0 b 1",
+		"O 1 0 2 c",
+		"O 1 5 2 1", // end < begin
+	} {
+		if _, err := Load(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("Load(%q): expected error", bad)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("Load(%q): error %q does not name the line", bad, err)
+		}
+	}
+}

@@ -364,6 +364,48 @@ func (e *NaiveExec) eval(pl ra.Plan) (*naiveRel, error) {
 		return out, nil
 	case ra.RecUnion:
 		return e.recUnion(pl)
+	case ra.DescScan:
+		// The seed engine has no interval encoding: always the fallback
+		// alternative, with the pushed constraints as dumb post-filters.
+		alt, err := e.eval(pl.Alt)
+		if err != nil {
+			return nil, err
+		}
+		var startSet, endSet map[int]struct{}
+		if pl.Start != nil {
+			s, err := e.eval(pl.Start)
+			if err != nil {
+				return nil, err
+			}
+			startSet = s.tSet()
+		}
+		if pl.End != nil {
+			s, err := e.eval(pl.End)
+			if err != nil {
+				return nil, err
+			}
+			endSet = s.fSet()
+		}
+		if startSet == nil && endSet == nil {
+			return alt, nil
+		}
+		out := newNaiveRel()
+		for _, t := range alt.tuples {
+			if startSet != nil {
+				if _, ok := startSet[t.F]; !ok {
+					continue
+				}
+			}
+			if endSet != nil {
+				if _, ok := endSet[t.T]; !ok {
+					continue
+				}
+			}
+			if out.add(t.F, t.T, t.V) {
+				e.Stats.TuplesOut++
+			}
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("rdb: unsupported plan %T", pl)
 }

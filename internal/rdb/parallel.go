@@ -36,7 +36,14 @@ func RunParallel(db *DB, p *ra.Program, workers int) (*Relation, *Stats, error) 
 // the run, so a parallel trace is byte-for-byte reproducible regardless of
 // scheduling.
 func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, limits obs.Limits, trace *obs.Trace) (*Relation, *Stats, error) {
-	done, stats, err := runParallelRoots(ctx, db, p, []string{p.Result}, workers, limits, trace)
+	return RunParallelIntervalsCtx(ctx, db, p, workers, limits, trace, IntervalAuto)
+}
+
+// RunParallelIntervalsCtx is RunParallelCtx with an explicit interval mode
+// for the per-statement executors (see Exec.IntervalMode); the differential
+// harness uses IntervalOff/IntervalForce to pin the physical path.
+func RunParallelIntervalsCtx(ctx context.Context, db *DB, p *ra.Program, workers int, limits obs.Limits, trace *obs.Trace, mode IntervalMode) (*Relation, *Stats, error) {
+	done, stats, err := runParallelRoots(ctx, db, p, []string{p.Result}, workers, limits, trace, mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,7 +56,7 @@ func RunParallelCtx(ctx context.Context, db *DB, p *ra.Program, workers int, lim
 // common sub-queries of a batch — are scheduled and evaluated exactly once.
 // Cancellation, limits and tracing behave as in RunParallelCtx.
 func RunParallelMultiCtx(ctx context.Context, db *DB, p *ra.Program, results []string, workers int, limits obs.Limits, trace *obs.Trace) ([]*Relation, *Stats, error) {
-	done, stats, err := runParallelRoots(ctx, db, p, results, workers, limits, trace)
+	done, stats, err := runParallelRoots(ctx, db, p, results, workers, limits, trace, IntervalAuto)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,7 +69,7 @@ func RunParallelMultiCtx(ctx context.Context, db *DB, p *ra.Program, results []s
 
 // runParallelRoots is the shared scheduler: it evaluates every statement
 // reachable from any root and returns the completed relations by name.
-func runParallelRoots(ctx context.Context, db *DB, p *ra.Program, roots []string, workers int, limits obs.Limits, trace *obs.Trace) (map[string]*Relation, *Stats, error) {
+func runParallelRoots(ctx context.Context, db *DB, p *ra.Program, roots []string, workers int, limits obs.Limits, trace *obs.Trace, mode IntervalMode) (map[string]*Relation, *Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -194,7 +201,10 @@ func runParallelRoots(ctx context.Context, db *DB, p *ra.Program, roots []string
 			ex := NewExec(db)
 			ex.Limits = limits
 			ex.Parallelism = workers
-			ex.prog = &ra.Program{Stmts: []ra.Stmt{{Name: name, Plan: byName[name]}}, Result: name}
+			ex.IntervalMode = mode
+			// Keep the program-level DTD fingerprint visible to the single
+			// statement's executor: the DescScan gate reads it.
+			ex.prog = &ra.Program{Stmts: []ra.Stmt{{Name: name, Plan: byName[name]}}, Result: name, DTDFP: p.DTDFP}
 			ex.env = env
 			ex.running = map[string]bool{}
 			ex.ctx = ctx
@@ -236,4 +246,5 @@ func addStats(total *Stats, s Stats) {
 	total.TuplesOut += s.TuplesOut
 	total.StmtsRun += s.StmtsRun
 	total.Morsels += s.Morsels
+	total.DescScans += s.DescScans
 }

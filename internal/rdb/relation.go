@@ -530,6 +530,15 @@ type DB struct {
 	// ParentOf maps every stored node to its parent (0 for the root
 	// element); with Labels it reconstructs paths without re-scanning.
 	ParentOf map[int]int
+	// DTDFP is the fingerprint of the DTD the document was shredded
+	// against ("" when unknown). The interval fast path compares it with
+	// the translated program's fingerprint: translations against a sub-DTD
+	// under-approximate the descendant relation, so raw containment is only
+	// sound when translation and shredding agree on the DTD.
+	DTDFP string
+	// ivs holds the document-order interval encoding (see intervals.go);
+	// nil means no valid encoding. Atomic because rebuilds race readers.
+	ivs atomic.Pointer[ivState]
 }
 
 // NewDB returns an empty database.

@@ -72,8 +72,8 @@ type batcher struct {
 // answers on every window.
 type cachedBatch struct {
 	bt  *xpath2sql.Batch
-	db  *xpath2sql.DB             // version ans was computed on (nil = none)
-	ans *xpath2sql.BatchAnswer    // materialized per-slot answers
+	db  *xpath2sql.DB          // version ans was computed on (nil = none)
+	ans *xpath2sql.BatchAnswer // materialized per-slot answers
 }
 
 func newBatcher(eng *xpath2sql.Engine, db func() *xpath2sql.DB, window time.Duration, maxBatch int, timeout time.Duration, m *metrics) *batcher {

@@ -43,6 +43,8 @@ func appendStats(b []byte, st *execStatsJSON) []byte {
 	b = strconv.AppendInt(b, int64(st.TuplesOut), 10)
 	b = append(b, `,"morsels":`...)
 	b = strconv.AppendInt(b, int64(st.Morsels), 10)
+	b = append(b, `,"desc_scans":`...)
+	b = strconv.AppendInt(b, int64(st.DescScans), 10)
 	return append(b, '}')
 }
 

@@ -21,7 +21,7 @@ type metrics struct {
 	// clones the map under mu and publishes the extended copy, so the
 	// steady state — every pair already present — never locks.
 	requests atomic.Pointer[map[reqKey]*atomic.Int64]
-	mu       sync.Mutex                 // serializes requests-map cloning
+	mu       sync.Mutex                // serializes requests-map cloning
 	latency  map[string]*obs.Histogram // per endpoint, created eagerly, read-only after newMetrics
 
 	inFlight    atomic.Int64
@@ -113,17 +113,17 @@ func (m *metrics) recordExec(st xpath2sql.ExecStats) {
 // live gauges.
 func (m *metrics) snapshot(service string, eng obs.EngineStats, adm *admission) *obs.MetricsSnapshot {
 	s := &obs.MetricsSnapshot{
-		Service:        service,
-		Uptime:         time.Since(m.start),
-		InFlight:       m.inFlight.Load(),
-		Rejections:     m.rejections.Load(),
-		LimitErrors:    m.limitErrors.Load(),
-		Panics:         m.panics.Load(),
+		Service:         service,
+		Uptime:          time.Since(m.start),
+		InFlight:        m.inFlight.Load(),
+		Rejections:      m.rejections.Load(),
+		LimitErrors:     m.limitErrors.Load(),
+		Panics:          m.panics.Load(),
 		BatchRuns:       m.batchRuns.Load(),
 		BatchedQueries:  m.batchedQueries.Load(),
 		BatchAnswerHits: m.batchAnswerHits.Load(),
-		Engine:         eng,
-		StmtsRun:       m.stmtsRun.Load(),
+		Engine:          eng,
+		StmtsRun:        m.stmtsRun.Load(),
 		Exec: obs.OpStats{
 			Joins:     int(m.joins.Load()),
 			Unions:    int(m.unions.Load()),

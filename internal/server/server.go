@@ -344,6 +344,7 @@ type execStatsJSON struct {
 	RecFixes  int `json:"rec_fixes"`
 	TuplesOut int `json:"tuples_out"`
 	Morsels   int `json:"morsels"`
+	DescScans int `json:"desc_scans"`
 }
 
 // addStats accumulates per-query work counters into a batch total.
@@ -356,6 +357,7 @@ func addStats(a, b xpath2sql.ExecStats) xpath2sql.ExecStats {
 	a.RecFixes += b.RecFixes
 	a.TuplesOut += b.TuplesOut
 	a.Morsels += b.Morsels
+	a.DescScans += b.DescScans
 	return a
 }
 
@@ -369,6 +371,7 @@ func statsJSON(st xpath2sql.ExecStats) execStatsJSON {
 		RecFixes:  st.RecFixes,
 		TuplesOut: st.TuplesOut,
 		Morsels:   st.Morsels,
+		DescScans: st.DescScans,
 	}
 }
 

@@ -31,23 +31,44 @@ func RelName(typ string) string { return "R_" + typ }
 
 // Shred maps a document to the per-type edge relations. Every element type
 // of d gets a relation (possibly empty); elements of undeclared types are
-// rejected.
+// rejected. Each node also receives its document-order interval (begin,
+// end, level) and the database is stamped with the DTD's fingerprint, which
+// together enable the descendant-axis interval fast path.
 func Shred(doc *xmltree.Document, d *dtd.DTD) (*rdb.DB, error) {
 	db := rdb.NewDB()
 	for _, typ := range d.Types() {
 		db.Rel(RelName(typ))
 	}
 	ld := db.NewLoader()
-	for _, n := range doc.Nodes() {
+	nodes := doc.Nodes()
+	// Dense preorder IDs make every subtree a contiguous ID range, so the
+	// interval is begin = ID-1, end = begin + subtree size. Sizes come from
+	// one reverse-preorder pass (children precede their parent there).
+	sizes := make([]int64, len(nodes)+1)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		sizes[n.ID] += 1
+		if n.Parent != nil {
+			sizes[n.Parent.ID] += sizes[n.ID]
+		}
+	}
+	levels := make([]int32, len(nodes)+1)
+	iv := make(map[int]rdb.NodeInterval, len(nodes))
+	for _, n := range nodes {
 		if !d.Has(n.Label) {
 			return nil, fmt.Errorf("shred: element type %q %w", n.Label, ErrNotInDTD)
 		}
 		f := 0
 		if n.Parent != nil {
 			f = int(n.Parent.ID)
+			levels[n.ID] = levels[n.Parent.ID] + 1
 		}
 		ld.Insert(RelName(n.Label), n.Label, f, int(n.ID), n.Val)
+		begin := int64(n.ID) - 1
+		iv[int(n.ID)] = rdb.NodeInterval{Begin: begin, End: begin + sizes[n.ID], Level: levels[n.ID]}
 	}
+	db.AdoptIntervals(iv)
+	db.DTDFP = d.Fingerprint()
 	return db, nil
 }
 

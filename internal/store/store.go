@@ -191,6 +191,16 @@ func Open(cfg Config) (*Store, error) {
 	for _, t := range cfg.DTD.Types() {
 		db.Rel(shred.RelName(t))
 	}
+	// Every published epoch carries a valid document-order interval encoding
+	// (the descendant fast path); pre-interval snapshots and raw seeds get
+	// theirs here, once, at boot. Updates are validated against cfg.DTD, so
+	// the fingerprint stamp stays sound for the store's lifetime.
+	if !db.HasIntervals() {
+		db.RebuildIntervals()
+	}
+	if db.DTDFP == "" {
+		db.DTDFP = cfg.DTD.Fingerprint()
+	}
 	s.nextID = next
 	s.lsn = lsn
 	s.cur.Store(&Epoch{DB: db, Seq: seq, LSN: lsn})
@@ -341,6 +351,13 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 		s.textUpdates.Add(1)
 	}
 	t.compact()
+	if rec.Op != opUpdateText {
+		// A structural change shifts the dense preorder positions globally:
+		// rebuild the interval encoding for the new epoch (the parent
+		// epoch's copy is untouched). Recovery replays through this same
+		// path, so a replayed store matches the pre-crash encoding exactly.
+		t.db.RebuildIntervals()
+	}
 
 	next := &Epoch{DB: t.db, Seq: ep.Seq + 1, LSN: rec.LSN}
 	s.lsn = rec.LSN
@@ -379,6 +396,9 @@ func newTxn(old *rdb.DB) *txn {
 	for k, v := range old.ParentOf {
 		nd.ParentOf[k] = v
 	}
+	// Text-only transactions keep the parent epoch's interval encoding (the
+	// structure is unchanged); structural ones rebuild it before publishing.
+	nd.ShareIntervalsFrom(old)
 	return &txn{db: nd, cloned: map[string]*rdb.Relation{}}
 }
 

@@ -155,6 +155,10 @@ func (m *mirror) buildDB(d *dtd.DTD) *rdb.DB {
 	for _, id := range ids {
 		ld.Insert(shred.RelName(m.labels[id]), m.labels[id], m.parent[id], id, m.vals[id])
 	}
+	// Match the store's epoch invariant: every published DB carries the
+	// interval encoding and the shredding DTD's fingerprint.
+	db.DTDFP = d.Fingerprint()
+	db.RebuildIntervals()
 	return db
 }
 

@@ -1,0 +1,76 @@
+package xmlgen
+
+import (
+	"bytes"
+	"testing"
+
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/workload"
+	"xpath2sql/internal/xmltree"
+)
+
+// TestStreamGenerateConforms: the streamed document parses back and
+// validates against its DTD, for every workload shape.
+func TestStreamGenerateConforms(t *testing.T) {
+	for name, d := range map[string]*dtd.DTD{
+		"dept":  workload.Dept(),
+		"cross": workload.Cross(),
+		"gedml": workload.GedML(),
+	} {
+		var buf bytes.Buffer
+		st, err := StreamGenerate(&buf, d, StreamOptions{XL: 6, XR: 3, Seed: 9, MaxElems: 500})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Elements == 0 || st.Bytes != int64(buf.Len()) {
+			t.Fatalf("%s: stats %+v, buffered %d", name, st, buf.Len())
+		}
+		doc, err := xmltree.Parse(buf.String())
+		if err != nil {
+			t.Fatalf("%s: parse back: %v", name, err)
+		}
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("%s: generated document does not conform: %v", name, err)
+		}
+		if int64(doc.Size()) != st.Elements {
+			t.Fatalf("%s: parsed %d elements, stats claim %d", name, doc.Size(), st.Elements)
+		}
+	}
+}
+
+// TestStreamGenerateTarget: with a byte target the stream reaches at least
+// the target and still conforms.
+func TestStreamGenerateTarget(t *testing.T) {
+	d := workload.Dept()
+	var buf bytes.Buffer
+	const target = 256 << 10
+	st, err := StreamGenerate(&buf, d, StreamOptions{XL: 6, XR: 4, Seed: 3, TargetBytes: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes < target {
+		t.Fatalf("wrote %d bytes, target %d", st.Bytes, target)
+	}
+	doc, err := xmltree.Parse(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(doc); err != nil {
+		t.Fatalf("targeted document does not conform: %v", err)
+	}
+}
+
+// TestStreamGenerateDeterministic: same seed, same bytes.
+func TestStreamGenerateDeterministic(t *testing.T) {
+	d := workload.GedML()
+	var a, b bytes.Buffer
+	if _, err := StreamGenerate(&a, d, StreamOptions{XL: 5, XR: 3, Seed: 11, MaxElems: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StreamGenerate(&b, d, StreamOptions{XL: 5, XR: 3, Seed: 11, MaxElems: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different documents")
+	}
+}

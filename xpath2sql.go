@@ -41,6 +41,7 @@
 package xpath2sql
 
 import (
+	"io"
 	"math/rand"
 	"strings"
 
@@ -146,6 +147,10 @@ type Translation struct {
 	// target of Execute (nil = ErrNoBackend; ExecuteContext and ExecuteOn
 	// name their target explicitly).
 	backend Backend
+	// intervals pins the physical path for descendant steps
+	// (WithIntervalMode); the zero value IntervalAuto uses the interval
+	// kernel whenever the database carries a matching encoding.
+	intervals IntervalMode
 }
 
 // Strategy reports which translation strategy produced this plan.
@@ -200,6 +205,18 @@ func (t *Translation) SQL(d Dialect, opts ...SQLOption) (string, error) {
 // the paper's storage model (§2.3).
 func Shred(doc *Document, d *DTD) (*DB, error) { return shred.Shred(doc, d) }
 
+// ShredStreamOptions configures StreamShred (worker count, batch size).
+type ShredStreamOptions = shred.StreamOptions
+
+// StreamShred shreds an XML document read from r in one streaming pass,
+// fanning completed-element batches out to parallel relation loaders. It
+// produces the same database as Shred over the parsed tree but never holds
+// the document text or the element tree, so it ingests documents far larger
+// than memory would allow the tree builder.
+func StreamShred(r io.Reader, d *DTD, opts ShredStreamOptions) (*DB, error) {
+	return shred.StreamShred(r, d, opts)
+}
+
 // InlineSchema derives the shared-inlining relational schema of a DTD
 // (Shanmugasundaram et al., as used in Example 2.3).
 func InlineSchema(d *DTD) []shred.RelSchema { return shred.InlineSchema(d) }
@@ -211,6 +228,20 @@ type GenOptions = xmlgen.Options
 // Generate produces a random document conforming to the DTD.
 func Generate(d *DTD, opts GenOptions) (*Document, error) {
 	return xmlgen.Generate(d, opts)
+}
+
+// GenStreamOptions configures the streaming generator: like GenOptions plus
+// a byte target that keeps root-level collections growing until met.
+type GenStreamOptions = xmlgen.StreamOptions
+
+// GenStreamStats reports what StreamGenerate wrote.
+type GenStreamStats = xmlgen.StreamStats
+
+// StreamGenerate writes a random document conforming to the DTD directly to
+// w without materializing the tree; memory stays bounded by tree depth, so
+// multi-gigabyte documents can be generated for bulk-ingest experiments.
+func StreamGenerate(w io.Writer, d *DTD, opts GenStreamOptions) (GenStreamStats, error) {
+	return xmlgen.StreamGenerate(w, d, opts)
 }
 
 // EvalXPath evaluates a query natively on a document tree (the reference
