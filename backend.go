@@ -13,7 +13,7 @@ import (
 // snapshots execute programs. Two implementations ship with the package:
 //
 //   - NewLocalBackend wraps the bundled in-memory relational engine — the
-//     default every Engine uses implicitly through ExecuteContext.
+//     default target for in-process execution (ExecuteOn).
 //   - OpenSQLBackend shreds the (F, T, V) relations into real SQL tables via
 //     database/sql and executes the rendered WITH RECURSIVE statement
 //     sequence on the database — the paper's target deployment.

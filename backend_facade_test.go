@@ -47,7 +47,7 @@ func TestEngineWithBackend(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
-	direct, err := p.ExecuteContext(ctx, db)
+	direct, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestExecuteWithoutBackend(t *testing.T) {
 	if _, err := p.Execute(ctx); !errors.Is(err, xpath2sql.ErrNoBackend) {
 		t.Fatalf("Execute without backend: err = %v, want ErrNoBackend", err)
 	}
-	if _, err := p.ExecuteContext(ctx, db); err != nil {
+	if _, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db)); err != nil {
 		t.Fatalf("ExecuteContext: %v", err)
 	}
 }

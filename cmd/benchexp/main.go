@@ -24,11 +24,16 @@
 // and the interval experiment (-exp interval), which times descendant-heavy
 // queries under the pure least-fixpoint plan vs the interval-containment
 // kernel with a differential proof that both answer sets match the native
-// XPath oracle (-json, the committed BENCH_interval.json).
+// XPath oracle (-json, the committed BENCH_interval.json), and the watch
+// experiment (-exp watch), which registers the dept queries as standing
+// materialized views over a live store, compares per-update incremental
+// maintenance against full re-execution, and measures end-to-end SSE delta
+// propagation latency through /v1/watch at 1/4/16 subscribers (-json, the
+// committed BENCH_watch.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|sqlbackend|ingest|interval]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|watch|sqlbackend|ingest|interval]
 //	         [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
 //	         [-write-frac 0.2] [-cpuprofile file] [-memprofile file]
@@ -57,7 +62,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store, sqlbackend, ingest or interval")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store, watch, sqlbackend, ingest or interval")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
@@ -145,6 +150,14 @@ func main() {
 	case "interval":
 		var report *bench.IntervalReport
 		if report, err = bench.RunInterval(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "watch":
+		var report *serveload.WatchReport
+		if report, err = serveload.RunWatch(cfg); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

@@ -24,6 +24,16 @@
 // timing and the runner's memory pressure.
 //
 //	perfgate -ingest-baseline BENCH_ingest_ci.json current.json [...]
+//
+// With -watch-baseline the gate compares watch reports (benchexp -exp
+// watch): for each subscriber level in the baseline, the best delta
+// propagation p99 across the current reports must stay below
+// (1+tol)×baseline plus the p99 floor, and the current run must not have
+// degraded to snapshot resyncs or decode errors when the baseline had none.
+// Maintenance speedups are reported but not gated — they depend on dataset
+// scale, and CI runs at small scale where full re-execution is cheap.
+//
+//	perfgate -watch-baseline BENCH_watch_ci.json current.json [...]
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 func main() {
 	baseline := flag.String("baseline", "BENCH_serve_ci.json", "committed baseline serve report")
 	ingestBaseline := flag.String("ingest-baseline", "", "committed baseline ingest report; when set, gate ingest throughput instead of serve")
+	watchBaseline := flag.String("watch-baseline", "", "committed baseline watch report; when set, gate delta propagation p99 instead of serve")
 	tol := flag.Float64("tol", 0.20, "relative tolerance for QPS and p99 (serve) or elements/sec (ingest)")
 	floor := flag.Float64("floor-ms", 2, "absolute p99 slack in milliseconds, added on top of the relative tolerance")
 	flag.Parse()
@@ -49,6 +60,10 @@ func main() {
 
 	if *ingestBaseline != "" {
 		gateIngest(*ingestBaseline, flag.Args(), *tol)
+		return
+	}
+	if *watchBaseline != "" {
+		gateWatch(*watchBaseline, flag.Args(), *tol, *floor)
 		return
 	}
 
@@ -147,6 +162,98 @@ func ingestGate(base *bench.IngestReport, curs []*bench.IngestReport, tol float6
 		}
 	}
 	return violations, summary
+}
+
+// gateWatch compares watch reports against the committed baseline and
+// exits: 0 when every baseline subscriber level keeps best propagation p99
+// within tolerance and clean delivery, 1 on regression, 2 on bad input.
+func gateWatch(baselinePath string, curPaths []string, tol, floorMS float64) {
+	base, err := readWatchReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var curs []*serveload.WatchReport
+	for _, path := range curPaths {
+		r, err := readWatchReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+			os.Exit(2)
+		}
+		curs = append(curs, r)
+	}
+
+	violations, summary := watchGate(base, curs, tol, floorMS)
+	for _, line := range summary {
+		fmt.Println(line)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok (%d watch levels within %.0f%% of %s)\n", len(base.Propagation), tol*100, baselinePath)
+}
+
+// watchGate scores every baseline subscriber level on the best (lowest)
+// propagation p99 across the current reports. A level also regresses when
+// the current run needed resyncs or hit decode errors while the baseline
+// delivered cleanly — that is the bounded-buffer degradation path firing
+// under a load it used to absorb.
+func watchGate(base *serveload.WatchReport, curs []*serveload.WatchReport, tol, floorMS float64) (violations, summary []string) {
+	summary = append(summary, fmt.Sprintf("%-12s %12s %12s %9s %8s", "subscribers", "base p99", "best p99", "resyncs", "errors"))
+	for _, bl := range base.Propagation {
+		bestP99 := 0.0
+		resyncs, errs := 0, 0
+		seen := false
+		for _, cur := range curs {
+			for _, cl := range cur.Propagation {
+				if cl.Subscribers != bl.Subscribers {
+					continue
+				}
+				if !seen || cl.P99MS < bestP99 {
+					bestP99 = cl.P99MS
+					resyncs, errs = cl.Resyncs, cl.Errors
+				}
+				seen = true
+			}
+		}
+		if !seen {
+			violations = append(violations, fmt.Sprintf("level %d: missing from current reports", bl.Subscribers))
+			continue
+		}
+		summary = append(summary, fmt.Sprintf("%-12d %10.1fms %10.1fms %9d %8d",
+			bl.Subscribers, bl.P99MS, bestP99, resyncs, errs))
+		if maxP99 := bl.P99MS*(1+tol) + floorMS; bestP99 > maxP99 {
+			violations = append(violations, fmt.Sprintf("level %d: propagation p99 %.1fms > %.1fms (baseline %.1fms + %.0f%% + %.0fms)",
+				bl.Subscribers, bestP99, maxP99, bl.P99MS, tol*100, floorMS))
+		}
+		if bl.Resyncs == 0 && resyncs > 0 {
+			violations = append(violations, fmt.Sprintf("level %d: %d resyncs (baseline delivered without buffer overflow)",
+				bl.Subscribers, resyncs))
+		}
+		if bl.Errors == 0 && errs > 0 {
+			violations = append(violations, fmt.Sprintf("level %d: %d event decode errors (baseline had none)",
+				bl.Subscribers, errs))
+		}
+	}
+	return violations, summary
+}
+
+func readWatchReport(path string) (*serveload.WatchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r serveload.WatchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Propagation) == 0 {
+		return nil, fmt.Errorf("%s: no propagation levels", path)
+	}
+	return &r, nil
 }
 
 func readIngestReport(path string) (*bench.IngestReport, error) {

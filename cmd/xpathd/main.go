@@ -8,6 +8,7 @@
 //	POST /v1/batch       {"queries": ["a//b", "a//c"]}       → merged-run answers
 //	POST /v1/translate   {"query": "...", "dialect": "db2"}  → SQL text
 //	POST /v1/update      {"op": "insert_subtree", ...}       → applied epoch/LSN
+//	POST /v1/watch       {"query": "dept//course"}           → SSE snapshot+deltas
 //	POST /admin/snapshot                                     → checkpoint now
 //	GET  /healthz  /readyz  /metrics
 //
@@ -34,6 +35,7 @@
 //	       [-strategy X] [-parallel n] [-cache-size n]
 //	       [-max-concurrent n] [-queue-depth n] [-request-timeout 30s]
 //	       [-batch-window 0] [-max-batch 16]
+//	       [-watch-max-subs 1024] [-watch-buffer 64]
 //	       [-max-lfp-iters n] [-max-tuples n] [-drain-timeout 10s]
 package main
 
@@ -87,6 +89,8 @@ type options struct {
 	reqTimeout    time.Duration
 	batchWindow   time.Duration
 	maxBatch      int
+	watchMaxSubs  int
+	watchBuffer   int
 	maxLFPIters   int
 	maxTuples     int
 	drainTimeout  time.Duration
@@ -117,6 +121,8 @@ func main() {
 	flag.DurationVar(&o.reqTimeout, "request-timeout", 30*time.Second, "per-request execution budget")
 	flag.DurationVar(&o.batchWindow, "batch-window", 0, "micro-batching window for /v1/query (0 disables)")
 	flag.IntVar(&o.maxBatch, "max-batch", 16, "queries coalesced per micro-batch run")
+	flag.IntVar(&o.watchMaxSubs, "watch-max-subs", 0, "concurrent /v1/watch subscriptions before 429 (0 = default cap, negative = unlimited)")
+	flag.IntVar(&o.watchBuffer, "watch-buffer", 0, "per-subscription pending-event buffer before snapshot resync (0 = default)")
 	flag.IntVar(&o.maxLFPIters, "max-lfp-iters", 0, "cap iterations per fixpoint operator (0 = unlimited)")
 	flag.IntVar(&o.maxTuples, "max-tuples", 0, "cap tuples produced per execution (0 = unlimited)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -270,6 +276,9 @@ func run(o options) error {
 		RequestTimeout: o.reqTimeout,
 		BatchWindow:    o.batchWindow,
 		MaxBatch:       o.maxBatch,
+
+		WatchMaxSubscriptions: o.watchMaxSubs,
+		WatchBuffer:           o.watchBuffer,
 	}
 	var nodes int
 	var mode string

@@ -66,7 +66,7 @@ const DefaultCacheSize = 1024
 //	        xpath2sql.WithStrategy(xpath2sql.StrategyCycleEX),
 //	        xpath2sql.WithLimits(xpath2sql.Limits{MaxLFPIters: 10_000}))
 //	p, err := eng.Prepare(ctx, q)
-//	ans, err := p.ExecuteContext(ctx, db)
+//	ans, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 //
 // Translation is pure in (DTD, query, options), so the engine memoizes it:
 // Prepare and Translate resolve through a bounded, sharded LRU plan cache
@@ -123,7 +123,7 @@ func WithLimits(l Limits) EngineOption {
 	return func(e *Engine) { e.limits = l }
 }
 
-// WithParallelism makes ExecuteContext evaluate up to workers independent
+// WithParallelism makes execution evaluate up to workers independent
 // statements concurrently (workers > 1), for single translations and
 // batches alike.
 func WithParallelism(workers int) EngineOption {
@@ -189,8 +189,8 @@ func (e *Engine) translate(ctx context.Context, q Query) (*core.Result, error) {
 
 // Translate rewrites an XPath query over the engine's DTD into a sequence of
 // relational queries, resolving through the plan cache. The returned
-// Translation carries the engine's limits and parallelism into
-// ExecuteContext.
+// Translation carries the engine's limits and parallelism into every
+// execution.
 func (e *Engine) Translate(ctx context.Context, q Query) (*Translation, error) {
 	res, err := e.translate(ctx, q)
 	if err != nil {
@@ -210,7 +210,7 @@ func (e *Engine) TranslateString(ctx context.Context, query string) (*Translatio
 
 // Prepared is an immutable, concurrency-safe prepared query: a Translation
 // resolved through the engine's plan cache, intended to be built once and
-// shared across goroutines, with every ExecuteContext call keeping its own
+// shared across goroutines, with every execution keeping its own
 // per-run state (trace, statistics) in the Answer it returns. Two Prepared
 // values for semantically identical (query, options) pairs on one engine
 // alias the same underlying plan.
@@ -268,7 +268,7 @@ func (e *Engine) Stats() EngineStats {
 
 // TranslateBatch translates several queries into one merged program with
 // cross-query common-sub-query sharing; the batch carries the engine's
-// limits and parallelism into its ExecuteContext. Each member query resolves
+// limits and parallelism into its ExecuteContext call. Each member resolves
 // through the plan cache, so a batch of warm queries skips translation
 // entirely and only pays the (cheap, content-addressed) merge.
 func (e *Engine) TranslateBatch(ctx context.Context, queries []Query) (*Batch, error) {
@@ -302,7 +302,7 @@ func (e *Engine) Limits() Limits { return e.limits }
 // with (WithParallelism; 1 = serial).
 func (e *Engine) Parallelism() int { return e.workers }
 
-// Answer is the result of one ExecuteContext call: the answer node IDs
+// Answer is the result of one execution: the answer node IDs
 // (ascending), the aggregate execution statistics, and the per-statement
 // trace whose totals agree with Stats. The annotated plan rendering travels
 // with the Answer (Explain), so concurrent executions of one shared
@@ -327,18 +327,6 @@ func (a *Answer) Explain() string {
 		return "(no plan recorded)\n"
 	}
 	return obs.Explain(a.prog, a.Trace, a.cache)
-}
-
-// ExecuteContext runs the translated program on a shredded database by
-// adopting it as a zero-cost backend snapshot; semantics are exactly those
-// of the one execution path (see executeSnap / ExecuteOn).
-//
-// Deprecated: the Backend interface is the one execution surface — use
-// Execute (engine built WithBackend) or ExecuteOn(ctx,
-// NewLocalBackend(db)). ExecuteContext remains supported as a shim for code
-// holding a bare *DB.
-func (t *Translation) ExecuteContext(ctx context.Context, db *DB) (*Answer, error) {
-	return t.executeSnap(ctx, backend.AdoptDB(db, 1))
 }
 
 // WithParallelism returns a copy of the translation bound to a different
@@ -441,8 +429,8 @@ func (a *BatchAnswer) Explain() string {
 
 // ExecuteContext answers every query of the batch within one executor
 // (shared statements are evaluated once) under a context with the batch's
-// limits; see Translation.ExecuteContext for the cancellation and limit
-// semantics. A batch built by an engine with parallelism evaluates
+// limits; cancellation and limit semantics are those of Translation
+// execution (ExecuteOn / Execute). A batch built by an engine with parallelism evaluates
 // independent statements of the merged program concurrently, still
 // computing shared statements exactly once.
 func (b *Batch) ExecuteContext(ctx context.Context, db *DB) (*BatchAnswer, error) {

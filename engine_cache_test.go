@@ -104,11 +104,11 @@ func TestEngineCachedAnswersMatchFresh(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				cAns, err := cp.ExecuteContext(ctx, db)
+				cAns, err := cp.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 				if err != nil {
 					t.Fatal(err)
 				}
-				fAns, err := fp.ExecuteContext(ctx, db)
+				fAns, err := fp.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -233,7 +233,7 @@ func TestEngineCacheTorture(t *testing.T) {
 					errs <- fmt.Errorf("%q: %w", qs, err)
 					return
 				}
-				ans, err := p.ExecuteContext(ctx, db)
+				ans, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 				if err != nil {
 					errs <- fmt.Errorf("%q: %w", qs, err)
 					return
@@ -280,7 +280,7 @@ func TestEngineCacheStatsInExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := p.ExecuteContext(ctx, db)
+	ans, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestEngineCacheStatsInExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans2, err := p2.ExecuteContext(ctx, db)
+	ans2, err := p2.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}

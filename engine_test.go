@@ -38,7 +38,7 @@ func TestEngineAnswerMatchesOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestExplainAccountsForAllWork(t *testing.T) {
 	if text := tr.Explain(); !strings.Contains(text, "(not run)") {
 		t.Fatalf("bare-plan Explain:\n%s", text)
 	}
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestEngineCancellation(t *testing.T) {
 		cancel()
 	}()
 	t0 := time.Now()
-	_, err = tr.ExecuteContext(ctx, db)
+	_, err = tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -191,7 +191,7 @@ func TestEngineDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	if _, err := tr.ExecuteContext(ctx, db); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("deadline err = %v", err)
 	}
 
@@ -200,7 +200,7 @@ func TestEngineDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = tr2.ExecuteContext(context.Background(), db)
+	_, err = tr2.ExecuteOn(context.Background(), xpath2sql.NewLocalBackend(db))
 	var le *xpath2sql.LimitError
 	if !errors.As(err, &le) {
 		t.Fatalf("timeout err = %v, want *LimitError", err)
@@ -223,7 +223,7 @@ func TestEngineLFPIterLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = tr.ExecuteContext(context.Background(), db)
+	_, err = tr.ExecuteOn(context.Background(), xpath2sql.NewLocalBackend(db))
 	var le *xpath2sql.LimitError
 	if !errors.As(err, &le) {
 		t.Fatalf("err = %v, want *LimitError", err)
@@ -251,7 +251,7 @@ func TestEngineParallelAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sAns, err := serial.ExecuteContext(ctx, db)
+	sAns, err := serial.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestEngineParallelAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pAns, err := par.ExecuteContext(ctx, db)
+	pAns, err := par.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestEngineBatchPerQueryStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		solo, err := tr.ExecuteContext(ctx, db)
+		solo, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 		if err != nil {
 			t.Fatal(err)
 		}

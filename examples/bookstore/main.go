@@ -86,7 +86,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ans, err := tr.ExecuteContext(ctx, db)
+		ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		log.Fatal(err)
 	}

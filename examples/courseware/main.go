@@ -96,7 +96,7 @@ func main() {
 				log.Fatal(err)
 			}
 			t0 := time.Now()
-			ans, err := prep.ExecuteContext(ctx, db)
+			ans, err := prep.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -97,7 +97,7 @@ func main() {
 	fmt.Print(sql)
 
 	// 4. Execute against the engine and cross-check with the tree oracle.
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,7 @@ func TestReconstructFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestSpecializedFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := tr.ExecuteContext(context.Background(), db)
+	ans, err := tr.ExecuteOn(context.Background(), xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestParallelExecuteFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sAns, err := serial.ExecuteContext(ctx, db)
+	sAns, err := serial.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestParallelExecuteFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pAns, err := parallel.ExecuteContext(ctx, db)
+	pAns, err := parallel.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +215,11 @@ func TestSaveLoadFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := tr.ExecuteContext(ctx, db)
+	a, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := tr.ExecuteContext(ctx, db2)
+	b, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db2))
 	if err != nil {
 		t.Fatal(err)
 	}

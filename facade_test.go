@@ -53,7 +53,7 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := tr.ExecuteContext(ctx, db)
+	ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestStrategiesAgreeViaFacade(t *testing.T) {
 			if err != nil {
 				t.Fatalf("[%v] %s: %v", s, q, err)
 			}
-			ans, err := tr.ExecuteContext(ctx, db)
+			ans, err := tr.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db))
 			if err != nil {
 				t.Fatalf("[%v] %s: %v", s, q, err)
 			}

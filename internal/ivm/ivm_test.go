@@ -1,0 +1,369 @@
+package ivm_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+	"time"
+
+	"xpath2sql"
+	"xpath2sql/internal/ivm"
+	"xpath2sql/internal/store"
+)
+
+// The paper's dept running example (§2): recursive through
+// course → prereq → course.
+const deptDTD = `<!ELEMENT dept (course*)>
+<!ELEMENT course (cno, title, prereq, takenBy, project*)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT takenBy (student*)>
+<!ELEMENT student (sno, name, qualified)>
+<!ELEMENT qualified (course*)>
+<!ELEMENT project (pno, ptitle, required)>
+<!ELEMENT required (course*)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT sno (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT pno (#PCDATA)>
+<!ELEMENT ptitle (#PCDATA)>`
+
+const deptXML = `<dept>
+  <course>
+    <cno>cs11</cno><title>db</title>
+    <prereq>
+      <course><cno>cs66</cno><title>fm</title><prereq/><takenBy/>
+        <project><pno>p1</pno><ptitle>x</ptitle><required/></project>
+      </course>
+    </prereq>
+    <takenBy/>
+  </course>
+</dept>`
+
+const courseFragment = `<course><cno>cs99</cno><title>new</title><prereq></prereq><takenBy></takenBy></course>`
+
+// newDeptHub builds an engine, an ephemeral dept store and a hub over it.
+func newDeptHub(t *testing.T, cfg xpath2sql.WatchConfig) (*xpath2sql.Engine, *store.Store, *xpath2sql.WatchHub) {
+	t.Helper()
+	d, err := xpath2sql.ParseDTD(deptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xpath2sql.ParseXML(deptXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := xpath2sql.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Config{DTD: d, Seed: db, Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	e := xpath2sql.New(d)
+	h, err := e.NewWatchHub(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return e, st, h
+}
+
+// fullAnswer re-executes the query from scratch on the store's current
+// epoch: the oracle every maintained answer must match.
+func fullAnswer(t *testing.T, e *xpath2sql.Engine, st *store.Store, q string) []int {
+	t.Helper()
+	tr, err := e.TranslateString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := tr.ExecuteOn(context.Background(), xpath2sql.NewLocalBackend(st.View().DB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.IDs
+}
+
+func nextEvent(t *testing.T, sub *xpath2sql.WatchSubscription) xpath2sql.WatchEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ev, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return ev
+}
+
+// applyEvent folds one event into a maintained ID set.
+func applyEvent(t *testing.T, ids []int, ev xpath2sql.WatchEvent) []int {
+	t.Helper()
+	if ev.Type == xpath2sql.WatchSnapshot {
+		return slices.Clone(ev.IDs)
+	}
+	for _, id := range ev.Removed {
+		i := slices.Index(ids, id)
+		if i < 0 {
+			t.Fatalf("delta removes %d which is not in the maintained set %v", id, ids)
+		}
+		ids = slices.Delete(ids, i, i+1)
+	}
+	for _, id := range ev.Added {
+		if slices.Contains(ids, id) {
+			t.Fatalf("delta adds duplicate %d to %v", id, ids)
+		}
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// TestWatchSnapshotThenDeltas: a subscription sees the initial answer, then
+// one exact delta per store epoch — insert, text update and delete — each
+// correlated with the epoch the corresponding /v1/update-style call
+// returned, with the folded set always equal to full re-execution.
+func TestWatchSnapshotThenDeltas(t *testing.T) {
+	e, st, h := newDeptHub(t, xpath2sql.WatchConfig{})
+	const q = "dept//course"
+
+	sub, err := h.Watch(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	snap := nextEvent(t, sub)
+	if snap.Type != xpath2sql.WatchSnapshot || snap.Resync {
+		t.Fatalf("first event = %+v, want plain snapshot", snap)
+	}
+	ids := applyEvent(t, nil, snap)
+	if want := fullAnswer(t, e, st, q); !slices.Equal(ids, want) {
+		t.Fatalf("snapshot = %v, want %v", ids, want)
+	}
+
+	// Insert: the new course must arrive as an added delta for the
+	// insert's epoch.
+	ur, err := st.InsertSubtree(1, courseFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := nextEvent(t, sub)
+	if ev.Type != xpath2sql.WatchDelta || ev.Epoch != ur.Epoch {
+		t.Fatalf("insert event = %+v, want delta at epoch %d", ev, ur.Epoch)
+	}
+	if !slices.Contains(ev.Added, ur.NodeID) || len(ev.Removed) != 0 {
+		t.Fatalf("insert delta = %+v, want added to contain %d", ev, ur.NodeID)
+	}
+	ids = applyEvent(t, ids, ev)
+	if want := fullAnswer(t, e, st, q); !slices.Equal(ids, want) {
+		t.Fatalf("after insert: %v, want %v", ids, want)
+	}
+
+	// Text update: does not change the structural answer, but still
+	// publishes an (empty) epoch delta so clients can track epochs.
+	tids := fullAnswer(t, e, st, "dept//cno")
+	ur2, err := st.UpdateText(tids[len(tids)-1], "cs100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev = nextEvent(t, sub)
+	if ev.Type != xpath2sql.WatchDelta || ev.Epoch != ur2.Epoch {
+		t.Fatalf("text event = %+v, want delta at epoch %d", ev, ur2.Epoch)
+	}
+	if len(ev.Added) != 0 || len(ev.Removed) != 0 {
+		t.Fatalf("text delta = %+v, want empty", ev)
+	}
+
+	// Delete the inserted course: it must leave as a removed delta.
+	ur3, err := st.DeleteSubtree(ur.NodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev = nextEvent(t, sub)
+	if ev.Type != xpath2sql.WatchDelta || ev.Epoch != ur3.Epoch {
+		t.Fatalf("delete event = %+v, want delta at epoch %d", ev, ur3.Epoch)
+	}
+	if !slices.Contains(ev.Removed, ur.NodeID) || len(ev.Added) != 0 {
+		t.Fatalf("delete delta = %+v, want removed to contain %d", ev, ur.NodeID)
+	}
+	ids = applyEvent(t, ids, ev)
+	if want := fullAnswer(t, e, st, q); !slices.Equal(ids, want) {
+		t.Fatalf("after delete: %v, want %v", ids, want)
+	}
+
+	stats := h.Stats()
+	if stats.DeltasPublished != 3 {
+		t.Fatalf("DeltasPublished = %d, want 3", stats.DeltasPublished)
+	}
+	if stats.Maintained+stats.Reruns != 3 {
+		t.Fatalf("Maintained(%d)+Reruns(%d) != 3", stats.Maintained, stats.Reruns)
+	}
+	if stats.Propagation.Count != 3 {
+		t.Fatalf("Propagation.Count = %d, want 3", stats.Propagation.Count)
+	}
+}
+
+// TestWatchSharedView: two subscriptions on the same query share one
+// maintained view and both receive every delta.
+func TestWatchSharedView(t *testing.T) {
+	_, st, h := newDeptHub(t, xpath2sql.WatchConfig{})
+	s1, err := h.Watch(context.Background(), "dept//course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := h.Watch(context.Background(), "dept//course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := h.Stats(); got.ActiveViews != 1 || got.ActiveSubscriptions != 2 {
+		t.Fatalf("views=%d subs=%d, want 1 view, 2 subs", got.ActiveViews, got.ActiveSubscriptions)
+	}
+
+	nextEvent(t, s1)
+	nextEvent(t, s2)
+	ur, err := st.InsertSubtree(1, courseFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []*xpath2sql.WatchSubscription{s1, s2} {
+		ev := nextEvent(t, sub)
+		if ev.Epoch != ur.Epoch || !slices.Contains(ev.Added, ur.NodeID) {
+			t.Fatalf("event = %+v, want epoch %d adding %d", ev, ur.Epoch, ur.NodeID)
+		}
+	}
+
+	// Releasing both subscriptions retires the shared view.
+	s1.Close()
+	s2.Close()
+	if got := h.Stats(); got.ActiveViews != 0 || got.ActiveSubscriptions != 0 {
+		t.Fatalf("after close: views=%d subs=%d, want 0/0", got.ActiveViews, got.ActiveSubscriptions)
+	}
+}
+
+// TestWatchSubscriptionLimit: the cap rejects the N+1th subscription and a
+// Close frees the slot.
+func TestWatchSubscriptionLimit(t *testing.T) {
+	_, _, h := newDeptHub(t, xpath2sql.WatchConfig{MaxSubscriptions: 1})
+	s1, err := h.Watch(context.Background(), "dept//course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Watch(context.Background(), "dept//cno"); !errors.Is(err, xpath2sql.ErrSubscriptionLimit) {
+		t.Fatalf("second Watch err = %v, want ErrSubscriptionLimit", err)
+	}
+	s1.Close()
+	s2, err := h.Watch(context.Background(), "dept//cno")
+	if err != nil {
+		t.Fatalf("Watch after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestWatchOverflowResync: a consumer that falls behind a tiny buffer loses
+// intermediate deltas and recovers through a snapshot marked Resync that
+// equals full re-execution.
+func TestWatchOverflowResync(t *testing.T) {
+	e, st, h := newDeptHub(t, xpath2sql.WatchConfig{SubscriptionBuffer: 2})
+	const q = "dept//course"
+	sub, err := h.Watch(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Push far more epochs than the buffer holds before reading anything.
+	var last store.UpdateResult
+	for i := 0; i < 8; i++ {
+		last, err = st.InsertSubtree(1, courseFragment)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the maintainer has processed every epoch.
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Stats().DeltasPublished < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("maintainer stalled: %+v", h.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ev := nextEvent(t, sub)
+	if ev.Type != xpath2sql.WatchSnapshot || !ev.Resync {
+		t.Fatalf("event after overflow = %+v, want resync snapshot", ev)
+	}
+	if ev.Epoch != last.Epoch {
+		t.Fatalf("resync epoch = %d, want %d", ev.Epoch, last.Epoch)
+	}
+	got := slices.Clone(ev.IDs)
+	slices.Sort(got)
+	if want := fullAnswer(t, e, st, q); !slices.Equal(got, want) {
+		t.Fatalf("resync snapshot = %v, want %v", ev.IDs, want)
+	}
+	if h.Stats().Resyncs == 0 {
+		t.Fatal("Resyncs = 0, want > 0")
+	}
+
+	// The stream is live again: the next update arrives as an ordinary
+	// delta.
+	ur, err := st.InsertSubtree(1, courseFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev = nextEvent(t, sub)
+	if ev.Type != xpath2sql.WatchDelta || ev.Epoch != ur.Epoch || !slices.Contains(ev.Added, ur.NodeID) {
+		t.Fatalf("post-resync event = %+v, want delta at epoch %d adding %d", ev, ur.Epoch, ur.NodeID)
+	}
+}
+
+// TestWatchHubClose: Close terminates subscriptions (Next returns ErrClosed)
+// and detaches the store hook so later updates are not delivered anywhere.
+func TestWatchHubClose(t *testing.T) {
+	_, st, h := newDeptHub(t, xpath2sql.WatchConfig{})
+	sub, err := h.Watch(context.Background(), "dept//course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextEvent(t, sub) // snapshot
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background())
+		errc <- err
+	}()
+	h.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ivm.ErrClosed) {
+			t.Fatalf("Next after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Next did not return after hub Close")
+	}
+
+	// The store keeps working with the hook released.
+	if _, err := st.InsertSubtree(1, courseFragment); err != nil {
+		t.Fatal(err)
+	}
+	// Watch on a closed hub fails fast.
+	if _, err := h.Watch(context.Background(), "dept//course"); !errors.Is(err, ivm.ErrClosed) {
+		t.Fatalf("Watch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestWatchCompileError: an untranslatable query is rejected at Watch time
+// without leaking a view or a subscription slot.
+func TestWatchCompileError(t *testing.T) {
+	_, _, h := newDeptHub(t, xpath2sql.WatchConfig{})
+	if _, err := h.Watch(context.Background(), "dept//nosuchtag["); err == nil {
+		t.Fatal("Watch of invalid query succeeded")
+	}
+	if got := h.Stats(); got.ActiveViews != 0 || got.ActiveSubscriptions != 0 {
+		t.Fatalf("after failed Watch: views=%d subs=%d, want 0/0", got.ActiveViews, got.ActiveSubscriptions)
+	}
+}

@@ -166,6 +166,31 @@ type MetricsSnapshot struct {
 
 	// Store, when non-nil, carries the live document store's counters.
 	Store *StoreStats
+
+	// Watch, when non-nil, carries the continuous-query subsystem's
+	// counters.
+	Watch *WatchStats
+}
+
+// WatchStats snapshots the continuous-query subsystem (internal/ivm):
+// standing views and their subscriptions, published answer deltas, overflow
+// resyncs, the incremental-vs-rerun maintenance split with the tuple work
+// each side performed, and the update→delta propagation latency.
+type WatchStats struct {
+	ActiveSubscriptions int64
+	ActiveViews         int64
+	DeltasPublished     int64
+	Resyncs             int64
+	// Maintained counts updates applied to a view incrementally; Reruns
+	// counts updates that fell back to full re-evaluation. The *Tuples
+	// fields hold the operator tuple work performed by each path — their
+	// ratio is the economy of maintenance over re-running the program.
+	Maintained       int64
+	Reruns           int64
+	MaintainedTuples int64
+	RerunTuples      int64
+	// Propagation is the update-applied → delta-published latency.
+	Propagation HistogramSnapshot
 }
 
 // StoreStats snapshots the document store: the published epoch, WAL volume,
@@ -286,6 +311,30 @@ func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%s_store_apply_seconds_sum %g\n", p, st.Apply.Sum)
 		fmt.Fprintf(w, "%s_store_apply_seconds_count %d\n", p, st.Apply.Count)
+	}
+
+	if ws := m.Watch; ws != nil {
+		gauge("watch_subscriptions", "Active watch subscriptions.", ws.ActiveSubscriptions)
+		gauge("watch_views", "Standing views currently maintained.", ws.ActiveViews)
+		counter("watch_deltas_total", "Answer deltas published to standing views.", ws.DeltasPublished)
+		counter("watch_resyncs_total", "Subscriptions degraded to snapshot resync by buffer overflow.", ws.Resyncs)
+		counter("watch_maintained_total", "Updates applied to views incrementally.", ws.Maintained)
+		counter("watch_reruns_total", "Updates applied to views by full re-evaluation.", ws.Reruns)
+		counter("watch_maintained_tuples_total", "Operator tuples produced by incremental maintenance.", ws.MaintainedTuples)
+		counter("watch_rerun_tuples_total", "Operator tuples produced by full re-evaluation fallbacks.", ws.RerunTuples)
+		fmt.Fprintf(w, "# HELP %s_watch_propagation_seconds Update-applied to delta-published latency.\n", p)
+		fmt.Fprintf(w, "# TYPE %s_watch_propagation_seconds histogram\n", p)
+		var cum int64
+		for i, c := range ws.Propagation.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(ws.Propagation.Bounds) {
+				le = formatBound(ws.Propagation.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_watch_propagation_seconds_bucket{le=%q} %d\n", p, le, cum)
+		}
+		fmt.Fprintf(w, "%s_watch_propagation_seconds_sum %g\n", p, ws.Propagation.Sum)
+		fmt.Fprintf(w, "%s_watch_propagation_seconds_count %d\n", p, ws.Propagation.Count)
 	}
 
 	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", p)

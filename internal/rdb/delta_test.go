@@ -1,0 +1,600 @@
+package rdb
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xpath2sql/internal/ra"
+)
+
+// Differential tests for incremental view maintenance: a ViewState advanced
+// by ApplyInsert/ApplyDelete/ApplyText across update sequences must hold
+// exactly the answer a full re-execution computes on the updated database,
+// and the published (added, removed) deltas must equal the answer set diffs.
+
+// cowDB mirrors the store's copy-on-write transaction: cloned relations and
+// catalogs over the SAME interner, so view symbol spaces stay compatible.
+func cowDB(db *DB) *DB {
+	nd := &DB{
+		Rels:     make(map[string]*Relation, len(db.Rels)),
+		Syms:     db.Syms,
+		Vals:     maps.Clone(db.Vals),
+		Labels:   maps.Clone(db.Labels),
+		ParentOf: maps.Clone(db.ParentOf),
+	}
+	for name, r := range db.Rels {
+		nd.Rels[name] = r.Clone()
+	}
+	nd.ShareIntervalsFrom(db)
+	return nd
+}
+
+// fullAnswer is the oracle: translate-free full re-execution on the current
+// database, extracting answer IDs the way the backend does.
+func fullAnswer(t *testing.T, db *DB, p *ra.Program) []int {
+	t.Helper()
+	rel, err := NewExec(db).Run(p)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	ids := rel.TIDs()
+	if len(ids) > 0 && ids[0] == 0 {
+		ids = ids[1:]
+	}
+	return ids
+}
+
+func diffIDs(old, new []int) (added, removed []int) {
+	inOld := make(map[int]bool, len(old))
+	for _, id := range old {
+		inOld[id] = true
+	}
+	inNew := make(map[int]bool, len(new))
+	for _, id := range new {
+		inNew[id] = true
+	}
+	for _, id := range new {
+		if !inOld[id] {
+			added = append(added, id)
+		}
+	}
+	for _, id := range old {
+		if !inNew[id] {
+			removed = append(removed, id)
+		}
+	}
+	sort.Ints(added)
+	sort.Ints(removed)
+	return added, removed
+}
+
+// randInsertablePlan generates plans inside the insert-maintainable fragment
+// (no Antijoin/Diff/RecUnion, no tracked paths); Semijoin and SelectVal are
+// in, so the generated views span the deletable/text-immune sub-fragments
+// too.
+func randInsertablePlan(r *rand.Rand, depth, nRels int, temps []string) ra.Plan {
+	baseRel := func() string { return fmt.Sprintf("R%d", r.Intn(nRels)) }
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			if len(temps) > 0 {
+				return ra.Temp{Name: temps[r.Intn(len(temps))]}
+			}
+			return ra.Base{Rel: baseRel()}
+		case 1:
+			return ra.RootSeed{}
+		default:
+			return ra.Base{Rel: baseRel()}
+		}
+	}
+	child := func() ra.Plan { return randInsertablePlan(r, depth-1, nRels, temps) }
+	switch r.Intn(10) {
+	case 0:
+		return ra.Compose{L: child(), R: child()}
+	case 1:
+		kids := []ra.Plan{child(), child()}
+		if r.Intn(2) == 0 {
+			kids = append(kids, child())
+		}
+		return ra.UnionAll{Kids: kids}
+	case 2, 3:
+		fx := ra.Fix{Seed: child()}
+		if r.Intn(2) == 0 {
+			fx.Start = child()
+		}
+		if r.Intn(2) == 0 {
+			fx.End = child()
+		}
+		return fx
+	case 4:
+		return ra.SelectVal{Child: child(), Val: []string{"a", "b", "z"}[r.Intn(3)]}
+	case 5:
+		return ra.SelectRoot{Child: child()}
+	case 6:
+		return ra.Semijoin{L: child(), R: child()}
+	case 7:
+		return ra.TypeFilter{Child: child(), Rel: baseRel(), OnF: r.Intn(2) == 0}
+	case 8:
+		return ra.IdentOf{Child: child(), OnF: r.Intn(2) == 0}
+	default:
+		return ra.Ident{}
+	}
+}
+
+func randInsertableProgram(r *rand.Rand, nRels int) *ra.Program {
+	nStmts := 1 + r.Intn(4)
+	var stmts []ra.Stmt
+	var temps []string
+	for i := 0; i < nStmts; i++ {
+		name := fmt.Sprintf("s%d", i)
+		stmts = append(stmts, ra.Stmt{Name: name, Plan: randInsertablePlan(r, 1+r.Intn(3), nRels, temps)})
+		temps = append(temps, name)
+	}
+	return &ra.Program{Stmts: stmts, Result: temps[len(temps)-1]}
+}
+
+// applyOrRebuild advances vs by the maintenance matrix a caller (the ivm
+// hub) uses, falling back to Rebuild exactly when the view or the update is
+// outside the incremental fragment. It returns the published delta.
+func applyOrRebuild(t *testing.T, vs *ViewState, apply func() ([]int, []int, error), newDB *DB) (added, removed []int) {
+	t.Helper()
+	a, rm, err := apply()
+	if err != nil {
+		if !errors.Is(err, ErrNonIncremental) {
+			t.Fatalf("apply: %v", err)
+		}
+		a, rm, err = vs.Rebuild(newDB)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+	}
+	return a, rm
+}
+
+// TestViewInsertDifferential: random insertable programs over random graph
+// databases; random insert batches with fresh node IDs (the store's ID
+// discipline) applied via ApplyInsert must track the full-execution answer
+// and publish exact set-diff deltas.
+func TestViewInsertDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nRels := 1 + r.Intn(3)
+		n := 3 + r.Intn(15)
+		db := randDB(r, n, nRels)
+		p := randInsertableProgram(r, nRels)
+
+		vs, err := BuildViewState(db, p)
+		if err != nil {
+			t.Logf("build (seed=%d): %v", seed, err)
+			return false
+		}
+		if !sameIDs(vs.AnswerIDs(), fullAnswer(t, db, p)) {
+			t.Logf("initial answer differs (seed=%d)", seed)
+			return false
+		}
+
+		nextID := n + 1
+		vocab := []string{"", "a", "b", "c"}
+		for step := 0; step < 4; step++ {
+			prev := vs.AnswerIDs()
+			db2 := cowDB(db)
+			bd := BaseDelta{Rows: map[string][]DeltaEdge{}}
+			batch := 1 + r.Intn(4)
+			for i := 0; i < batch; i++ {
+				// F is any existing node (or the virtual root, or an
+				// earlier node of this batch); T is always fresh.
+				f := r.Intn(nextID)
+				id := nextID
+				nextID++
+				rel := fmt.Sprintf("R%d", r.Intn(nRels))
+				v := vocab[r.Intn(len(vocab))]
+				db2.Insert(rel, f, id, v)
+				bd.Rows[rel] = append(bd.Rows[rel], DeltaEdge{F: f, T: id, V: v})
+				bd.NewIDs = append(bd.NewIDs, id)
+			}
+			var added []int
+			if vs.Insertable() {
+				if added, err = vs.ApplyInsert(db2, bd); err != nil {
+					t.Logf("ApplyInsert (seed=%d): %v", seed, err)
+					return false
+				}
+			} else {
+				if added, _, err = vs.Rebuild(db2); err != nil {
+					t.Logf("Rebuild (seed=%d): %v", seed, err)
+					return false
+				}
+			}
+			db = db2
+			want := fullAnswer(t, db, p)
+			if !sameIDs(vs.AnswerIDs(), want) {
+				t.Logf("answer differs after insert step %d (seed=%d)\nmaintained: %v\nfull:       %v",
+					step, seed, vs.AnswerIDs(), want)
+				return false
+			}
+			wantAdd, _ := diffIDs(prev, want)
+			if !sameIDs(added, wantAdd) {
+				t.Logf("insert delta differs step %d (seed=%d): got %v want %v", step, seed, added, wantAdd)
+				return false
+			}
+		}
+		// A view rebuilt from scratch on the final epoch agrees — the
+		// resubscribe-after-crash equivalence at the rdb layer.
+		fresh, err := BuildViewState(db, p)
+		if err != nil {
+			return false
+		}
+		return sameIDs(fresh.AnswerIDs(), vs.AnswerIDs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treeDoc is a miniature live store: a rooted tree with typed nodes, the
+// interval encoding, and store-style COW updates.
+type treeDoc struct {
+	db     *DB
+	relOf  map[int]string
+	nextID int
+}
+
+func makeTree(r *rand.Rand, n, nRels int) *treeDoc {
+	td := &treeDoc{db: NewDB(), relOf: map[int]string{}, nextID: n + 1}
+	vocab := []string{"", "a", "b", "c"}
+	for id := 1; id <= n; id++ {
+		parent := 0
+		if id > 1 {
+			parent = 1 + r.Intn(id-1)
+		}
+		rel := fmt.Sprintf("R%d", r.Intn(nRels))
+		td.relOf[id] = rel
+		td.db.Insert(rel, parent, id, vocab[r.Intn(len(vocab))])
+	}
+	td.db.DTDFP = "fp-tree-test"
+	td.db.RebuildIntervals()
+	return td
+}
+
+func (td *treeDoc) subtree(root int) []int {
+	children := map[int][]int{}
+	for id, p := range td.db.ParentOf {
+		children[p] = append(children[p], id)
+	}
+	for _, kids := range children {
+		sort.Ints(kids)
+	}
+	var out []int
+	var walk func(id int)
+	walk = func(id int) {
+		out = append(out, id)
+		for _, k := range children[id] {
+			walk(k)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// insert grafts a small chain of fresh nodes under an existing parent and
+// returns the new epoch plus the base delta, store-style.
+func (td *treeDoc) insert(r *rand.Rand) (*DB, BaseDelta) {
+	vocab := []string{"", "a", "b", "c"}
+	existing := make([]int, 0, len(td.db.Vals))
+	for id := range td.db.Vals {
+		existing = append(existing, id)
+	}
+	sort.Ints(existing)
+	parent := existing[r.Intn(len(existing))]
+	db2 := cowDB(td.db)
+	bd := BaseDelta{Rows: map[string][]DeltaEdge{}}
+	k := 1 + r.Intn(3)
+	anchors := []int{parent}
+	for i := 0; i < k; i++ {
+		id := td.nextID
+		td.nextID++
+		f := anchors[r.Intn(len(anchors))]
+		rel := fmt.Sprintf("R%d", r.Intn(3))
+		v := vocab[r.Intn(len(vocab))]
+		td.relOf[id] = rel
+		db2.Insert(rel, f, id, v)
+		bd.Rows[rel] = append(bd.Rows[rel], DeltaEdge{F: f, T: id, V: v})
+		bd.NewIDs = append(bd.NewIDs, id)
+		anchors = append(anchors, id)
+	}
+	db2.RebuildIntervals()
+	return db2, bd
+}
+
+// del removes a random non-root subtree and returns the new epoch, the
+// subtree root and the preorder deleted IDs. Returns nil when no deletable
+// node exists.
+func (td *treeDoc) del(r *rand.Rand) (*DB, int, []int) {
+	var candidates []int
+	for id := range td.db.Vals {
+		if id != 1 {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, 0, nil
+	}
+	sort.Ints(candidates)
+	root := candidates[r.Intn(len(candidates))]
+	deleted := td.subtree(root)
+	db2 := cowDB(td.db)
+	touched := map[string]bool{}
+	for _, id := range deleted {
+		rel := td.relOf[id]
+		db2.Rel(rel).Delete(db2.ParentOf[id], id)
+		touched[rel] = true
+		delete(db2.Vals, id)
+		delete(db2.ParentOf, id)
+		delete(db2.Labels, id)
+	}
+	for rel := range touched {
+		db2.Rel(rel).Compact()
+	}
+	db2.RebuildIntervals()
+	return db2, root, deleted
+}
+
+// text rewrites one node's value in place, store-style (structure and
+// intervals untouched).
+func (td *treeDoc) text(r *rand.Rand) (*DB, int) {
+	existing := make([]int, 0, len(td.db.Vals))
+	for id := range td.db.Vals {
+		existing = append(existing, id)
+	}
+	sort.Ints(existing)
+	id := existing[r.Intn(len(existing))]
+	db2 := cowDB(td.db)
+	v := []string{"", "a", "b", "z"}[r.Intn(4)]
+	db2.Rel(td.relOf[id]).UpdateValue(db2.ParentOf[id], id, v)
+	db2.Vals[id] = v
+	return db2, id
+}
+
+// randTreePlan adds DescScan (both the interval kernel and the generic
+// fallback) to the insertable fragment; withSemi gates Semijoin so the same
+// generator covers the deletable fragment.
+func randTreePlan(r *rand.Rand, depth, nRels int, temps []string, withSemi bool) ra.Plan {
+	baseRel := func() string { return fmt.Sprintf("R%d", r.Intn(nRels)) }
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			if len(temps) > 0 {
+				return ra.Temp{Name: temps[r.Intn(len(temps))]}
+			}
+			return ra.Base{Rel: baseRel()}
+		case 1:
+			return ra.RootSeed{}
+		default:
+			return ra.Base{Rel: baseRel()}
+		}
+	}
+	child := func() ra.Plan { return randTreePlan(r, depth-1, nRels, temps, withSemi) }
+	switch r.Intn(11) {
+	case 0:
+		return ra.Compose{L: child(), R: child()}
+	case 1:
+		return ra.UnionAll{Kids: []ra.Plan{child(), child()}}
+	case 2:
+		fx := ra.Fix{Seed: child()}
+		if r.Intn(2) == 0 {
+			fx.Start = child()
+		}
+		if r.Intn(2) == 0 {
+			fx.End = child()
+		}
+		return fx
+	case 3:
+		return ra.SelectVal{Child: child(), Val: []string{"a", "b", "z"}[r.Intn(3)]}
+	case 4:
+		return ra.SelectRoot{Child: child()}
+	case 5:
+		if withSemi {
+			return ra.Semijoin{L: child(), R: child()}
+		}
+		return ra.Compose{L: child(), R: child()}
+	case 6:
+		return ra.TypeFilter{Child: child(), Rel: baseRel(), OnF: r.Intn(2) == 0}
+	case 7:
+		return ra.IdentOf{Child: child(), OnF: r.Intn(2) == 0}
+	case 8, 9:
+		ds := ra.DescScan{From: baseRel(), To: baseRel(), Alt: ra.Fix{Seed: child()}}
+		if r.Intn(3) == 0 {
+			ds.Start = child()
+		}
+		if r.Intn(3) == 0 {
+			ds.End = child()
+		}
+		return ds
+	default:
+		return ra.Ident{}
+	}
+}
+
+func randTreeProgram(r *rand.Rand, nRels int, withSemi bool) *ra.Program {
+	nStmts := 1 + r.Intn(3)
+	var stmts []ra.Stmt
+	var temps []string
+	for i := 0; i < nStmts; i++ {
+		name := fmt.Sprintf("s%d", i)
+		stmts = append(stmts, ra.Stmt{Name: name, Plan: randTreePlan(r, 1+r.Intn(3), nRels, temps, withSemi)})
+		temps = append(temps, name)
+	}
+	return &ra.Program{Stmts: stmts, Result: temps[len(temps)-1], DTDFP: "fp-tree-test"}
+}
+
+// TestViewMixedUpdateDifferential: random view programs over random rooted
+// trees driven through store-style insert/delete/text epochs, applying the
+// ivm maintenance matrix (delta when the fragment allows, Rebuild
+// otherwise); the maintained answer and every published delta must match
+// full re-execution on each epoch.
+func TestViewMixedUpdateDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nRels := 1 + r.Intn(3)
+		td := makeTree(r, 4+r.Intn(12), nRels)
+		p := randTreeProgram(r, nRels, r.Intn(2) == 0)
+
+		vs, err := BuildViewState(td.db, p)
+		if err != nil {
+			t.Logf("build (seed=%d): %v", seed, err)
+			return false
+		}
+		if !sameIDs(vs.AnswerIDs(), fullAnswer(t, td.db, p)) {
+			t.Logf("initial answer differs (seed=%d)", seed)
+			return false
+		}
+		for step := 0; step < 6; step++ {
+			prev := vs.AnswerIDs()
+			var db2 *DB
+			var gotAdd, gotRem []int
+			switch op := r.Intn(4); {
+			case op == 0: // delete
+				var root int
+				var deleted []int
+				db2, root, deleted = td.del(r)
+				if db2 == nil {
+					continue
+				}
+				if vs.Deletable() {
+					gotAdd, gotRem = applyOrRebuild(t, vs, func() ([]int, []int, error) {
+						rm, err := vs.ApplyDelete(db2, td.db, root, deleted)
+						return nil, rm, err
+					}, db2)
+				} else {
+					if gotAdd, gotRem, err = vs.Rebuild(db2); err != nil {
+						t.Logf("rebuild after delete (seed=%d): %v", seed, err)
+						return false
+					}
+				}
+			case op == 1: // text update
+				db2, _ = td.text(r)
+				if vs.TextImmune() {
+					if err := vs.ApplyText(db2); err != nil {
+						t.Logf("ApplyText (seed=%d): %v", seed, err)
+						return false
+					}
+				} else {
+					if gotAdd, gotRem, err = vs.Rebuild(db2); err != nil {
+						t.Logf("rebuild after text (seed=%d): %v", seed, err)
+						return false
+					}
+				}
+			default: // insert
+				var bd BaseDelta
+				db2, bd = td.insert(r)
+				if vs.Insertable() {
+					gotAdd, gotRem = applyOrRebuild(t, vs, func() ([]int, []int, error) {
+						a, err := vs.ApplyInsert(db2, bd)
+						return a, nil, err
+					}, db2)
+				} else {
+					if gotAdd, gotRem, err = vs.Rebuild(db2); err != nil {
+						t.Logf("rebuild after insert (seed=%d): %v", seed, err)
+						return false
+					}
+				}
+			}
+			td.db = db2
+			want := fullAnswer(t, td.db, p)
+			if !sameIDs(vs.AnswerIDs(), want) {
+				t.Logf("answer differs after step %d (seed=%d)\nmaintained: %v\nfull:       %v",
+					step, seed, vs.AnswerIDs(), want)
+				return false
+			}
+			wantAdd, wantRem := diffIDs(prev, want)
+			if !sameIDs(gotAdd, wantAdd) || !sameIDs(gotRem, wantRem) {
+				t.Logf("delta differs at step %d (seed=%d): got (+%v,-%v) want (+%v,-%v)",
+					step, seed, gotAdd, gotRem, wantAdd, wantRem)
+				return false
+			}
+		}
+		fresh, err := BuildViewState(td.db, p)
+		if err != nil {
+			return false
+		}
+		return sameIDs(fresh.AnswerIDs(), vs.AnswerIDs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewOpaqueFallback: non-monotone plans must classify as opaque and
+// still maintain exact answers through Rebuild diffs.
+func TestViewOpaqueFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	db := randDB(r, 12, 2)
+	p := &ra.Program{Stmts: []ra.Stmt{{
+		Name: "result",
+		Plan: ra.Antijoin{L: ra.Base{Rel: "R0"}, R: ra.Base{Rel: "R1"}},
+	}}, Result: "result"}
+	vs, err := BuildViewState(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Insertable() || vs.Deletable() {
+		t.Fatal("antijoin view must not be incrementally maintainable")
+	}
+	if !vs.TextImmune() {
+		t.Fatal("antijoin over bases has no value selection; should be text-immune")
+	}
+	if !sameIDs(vs.AnswerIDs(), fullAnswer(t, db, p)) {
+		t.Fatal("opaque initial answer differs")
+	}
+	prev := vs.AnswerIDs()
+	db2 := cowDB(db)
+	db2.Insert("R1", 0, 13, "")
+	added, removed, err := vs.Rebuild(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullAnswer(t, db2, p)
+	if !sameIDs(vs.AnswerIDs(), want) {
+		t.Fatalf("opaque answer differs after rebuild: got %v want %v", vs.AnswerIDs(), want)
+	}
+	wantAdd, wantRem := diffIDs(prev, want)
+	if !sameIDs(added, wantAdd) || !sameIDs(removed, wantRem) {
+		t.Fatalf("opaque rebuild delta: got (+%v,-%v) want (+%v,-%v)", added, removed, wantAdd, wantRem)
+	}
+}
+
+// TestViewClassification pins the fragment boundaries the ivm maintenance
+// matrix relies on.
+func TestViewClassification(t *testing.T) {
+	mk := func(pl ra.Plan) *ViewState {
+		db := NewDB()
+		db.Insert("R0", 0, 1, "a")
+		db.Insert("R1", 1, 2, "b")
+		vs, err := BuildViewState(db, &ra.Program{
+			Stmts: []ra.Stmt{{Name: "result", Plan: pl}}, Result: "result"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vs
+	}
+	vs := mk(ra.Fix{Seed: ra.Base{Rel: "R0"}})
+	if !vs.Insertable() || !vs.Deletable() || !vs.TextImmune() {
+		t.Fatal("plain fixpoint should be fully maintainable")
+	}
+	vs = mk(ra.Semijoin{L: ra.Base{Rel: "R0"}, R: ra.Base{Rel: "R1"}})
+	if !vs.Insertable() || vs.Deletable() {
+		t.Fatal("semijoin: insertable but not deletable")
+	}
+	vs = mk(ra.SelectVal{Child: ra.Base{Rel: "R0"}, Val: "a"})
+	if vs.TextImmune() {
+		t.Fatal("value selection must not be text-immune")
+	}
+	vs = mk(ra.Fix{Seed: ra.Base{Rel: "R0"}, TrackPaths: true})
+	if vs.Insertable() || vs.Deletable() {
+		t.Fatal("tracked paths must fall back to opaque")
+	}
+}

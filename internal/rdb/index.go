@@ -145,6 +145,26 @@ func (idx *colIndex) contains(k int32) bool {
 	return len(snap) > 0 || len(over) > 0
 }
 
+// clone returns a copy sharing the immutable snapshot arrays; only the
+// overflow table, which future adds mutate, is copied. The overflow slices
+// are capped so an append by either side reallocates instead of aliasing.
+func (idx *colIndex) clone() *colIndex {
+	c := &colIndex{
+		offs:     idx.offs,
+		pos:      idx.pos,
+		sparse:   idx.sparse,
+		built:    idx.built,
+		distinct: idx.distinct,
+	}
+	if len(idx.extra) > 0 {
+		c.extra = make(map[int32][]int32, len(idx.extra))
+		for k, v := range idx.extra {
+			c.extra[k] = v[:len(v):len(v)]
+		}
+	}
+	return c
+}
+
 // add extends the index with one appended tuple.
 func (idx *colIndex) add(k int32, pos int32) {
 	if idx.extra == nil {

@@ -480,8 +480,12 @@ func (r *Relation) PathOf(f, t int) []int {
 	return r.paths[packPair(int32(f), int32(t))]
 }
 
-// Clone returns a deep copy sharing the interner. Tombstone state is
-// carried over; indexes are rebuilt lazily on the clone's first probe.
+// Clone returns a deep copy sharing the interner. Tombstone state and built
+// indexes are carried over: the index snapshot arrays are immutable once
+// built (non-pooled relations never rebuild in place), so the clone shares
+// them and copies only the overflow table its own appends will extend.
+// Without this, every copy-on-write epoch pays an O(n) index rebuild on the
+// first probe after a constant-size update.
 func (r *Relation) Clone() *Relation {
 	c := newRelation(r.Name, r.syms)
 	c.rows = append([]row(nil), r.rows...)
@@ -489,6 +493,16 @@ func (r *Relation) Clone() *Relation {
 	if r.nDead > 0 {
 		c.dead = append([]bool(nil), r.dead...)
 		c.nDead = r.nDead
+	}
+	if !r.pooled {
+		// Pooled relations rebuild indexes into scratch backings in place;
+		// those may not be shared across lifetimes.
+		if idx := r.idxF.Load(); idx != nil {
+			c.idxF.Store(idx.clone())
+		}
+		if idx := r.idxT.Load(); idx != nil {
+			c.idxT.Store(idx.clone())
+		}
 	}
 	return c
 }

@@ -302,7 +302,7 @@ func (b *batcher) runSingle(ctx context.Context, query string) ([]int, xpath2sql
 	if err != nil {
 		return nil, xpath2sql.ExecStats{}, err
 	}
-	ans, err := p.ExecuteContext(ctx, b.db())
+	ans, err := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(b.db()))
 	if err != nil {
 		return nil, xpath2sql.ExecStats{}, err
 	}

@@ -12,6 +12,9 @@
 //	POST /v1/translate  SQL only: WITH…RECURSIVE and CONNECT BY renderings
 //	POST /v1/update     document update (live store only): insert_subtree,
 //	                    delete_subtree or update_text
+//	POST /v1/watch      continuous query (live store only): initial snapshot
+//	                    then per-epoch answer deltas, as an SSE stream or a
+//	                    long-poll JSON batch
 //	POST /admin/snapshot checkpoint the live store to disk
 //	GET  /healthz       liveness (process is up)
 //	GET  /readyz        readiness (503 while draining)
@@ -56,6 +59,7 @@ import (
 	"time"
 
 	"xpath2sql"
+	"xpath2sql/internal/ivm"
 	"xpath2sql/internal/store"
 )
 
@@ -65,6 +69,7 @@ const (
 	epBatch     = "batch"
 	epTranslate = "translate"
 	epUpdate    = "update"
+	epWatch     = "watch"
 	epSnapshot  = "snapshot"
 	epHealth    = "healthz"
 	epReady     = "readyz"
@@ -119,6 +124,15 @@ type Config struct {
 	// MaxBatch caps the queries coalesced into one run. Default: 16.
 	MaxBatch int
 
+	// WatchMaxSubscriptions caps concurrently active /v1/watch
+	// subscriptions (live store only); arrivals beyond it get 429.
+	// 0 selects the ivm default; negative is unlimited.
+	WatchMaxSubscriptions int
+	// WatchBuffer bounds each subscription's pending-event buffer; a
+	// subscriber that falls further behind is degraded to a snapshot
+	// resync. 0 selects the ivm default.
+	WatchBuffer int
+
 	// Service prefixes metric names. Default: "xpathd".
 	Service string
 }
@@ -160,6 +174,7 @@ type Server struct {
 	execBe  xpath2sql.Backend
 	dbFn    func() *xpath2sql.DB
 	store   *store.Store
+	hub     *xpath2sql.WatchHub // nil when read-only (no live store)
 	adm     *admission
 	batcher *batcher // nil when micro-batching is disabled
 	m       *metrics
@@ -217,7 +232,7 @@ func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	endpoints := []string{epQuery, epBatch, epTranslate}
 	if src.liveStore() != nil {
-		endpoints = append(endpoints, epUpdate, epSnapshot)
+		endpoints = append(endpoints, epUpdate, epWatch, epSnapshot)
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -232,12 +247,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s.eng, s.database, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
 	}
+	if s.store != nil {
+		hub, err := cfg.Engine.NewWatchHub(s.store, xpath2sql.WatchConfig{
+			MaxSubscriptions:   cfg.WatchMaxSubscriptions,
+			SubscriptionBuffer: cfg.WatchBuffer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.hub = hub
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
 	mux.HandleFunc("POST /v1/translate", s.instrument(epTranslate, s.handleTranslate))
 	if s.store != nil {
 		mux.HandleFunc("POST /v1/update", s.instrument(epUpdate, s.handleUpdate))
+		mux.HandleFunc("POST /v1/watch", s.instrument(epWatch, s.handleWatch))
 		mux.HandleFunc("POST /admin/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -310,12 +336,17 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains the server: /readyz starts answering 503 (so load
-// balancers stop routing here), the listener stops accepting, in-flight
-// requests run to completion (bounded by ctx), and the micro-batcher stops.
-// Safe to call when serving via Handler too — it then only flips readiness
-// and stops the batcher.
+// balancers stop routing here), watch subscriptions are closed (their
+// streams end cleanly, so SSE connections count down as in-flight requests),
+// the listener stops accepting, in-flight requests run to completion
+// (bounded by ctx), and the micro-batcher stops. Safe to call when serving
+// via Handler too — it then only flips readiness, closes the hub and stops
+// the batcher.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.hub != nil {
+		s.hub.Close()
+	}
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
@@ -467,6 +498,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so the
+// SSE watch handler can flush through the instrumentation wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // instrument wraps a handler with panic isolation and request accounting:
 // in-flight gauge, per-(endpoint, code) counters and the latency histogram.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
@@ -496,6 +531,10 @@ func mapError(err error) (int, string) {
 	switch {
 	case errors.Is(err, errSaturated):
 		return http.StatusTooManyRequests, "saturated"
+	case errors.Is(err, xpath2sql.ErrSubscriptionLimit):
+		return http.StatusTooManyRequests, "watch_limit"
+	case errors.Is(err, ivm.ErrClosed):
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, errBatcherClosed):
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, xpath2sql.ErrQueryParse):
@@ -889,6 +928,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		snap.Store = &st
+	}
+	if s.hub != nil {
+		ws := s.hub.Stats()
+		snap.Watch = &ws
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap.WritePrometheus(w)

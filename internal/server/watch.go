@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"xpath2sql"
+)
+
+// watchRequest subscribes to a continuous query.
+type watchRequest struct {
+	// Query is the standing XPath query.
+	Query string `json:"query"`
+	// Mode selects the transport: "sse" (default) streams
+	// text/event-stream events until the client disconnects or the server
+	// drains; "poll" is the stateless long-poll fallback — one JSON
+	// response carrying the snapshot plus the deltas that arrive within
+	// the wait window, then the subscription ends.
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS is the poll-mode wait window for deltas after the
+	// snapshot (capped by the server's RequestTimeout; 0 = snapshot
+	// only). Ignored for SSE.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxEvents caps the events one poll response carries. Default 64.
+	MaxEvents int `json:"max_events,omitempty"`
+}
+
+// watchPollResponse is one long-poll turn: the events observed this turn,
+// ordered, starting with a snapshot.
+type watchPollResponse struct {
+	Query     string                 `json:"query"`
+	Events    []xpath2sql.WatchEvent `json:"events"`
+	ElapsedMS float64                `json:"elapsed_ms"`
+}
+
+// handleWatch serves POST /v1/watch. Subscriptions do not hold an admission
+// slot — they are long-lived waiters, not CPU-bound executions; the hub's
+// subscription cap is their admission control (429 on overflow). The
+// per-epoch maintenance work happens on the hub's single maintainer
+// goroutine regardless of subscriber count.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var req watchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
+		return
+	}
+	switch req.Mode {
+	case "", "sse", "poll":
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown mode %q (want \"sse\" or \"poll\")", req.Mode))
+		return
+	}
+
+	// Translation (at first subscription of this query) is bounded by the
+	// request timeout; the subscription itself lives beyond it.
+	ctx, cancel := s.requestContext(r, 0)
+	sub, err := s.hub.Watch(ctx, req.Query)
+	cancel()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer sub.Close()
+
+	if req.Mode == "poll" {
+		s.watchPoll(w, r, &req, sub)
+		return
+	}
+	s.watchSSE(w, r, sub)
+}
+
+// watchSSE streams events until the client disconnects or the hub closes
+// (drain). Each event is one SSE message: `event: snapshot|delta` with a
+// JSON data line.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, sub *xpath2sql.WatchSubscription) {
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// SSE responses outlive any per-request write deadline an outer
+	// http.Server may impose; push it out before streaming (best effort —
+	// not every writer supports deadlines).
+	_ = rc.SetWriteDeadline(time.Time{})
+	if err := rc.Flush(); err != nil {
+		return // transport cannot stream; nothing sensible to send
+	}
+	for {
+		ev, err := sub.Next(r.Context())
+		if err != nil {
+			// Client gone or server draining: end the stream cleanly.
+			return
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// watchPoll is the stateless long-poll turn: the snapshot (immediately
+// available — it is pre-buffered at subscription) plus any deltas that
+// arrive within the wait window, then the subscription is released. A
+// client that wants to follow the stream without SSE re-polls; each turn
+// re-anchors at a fresh snapshot, so no server-side cursor state survives
+// between turns.
+func (s *Server) watchPoll(w http.ResponseWriter, r *http.Request, req *watchRequest, sub *xpath2sql.WatchSubscription) {
+	t0 := time.Now()
+	maxEvents := req.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 64
+	}
+	wait := time.Duration(req.TimeoutMS) * time.Millisecond
+	if wait > s.cfg.RequestTimeout {
+		wait = s.cfg.RequestTimeout
+	}
+
+	events := make([]xpath2sql.WatchEvent, 0, 4)
+	// The snapshot is already buffered: collect it without waiting.
+	snapCtx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ev, err := sub.Next(snapCtx)
+	cancel()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	events = append(events, ev)
+
+	if wait > 0 {
+		waitCtx, cancel := context.WithTimeout(r.Context(), wait)
+		for len(events) < maxEvents {
+			ev, err := sub.Next(waitCtx)
+			if err != nil {
+				break // window elapsed, client gone, or hub drained
+			}
+			events = append(events, ev)
+		}
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, watchPollResponse{
+		Query:     req.Query,
+		Events:    events,
+		ElapsedMS: time.Since(t0).Seconds() * 1000,
+	})
+}

@@ -93,6 +93,50 @@ type UpdateResult struct {
 	LSN   uint64
 }
 
+// TxnDelta describes one applied update at the relation level — the input to
+// incremental view maintenance (internal/ivm). It names exactly which node
+// IDs a transaction touched and carries both database versions: Prev (the
+// epoch the update was computed against) and DB (the epoch that contains it).
+// Both are immutable published epochs, safe to read from any goroutine.
+type TxnDelta struct {
+	// Epoch and LSN identify the published version containing the update.
+	Epoch uint64
+	LSN   uint64
+	// Op is one of "insert", "delete", "update_text" (the WAL ops).
+	Op string
+	// Parent is the parent of the inserted subtree root (inserts only).
+	Parent int
+	// Root is the subtree root: first inserted ID, the deleted node, or the
+	// text-updated node.
+	Root int
+	// Inserted holds the new node IDs in preorder (inserts only); Deleted
+	// holds the removed node IDs in preorder (deletes only).
+	Inserted []int
+	Deleted  []int
+	// Prev and DB are the database versions immediately before and after.
+	Prev *rdb.DB
+	DB   *rdb.DB
+}
+
+// TxnDelta.Op values (the WAL operation names).
+const (
+	OpInsert     = "insert"
+	OpDelete     = "delete"
+	OpUpdateText = "update_text"
+)
+
+// SetOnApply registers fn to be called after every applied update, in apply
+// order, under the writer lock — deltas are delivered exactly once and in
+// epoch order. fn must not block (hand off to a queue) and must not call back
+// into the store's write path. A nil fn unregisters. Updates replayed from
+// the WAL during Open do not invoke the hook; consumers registering after
+// Open start from the then-current epoch.
+func (s *Store) SetOnApply(fn func(TxnDelta)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onApply = fn
+}
+
 // CheckpointInfo describes one written snapshot.
 type CheckpointInfo struct {
 	Path    string
@@ -116,6 +160,7 @@ type Store struct {
 	nextID    int    // next node ID to assign
 	sinceCkpt int
 	closed    bool
+	onApply   func(TxnDelta)
 
 	ckptMu sync.Mutex // serializes snapshot file writes
 
@@ -333,6 +378,7 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 
 	t := newTxn(ep.DB)
 	res := UpdateResult{}
+	td := TxnDelta{Op: rec.Op, Root: rec.Node, Prev: ep.DB}
 	switch rec.Op {
 	case opInsert:
 		n := applyInsert(t, rec.Parent, rec.Base, frag)
@@ -340,10 +386,18 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 		if rec.Base+n > s.nextID {
 			s.nextID = rec.Base + n
 		}
+		td.Parent, td.Root = rec.Parent, rec.Base
+		if s.onApply != nil {
+			td.Inserted = make([]int, n)
+			for i := range td.Inserted {
+				td.Inserted[i] = rec.Base + i
+			}
+		}
 		s.inserts.Add(1)
 	case opDelete:
-		n := applyDelete(t, s.dtd, rec.Node)
-		res.NodeID, res.Nodes = rec.Node, n
+		ids := applyDelete(t, s.dtd, rec.Node)
+		res.NodeID, res.Nodes = rec.Node, len(ids)
+		td.Deleted = ids
 		s.deletes.Add(1)
 	case opUpdateText:
 		applyUpdateText(t, rec.Node, rec.Value)
@@ -364,6 +418,10 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 	s.sinceCkpt++
 	s.cur.Store(next)
 	res.Epoch, res.LSN = next.Seq, next.LSN
+	if s.onApply != nil {
+		td.Epoch, td.LSN, td.DB = next.Seq, next.LSN, t.db
+		s.onApply(td)
+	}
 	s.applyHist.Observe(time.Since(t0))
 	return res, nil
 }
@@ -445,8 +503,8 @@ func applyInsert(t *txn, parentID, base int, frag *xmltree.Document) int {
 }
 
 // applyDelete tombstones every edge of the subtree rooted at nodeID and
-// removes its catalog entries. Returns the node count.
-func applyDelete(t *txn, d *dtd.DTD, nodeID int) int {
+// removes its catalog entries. Returns the deleted IDs in preorder.
+func applyDelete(t *txn, d *dtd.DTD, nodeID int) []int {
 	ids := collectSubtree(t.db, d, nodeID)
 	for _, id := range ids {
 		label := t.db.Labels[id]
@@ -456,7 +514,7 @@ func applyDelete(t *txn, d *dtd.DTD, nodeID int) int {
 		delete(t.db.Labels, id)
 		delete(t.db.ParentOf, id)
 	}
-	return len(ids)
+	return ids
 }
 
 // applyUpdateText rewrites the V attribute of nodeID's edge tuple and its

@@ -20,7 +20,7 @@
 //
 //	doc, _ := xpath2sql.ParseXML(xmlText)
 //	db, _ := xpath2sql.Shred(doc, dtd)
-//	ans, _ := p.ExecuteContext(ctx, db)        // ans.IDs: answer node IDs
+//	ans, _ := p.ExecuteOn(ctx, xpath2sql.NewLocalBackend(db)) // ans.IDs: answer node IDs
 //
 // Execution is pluggable through the Backend interface: the bundled
 // in-process engine (NewLocalBackend) and a database/sql executor that runs
@@ -133,9 +133,9 @@ func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
 
 // Translation is a translated query: the extended-XPath intermediate form
 // (when the strategy uses one) and the relational program. Translations
-// built by an Engine carry its limits and parallelism into ExecuteContext.
+// built by an Engine carry its limits and parallelism into every execution.
 // A Translation is immutable and safe for concurrent use; per-run state
-// (trace, statistics) lives in the Answer each ExecuteContext returns.
+// (trace, statistics) lives in the Answer each execution returns.
 type Translation struct {
 	res     *core.Result
 	limits  Limits
@@ -144,8 +144,8 @@ type Translation struct {
 	// Answer snapshot the plan-cache counters for its Explain footer.
 	cache *plancache.Cache
 	// backend, when the engine was built with WithBackend, is the execution
-	// target of Execute (nil = ErrNoBackend; ExecuteContext and ExecuteOn
-	// name their target explicitly).
+	// target of Execute (nil = ErrNoBackend; ExecuteOn names its target
+	// explicitly).
 	backend Backend
 	// intervals pins the physical path for descendant steps
 	// (WithIntervalMode); the zero value IntervalAuto uses the interval
