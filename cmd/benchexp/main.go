@@ -29,11 +29,15 @@
 // materialized views over a live store, compares per-update incremental
 // maintenance against full re-execution, and measures end-to-end SSE delta
 // propagation latency through /v1/watch at 1/4/16 subscribers (-json, the
-// committed BENCH_watch.json).
+// committed BENCH_watch.json), and the cluster experiment (-exp cluster),
+// which opens the same multi-document collection as a 1-, 2- and 4-shard
+// cluster and measures closed-loop document-scoped query throughput and tail
+// latency per shard count against the single-shard baseline (-json, the
+// committed BENCH_cluster.json).
 //
 // Usage:
 //
-//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|watch|sqlbackend|ingest|interval]
+//	benchexp [-exp all|1|2|3|4|5|cache|rdb|serve|store|watch|sqlbackend|ingest|interval|cluster]
 //	         [-scale small|medium|paper]
 //	         [-trace] [-timeout 0] [-cache-size n] [-json file]
 //	         [-write-frac 0.2] [-cpuprofile file] [-memprofile file]
@@ -62,7 +66,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store, watch, sqlbackend, ingest or interval")
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, cache, rdb, serve, store, watch, sqlbackend, ingest, interval or cluster")
 	scale := flag.String("scale", "small", "dataset scale: small, medium or paper")
 	trace := flag.Bool("trace", false, "print a per-statement breakdown under each table row")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per measured execution (0 = unlimited)")
@@ -150,6 +154,14 @@ func main() {
 	case "interval":
 		var report *bench.IntervalReport
 		if report, err = bench.RunInterval(cfg); err == nil && *jsonOut != "" {
+			var blob []byte
+			if blob, err = report.JSON(); err == nil {
+				err = os.WriteFile(*jsonOut, blob, 0o644)
+			}
+		}
+	case "cluster":
+		var report *serveload.ClusterReport
+		if report, err = serveload.RunCluster(cfg); err == nil && *jsonOut != "" {
 			var blob []byte
 			if blob, err = report.JSON(); err == nil {
 				err = os.WriteFile(*jsonOut, blob, 0o644)

@@ -56,6 +56,7 @@ import (
 
 	"xpath2sql"
 	"xpath2sql/internal/backend/fakedb" // registers the hermetic "fakesql" driver
+	"xpath2sql/internal/cluster"
 	"xpath2sql/internal/server"
 	"xpath2sql/internal/store"
 )
@@ -80,6 +81,8 @@ type options struct {
 	backend   string
 	sqlDriver string
 	sqlDSN    string
+
+	nodeIDBase int
 
 	strategy      string
 	workers       int
@@ -113,6 +116,7 @@ func main() {
 	flag.StringVar(&o.backend, "backend", "rdb", "execution backend: rdb (in-process live store) or sql (read-only database/sql executor)")
 	flag.StringVar(&o.sqlDriver, "sql-driver", fakedb.DriverName, "database/sql driver name for -backend sql (in-repo fake driver by default)")
 	flag.StringVar(&o.sqlDSN, "sql-dsn", "memory://xpathd", "database/sql DSN for -backend sql")
+	flag.IntVar(&o.nodeIDBase, "node-id-base", 0, "offset this shard's node IDs by the base (xpathrouter fleets: give each shard a disjoint, generously spaced base, e.g. k<<24)")
 	flag.StringVar(&o.strategy, "strategy", "X", "translation strategy: X, E or R")
 	flag.IntVar(&o.workers, "parallel", runtime.GOMAXPROCS(0), "concurrent statement evaluations per query")
 	flag.IntVar(&o.cacheSize, "cache-size", xpath2sql.DefaultCacheSize, "prepared-plan cache capacity (<=0 disables caching)")
@@ -208,6 +212,9 @@ func boot(o options, d *xpath2sql.DTD) (*store.Store, error) {
 		if seed, err = xpath2sql.Shred(doc, d); err != nil {
 			return nil, err
 		}
+		if seed, err = cluster.Rebase(d, seed, o.nodeIDBase); err != nil {
+			return nil, err
+		}
 	}
 
 	st, err := store.Open(store.Config{
@@ -218,6 +225,7 @@ func boot(o options, d *xpath2sql.DTD) (*store.Store, error) {
 		Fsync:           policy,
 		FsyncInterval:   o.fsyncInterval,
 		CheckpointEvery: o.checkpointEvery,
+		MinNextID:       o.nodeIDBase,
 	})
 	if err != nil {
 		return nil, err
@@ -308,6 +316,9 @@ func run(o options) error {
 		}
 		db, err := xpath2sql.Shred(doc, d)
 		if err != nil {
+			return err
+		}
+		if db, err = cluster.Rebase(d, db, o.nodeIDBase); err != nil {
 			return err
 		}
 		be, err := xpath2sql.OpenSQLBackend(context.Background(), o.sqlDriver, o.sqlDSN)

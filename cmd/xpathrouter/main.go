@@ -1,0 +1,116 @@
+// Command xpathrouter is the scatter-gather front end of an xpathd fleet: it
+// speaks the same HTTP API upstream that the shards speak downstream, so
+// clients talk to N shards exactly as they would to one server.
+//
+//	POST /v1/query    scatter to every shard, merge answers by sorted union
+//	POST /v1/batch    scatter, merge per-query results
+//	POST /v1/update   broadcast; the one shard owning the node applies it
+//	GET  /healthz     router liveness
+//	GET  /readyz      fleet readiness under the configured read mode
+//	GET  /metrics     router-side Prometheus counters
+//
+// Each shard must serve a disjoint node-ID range: boot the xpathd processes
+// with disjoint, generously spaced -node-id-base values so the sorted-union
+// merge is exact and every update has exactly one owner.
+//
+// Usage:
+//
+//	xpathd -dtd dept.dtd -xml doc1.xml -addr :8081 -node-id-base 0 &
+//	xpathd -dtd dept.dtd -xml doc2.xml -addr :8082 -node-id-base $((1<<24)) &
+//	xpathrouter -shards http://127.0.0.1:8081,http://127.0.0.1:8082 [-addr :8080]
+//	            [-mode strict|quorum|best-effort] [-shard-timeout 10s]
+//	            [-hedge-after 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xpath2sql/internal/cluster"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+		shards       = flag.String("shards", "", "comma-separated shard base URLs (required)")
+		mode         = flag.String("mode", "strict", "partial-failure read mode: strict, quorum or best-effort")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "per-shard call budget")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "relaunch a slow shard call after this duration (0 disables hedging)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("xpathrouter: ")
+	if err := run(*addr, *shards, *mode, *shardTimeout, *hedgeAfter, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, shards, mode string, shardTimeout, hedgeAfter, drainTimeout time.Duration) error {
+	if shards == "" {
+		flag.Usage()
+		return errors.New("-shards is required")
+	}
+	var urls []string
+	for _, u := range strings.Split(shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rm, err := cluster.ParseReadMode(mode)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewHTTPRouter(cluster.HTTPRouterConfig{
+		Shards:       urls,
+		Mode:         rm,
+		ShardTimeout: shardTimeout,
+		HedgeAfter:   hedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("routing %d shards on http://%s (mode=%s shard-timeout=%v hedge-after=%v)",
+		len(urls), l.Addr(), rm, shardTimeout, hedgeAfter)
+	for i, u := range urls {
+		log.Printf("  shard%d -> %s", i, u)
+	}
+
+	srv := &http.Server{Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining in-flight requests (budget %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("drained; bye")
+	return nil
+}

@@ -108,23 +108,25 @@ type rowEnv struct {
 }
 
 type evaluator struct {
-	db     *memDB
-	args   []string
-	ctes   map[string]*table
-	iter   map[string]bool // CTE names currently being iterated (not memoizable)
-	memo   map[any]*table
-	exists map[any]*existsIdx
-	inSets map[*condIn]inSetEntry
+	db       *memDB
+	args     []string
+	recLimit int // max recursive-CTE iterations, 0 = unbounded
+	ctes     map[string]*table
+	iter     map[string]bool // CTE names currently being iterated (not memoizable)
+	memo     map[any]*table
+	exists   map[any]*existsIdx
+	inSets   map[*condIn]inSetEntry
 }
 
-func newEvaluator(db *memDB, args []string) *evaluator {
+func newEvaluator(db *memDB, args []string, recLimit int) *evaluator {
 	return &evaluator{
-		db:     db,
-		args:   args,
-		ctes:   map[string]*table{},
-		iter:   map[string]bool{},
-		memo:   map[any]*table{},
-		exists: map[any]*existsIdx{},
+		db:       db,
+		args:     args,
+		recLimit: recLimit,
+		ctes:     map[string]*table{},
+		iter:     map[string]bool{},
+		memo:     map[any]*table{},
+		exists:   map[any]*existsIdx{},
 	}
 }
 
@@ -259,7 +261,12 @@ func (ev *evaluator) evalRecursive(w *withNode, outer *rowEnv) (*table, error) {
 	}
 	ev.iter[name] = true
 	defer delete(ev.iter, name)
+	iters := 0
 	for len(delta) > 0 {
+		if iters++; ev.recLimit > 0 && iters > ev.recLimit {
+			delete(ev.ctes, name)
+			return nil, fmt.Errorf("fakesql: recursive CTE %q exceeded MAX_RECURSIVE_ITERATIONS = %d", w.name, ev.recLimit)
+		}
 		ev.ctes[name] = &table{cols: cols, rows: delta}
 		var fresh [][]string
 		for _, rsel := range recs {

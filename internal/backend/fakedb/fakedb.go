@@ -69,7 +69,9 @@ type memDB struct {
 }
 
 // exec parses and runs one statement, returning result rows for queries.
-func (db *memDB) exec(query string, args []string) (*table, int64, error) {
+// recLimit > 0 caps recursive-CTE iterations (the connection's
+// MAX_RECURSIVE_ITERATIONS session setting); 0 leaves recursion unbounded.
+func (db *memDB) exec(query string, args []string, recLimit int) (*table, int64, error) {
 	st, err := parseStatement(query)
 	if err != nil {
 		return nil, 0, err
@@ -89,7 +91,7 @@ func (db *memDB) exec(query string, args []string) (*table, int64, error) {
 		if _, exists := db.tables[name]; exists {
 			return nil, 0, fmt.Errorf("fakesql: table %q already exists", st.name)
 		}
-		t, err := newEvaluator(db, args).evalQuery(st.query, nil)
+		t, err := newEvaluator(db, args, recLimit).evalQuery(st.query, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -132,7 +134,7 @@ func (db *memDB) exec(query string, args []string) (*table, int64, error) {
 				order[i] = idx
 			}
 		}
-		ev := newEvaluator(db, args)
+		ev := newEvaluator(db, args, recLimit)
 		var n int64
 		for _, exprRow := range st.rows {
 			if len(exprRow) != len(order) {
@@ -151,7 +153,7 @@ func (db *memDB) exec(query string, args []string) (*table, int64, error) {
 		}
 		return nil, n, nil
 	case *queryStmt:
-		t, err := newEvaluator(db, args).evalQuery(st.query, nil)
+		t, err := newEvaluator(db, args, recLimit).evalQuery(st.query, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -170,7 +172,13 @@ func (Driver) Open(dsn string) (driver.Conn, error) {
 	return &conn{db: getDB(dsn)}, nil
 }
 
-type conn struct{ db *memDB }
+type conn struct {
+	db *memDB
+	// recLimit holds the connection's MAX_RECURSIVE_ITERATIONS session
+	// setting (0 = unbounded), mirroring DB2: the limit is per connection,
+	// installed by a SET statement, and caps every recursive CTE run on it.
+	recLimit int
+}
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{c: c, query: query}, nil
@@ -187,15 +195,42 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []driver.Name
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if n, ok, err := c.setSession(query); ok {
+		if err != nil {
+			return nil, err
+		}
+		c.recLimit = n
+		return driver.RowsAffected(0), nil
+	}
 	vals, err := namedToStrings(args)
 	if err != nil {
 		return nil, err
 	}
-	_, n, err := c.db.exec(query, vals)
+	_, n, err := c.db.exec(query, vals, c.recLimit)
 	if err != nil {
 		return nil, err
 	}
 	return driver.RowsAffected(n), nil
+}
+
+// setSession recognizes the one session statement the renderer emits,
+// SET MAX_RECURSIVE_ITERATIONS = n. ok reports whether query is a SET
+// statement at all; the statement affects only this connection.
+func (c *conn) setSession(query string) (n int, ok bool, err error) {
+	s := strings.TrimSpace(query)
+	const kw = "SET "
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return 0, false, nil
+	}
+	name, val, found := strings.Cut(s[len(kw):], "=")
+	if !found || !strings.EqualFold(strings.TrimSpace(name), "MAX_RECURSIVE_ITERATIONS") {
+		return 0, true, fmt.Errorf("fakesql: unsupported SET statement %q", query)
+	}
+	n, err = strconv.Atoi(strings.TrimSpace(val))
+	if err != nil || n < 0 {
+		return 0, true, fmt.Errorf("fakesql: SET MAX_RECURSIVE_ITERATIONS wants a non-negative integer, got %q", strings.TrimSpace(val))
+	}
+	return n, true, nil
 }
 
 // QueryContext implements driver.QueryerContext.
@@ -207,7 +242,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	if err != nil {
 		return nil, err
 	}
-	t, _, err := c.db.exec(query, vals)
+	t, _, err := c.db.exec(query, vals, c.recLimit)
 	if err != nil {
 		return nil, err
 	}

@@ -227,8 +227,11 @@ func (s *snap) Close() error  { return nil }
 // pinned connection. Limits.Timeout is enforced as a wall-clock bound with
 // the same typed *obs.LimitError as the in-process engine; MaxTuples is
 // checked against the materialized statement cardinalities the database
-// reports; MaxLFPIters cannot be observed inside an external engine and is
-// not enforced (DESIGN.md "Backends" records this contract).
+// reports; MaxLFPIters is pushed into the database as a session recursion
+// guard (SET MAX_RECURSIVE_ITERATIONS, installed on the pinned connection
+// before the statement sequence) and a database error naming that setting
+// comes back as the engine's typed *obs.LimitError (DESIGN.md "Backends"
+// records this contract).
 func (s *snap) Execute(ctx context.Context, prog *ra.Program, opts backend.ExecOptions) (*backend.Result, error) {
 	b := s.b
 	b.mu.Lock()
@@ -254,9 +257,10 @@ func (s *snap) Execute(ctx context.Context, prog *ra.Program, opts backend.ExecO
 
 	prefix := fmt.Sprintf("x%d_%d_", s.epoch, b.runSeq.Add(1))
 	rendered, err := prog.RenderSQL(ra.SQLRenderOptions{
-		Dialect:    b.opts.Dialect,
-		NodesTable: b.opts.NodesTable,
-		TempPrefix: prefix,
+		Dialect:     b.opts.Dialect,
+		NodesTable:  b.opts.NodesTable,
+		TempPrefix:  prefix,
+		MaxRecIters: opts.Limits.MaxLFPIters,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sqlbe: render: %w", err)
@@ -279,7 +283,21 @@ func (s *snap) Execute(ctx context.Context, prog *ra.Program, opts backend.ExecO
 		for i := len(created) - 1; i >= 0; i-- {
 			conn.ExecContext(dctx, ra.DropTableSQL(created[i]))
 		}
+		// Session settings are connection state; restore the defaults so the
+		// pooled connection does not carry this run's recursion guard.
+		for _, sess := range rendered.SessionReset {
+			conn.ExecContext(dctx, sess)
+		}
 	}()
+
+	for _, sess := range rendered.Session {
+		if _, err := conn.ExecContext(ctx, sess); err != nil {
+			if terr := overTime(); terr != nil {
+				return nil, terr
+			}
+			return nil, fmt.Errorf("sqlbe: session setup %q: %w", sess, err)
+		}
+	}
 
 	var stats rdb.Stats
 	for _, st := range rendered.Stmts {
@@ -291,6 +309,9 @@ func (s *snap) Execute(ctx context.Context, prog *ra.Program, opts backend.ExecO
 		if err != nil {
 			if terr := overTime(); terr != nil {
 				return nil, terr
+			}
+			if lerr := recLimitError(err, opts.Limits.MaxLFPIters, st.Table); lerr != nil {
+				return nil, lerr
 			}
 			return nil, fmt.Errorf("sqlbe: %s: %w", st.Table, err)
 		}
@@ -345,4 +366,15 @@ func (s *snap) Execute(ctx context.Context, prog *ra.Program, opts backend.ExecO
 	}
 	sort.Ints(ids)
 	return &backend.Result{IDs: ids, Stats: stats}, nil
+}
+
+// recLimitError recognizes a database error raised by the pushed-down
+// recursion guard (any message naming MAX_RECURSIVE_ITERATIONS) and maps it
+// to the engine's typed limit error, so callers see one error shape whether
+// the fixpoint cap tripped in-process or inside the database.
+func recLimitError(err error, limit int, stmt string) error {
+	if limit <= 0 || !strings.Contains(err.Error(), "MAX_RECURSIVE_ITERATIONS") {
+		return nil
+	}
+	return &obs.LimitError{Kind: obs.LimitLFPIters, Stmt: stmt, Limit: int64(limit), Actual: int64(limit) + 1}
 }

@@ -349,6 +349,70 @@ func TestLimits(t *testing.T) {
 	}
 }
 
+// TestMaxLFPItersPushdown: the recursion-depth limit is enforced by the
+// database itself — the rendered session statement caps the recursive CTE,
+// and the database's refusal comes back as the engine's typed LimitError —
+// rather than by any client-side row counting.
+func TestMaxLFPItersPushdown(t *testing.T) {
+	be := openBackend(t, "lfpiters")
+	ctx := context.Background()
+	d := workload.Dept()
+
+	// A prereq chain 12 courses deep: the descendant closure needs ~12
+	// fixpoint rounds, far above the tight limit and far below the loose one.
+	inner := ""
+	for i := 12; i >= 1; i-- {
+		inner = fmt.Sprintf("<course><cno>c%d</cno><title>t%d</title><prereq>%s</prereq><takenBy></takenBy></course>", i, i, inner)
+	}
+	doc, err := xmltree.Parse("<dept>" + inner + "</dept>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shred.Shred(doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Load(ctx, db); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	snap, err := be.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer snap.Close()
+
+	q, _ := xpath.Parse("dept//course")
+	want := oracle(q, doc)
+	if len(want) != 12 {
+		t.Fatalf("oracle found %d courses, want 12", len(want))
+	}
+	r, err := core.Translate(q, d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = snap.Execute(ctx, r.Program, backend.ExecOptions{Limits: obs.Limits{MaxLFPIters: 1}})
+	var lerr *obs.LimitError
+	if !errors.As(err, &lerr) || lerr.Kind != obs.LimitLFPIters {
+		t.Fatalf("MaxLFPIters=1: err = %v, want LimitError{Kind: LFPIters}", err)
+	}
+	if !errors.Is(err, obs.ErrLimit) {
+		t.Fatalf("limit error does not unwrap to obs.ErrLimit: %v", err)
+	}
+
+	// A generous limit changes nothing about the answer, and the session
+	// setting does not leak into later unlimited runs on the pooled conns.
+	for _, limits := range []obs.Limits{{MaxLFPIters: 100}, {}} {
+		res, err := snap.Execute(ctx, r.Program, backend.ExecOptions{Limits: limits})
+		if err != nil {
+			t.Fatalf("limits %+v: %v", limits, err)
+		}
+		if !equalInts(res.IDs, want) {
+			t.Fatalf("limits %+v: got %v, want %v", limits, res.IDs, want)
+		}
+	}
+}
+
 // TestConcurrentRuns executes the same program from many goroutines over one
 // backend: per-run temp prefixes must keep the statement sequences disjoint
 // in fakedb's shared namespace.

@@ -1,0 +1,527 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpath2sql/internal/obs"
+)
+
+// HTTPRouterConfig assembles an HTTPRouter over running xpathd shard
+// processes.
+type HTTPRouterConfig struct {
+	// Shards lists the shard base URLs (e.g. http://127.0.0.1:8081). Each
+	// must serve the xpathd HTTP API over a disjoint node-ID range (boot the
+	// shards with disjoint -node-id-base values). Required, >= 1.
+	Shards []string
+	// Mode selects the partial-failure policy for scatter reads.
+	Mode ReadMode
+	// ShardTimeout bounds each shard call (default 10s).
+	ShardTimeout time.Duration
+	// HedgeAfter relaunches a slow shard call after this duration, racing
+	// the straggler (0 = no hedging).
+	HedgeAfter time.Duration
+	// Client overrides the HTTP client (default: pooled transport).
+	Client *http.Client
+	// Service prefixes the router's own metrics (default "xpathrouter").
+	Service string
+}
+
+// HTTPRouter is the network form of the scatter-gather router: it speaks the
+// xpathd HTTP API downstream and re-exposes the same API upstream, so clients
+// talk to an N-shard fleet exactly as they would to one server. Queries and
+// batches scatter to every shard and merge by sorted union; updates broadcast
+// and keep the single success (exactly one shard owns any node); /healthz,
+// /readyz and /metrics reflect fleet health. Build with NewHTTPRouter; it is
+// safe for concurrent use.
+type HTTPRouter struct {
+	cfg    HTTPRouterConfig
+	client *http.Client
+	start  time.Time
+
+	scatters atomic.Int64
+	updates  atomic.Int64
+	degraded atomic.Int64
+	failures atomic.Int64
+
+	shardQueries  []atomic.Int64
+	shardFailures []atomic.Int64
+	shardHedges   []atomic.Int64
+}
+
+// NewHTTPRouter validates the config and builds the router.
+func NewHTTPRouter(cfg HTTPRouterConfig) (*HTTPRouter, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: HTTPRouterConfig.Shards is required")
+	}
+	for i, u := range cfg.Shards {
+		cfg.Shards[i] = strings.TrimRight(u, "/")
+		if !strings.HasPrefix(cfg.Shards[i], "http://") && !strings.HasPrefix(cfg.Shards[i], "https://") {
+			return nil, fmt.Errorf("cluster: shard URL %q must be http(s)", u)
+		}
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 10 * time.Second
+	}
+	if cfg.Service == "" {
+		cfg.Service = "xpathrouter"
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	return &HTTPRouter{
+		cfg:           cfg,
+		client:        client,
+		start:         time.Now(),
+		shardQueries:  make([]atomic.Int64, len(cfg.Shards)),
+		shardFailures: make([]atomic.Int64, len(cfg.Shards)),
+		shardHedges:   make([]atomic.Int64, len(cfg.Shards)),
+	}, nil
+}
+
+// Handler returns the router's HTTP API.
+func (rt *HTTPRouter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", rt.handleQuery)
+	mux.HandleFunc("/v1/batch", rt.handleBatch)
+	mux.HandleFunc("/v1/update", rt.handleUpdate)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// --- downstream wire shapes (mirror internal/server) --------------------
+
+type wireStats struct {
+	StmtsRun  int `json:"stmts_run"`
+	Joins     int `json:"joins"`
+	Unions    int `json:"unions"`
+	LFPs      int `json:"lfps"`
+	LFPIters  int `json:"lfp_iters"`
+	RecFixes  int `json:"rec_fixes"`
+	TuplesOut int `json:"tuples_out"`
+	Morsels   int `json:"morsels"`
+	DescScans int `json:"desc_scans"`
+}
+
+func (a *wireStats) add(b wireStats) {
+	a.StmtsRun += b.StmtsRun
+	a.Joins += b.Joins
+	a.Unions += b.Unions
+	a.LFPs += b.LFPs
+	a.LFPIters += b.LFPIters
+	a.RecFixes += b.RecFixes
+	a.TuplesOut += b.TuplesOut
+	a.Morsels += b.Morsels
+	a.DescScans += b.DescScans
+}
+
+type wireQueryResponse struct {
+	IDs       []int     `json:"ids"`
+	Count     int       `json:"count"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Stats     wireStats `json:"stats"`
+	// Router-added fields.
+	Degraded     bool     `json:"degraded,omitempty"`
+	FailedShards []string `json:"failed_shards,omitempty"`
+}
+
+type wireBatchItem struct {
+	IDs   []int     `json:"ids"`
+	Count int       `json:"count"`
+	Stats wireStats `json:"stats"`
+}
+
+type wireBatchResponse struct {
+	Results      []wireBatchItem `json:"results"`
+	ElapsedMS    float64         `json:"elapsed_ms"`
+	Stats        wireStats       `json:"stats"`
+	Degraded     bool            `json:"degraded,omitempty"`
+	FailedShards []string        `json:"failed_shards,omitempty"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// shardReply is one downstream call's outcome.
+type shardReply struct {
+	shard  int
+	status int    // HTTP status (0 on transport error)
+	body   []byte // response body (error body for non-2xx)
+	err    error  // transport error
+}
+
+// failed reports whether the reply is unusable as an answer.
+func (r *shardReply) failed() bool { return r.err != nil || r.status != http.StatusOK }
+
+// deterministic reports a downstream outcome the router must forward instead
+// of treating as a shard failure: resource-limit trips (422) and client
+// errors (4xx) reproduce on any shard, so retrying or degrading would either
+// waste work or silently change semantics.
+func (r *shardReply) deterministic() bool {
+	return r.err == nil && r.status >= 400 && r.status < 500
+}
+
+// call POSTs one JSON body to a shard endpoint.
+func (rt *HTTPRouter) call(ctx context.Context, shard int, path string, body []byte) shardReply {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.cfg.Shards[shard]+path, bytes.NewReader(body))
+	if err != nil {
+		return shardReply{shard: shard, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return shardReply{shard: shard, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return shardReply{shard: shard, err: err}
+	}
+	return shardReply{shard: shard, status: resp.StatusCode, body: b}
+}
+
+// scatter fans one request to every shard with optional hedging: a shard that
+// has not answered within HedgeAfter gets a second identical attempt, and the
+// first reply wins. Returns one reply per shard.
+func (rt *HTTPRouter) scatter(ctx context.Context, path string, body []byte) []shardReply {
+	replies := make([]shardReply, len(rt.cfg.Shards))
+	var wg sync.WaitGroup
+	for i := range rt.cfg.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt.shardQueries[i].Add(1)
+			replies[i] = rt.callHedged(ctx, i, path, body)
+			if replies[i].failed() && !replies[i].deterministic() {
+				rt.shardFailures[i].Add(1)
+				rt.failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return replies
+}
+
+// callHedged races a second attempt against a straggling first one.
+func (rt *HTTPRouter) callHedged(ctx context.Context, shard int, path string, body []byte) shardReply {
+	if rt.cfg.HedgeAfter <= 0 {
+		return rt.call(ctx, shard, path, body)
+	}
+	out := make(chan shardReply, 2)
+	launch := func() { go func() { out <- rt.call(ctx, shard, path, body) }() }
+	launch()
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case r := <-out:
+		return r
+	case <-timer.C:
+		rt.shardHedges[shard].Add(1)
+		launch()
+		r := <-out
+		if r.failed() && !r.deterministic() {
+			return <-out
+		}
+		return r
+	}
+}
+
+// judge applies the read mode to a scatter outcome, mirroring
+// Cluster.judge for the network path. It returns the failed shard names and
+// whether the miss is tolerable (degraded) — or an error reply to forward.
+func (rt *HTTPRouter) judge(replies []shardReply) (failed []string, degraded bool, errReply *shardReply) {
+	var firstMiss *shardReply
+	for i := range replies {
+		r := &replies[i]
+		if !r.failed() {
+			continue
+		}
+		if r.deterministic() {
+			return nil, false, r
+		}
+		if firstMiss == nil {
+			firstMiss = r
+		}
+		failed = append(failed, fmt.Sprintf("shard%d", r.shard))
+	}
+	if firstMiss == nil {
+		return nil, false, nil
+	}
+	answered := len(replies) - len(failed)
+	tolerable := false
+	switch rt.cfg.Mode {
+	case ReadQuorum:
+		tolerable = answered >= len(replies)/2+1
+	case ReadBestEffort:
+		tolerable = answered >= 1
+	}
+	if !tolerable {
+		return failed, false, firstMiss
+	}
+	rt.degraded.Add(1)
+	return failed, true, nil
+}
+
+// forwardError writes a downstream error reply upstream: HTTP errors keep
+// their status and body, transport errors become a 503 with the degraded
+// shard list.
+func (rt *HTTPRouter) forwardError(w http.ResponseWriter, r *shardReply, failed []string) {
+	if r.err == nil && r.status != 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(r.status)
+		w.Write(r.body)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, wireError{
+		Error: fmt.Sprintf("cluster degraded: %d shard(s) unavailable (%s), mode %s: %v",
+			len(failed), joinNames(failed), rt.cfg.Mode, r.err),
+		Kind: "degraded",
+	})
+}
+
+func (rt *HTTPRouter) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.scatters.Add(1)
+	t0 := time.Now()
+	replies := rt.scatter(r.Context(), "/v1/query", body)
+	failed, degraded, errReply := rt.judge(replies)
+	if errReply != nil {
+		rt.forwardError(w, errReply, failed)
+		return
+	}
+	merged := wireQueryResponse{Degraded: degraded, FailedShards: failed}
+	var parts [][]int
+	for i := range replies {
+		if replies[i].failed() {
+			continue
+		}
+		var qr wireQueryResponse
+		if err := json.Unmarshal(replies[i].body, &qr); err != nil {
+			writeJSON(w, http.StatusBadGateway, wireError{
+				Error: fmt.Sprintf("shard%d: malformed answer: %v", replies[i].shard, err),
+				Kind:  "internal",
+			})
+			return
+		}
+		parts = append(parts, qr.IDs)
+		merged.Stats.add(qr.Stats)
+	}
+	merged.IDs = mergeSorted(parts)
+	merged.Count = len(merged.IDs)
+	merged.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (rt *HTTPRouter) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.scatters.Add(1)
+	t0 := time.Now()
+	replies := rt.scatter(r.Context(), "/v1/batch", body)
+	failed, degraded, errReply := rt.judge(replies)
+	if errReply != nil {
+		rt.forwardError(w, errReply, failed)
+		return
+	}
+	merged := wireBatchResponse{Degraded: degraded, FailedShards: failed}
+	for i := range replies {
+		if replies[i].failed() {
+			continue
+		}
+		var br wireBatchResponse
+		if err := json.Unmarshal(replies[i].body, &br); err != nil {
+			writeJSON(w, http.StatusBadGateway, wireError{
+				Error: fmt.Sprintf("shard%d: malformed answer: %v", replies[i].shard, err),
+				Kind:  "internal",
+			})
+			return
+		}
+		if merged.Results == nil {
+			merged.Results = make([]wireBatchItem, len(br.Results))
+		}
+		if len(br.Results) != len(merged.Results) {
+			writeJSON(w, http.StatusBadGateway, wireError{
+				Error: fmt.Sprintf("shard%d answered %d results, expected %d", replies[i].shard, len(br.Results), len(merged.Results)),
+				Kind:  "internal",
+			})
+			return
+		}
+		for j, item := range br.Results {
+			merged.Results[j].IDs = mergeSorted([][]int{merged.Results[j].IDs, item.IDs})
+			merged.Results[j].Count = len(merged.Results[j].IDs)
+			merged.Results[j].Stats.add(item.Stats)
+		}
+		merged.Stats.add(br.Stats)
+	}
+	if merged.Results == nil {
+		merged.Results = []wireBatchItem{}
+	}
+	merged.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleUpdate broadcasts the write: exactly one shard owns the target node
+// (disjoint -node-id-base ranges), so exactly one succeeds; the rest answer
+// unknown-node. The single success is forwarded; if every shard rejects, the
+// most specific rejection (a non-404 if any) is.
+func (rt *HTTPRouter) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.updates.Add(1)
+	replies := rt.scatter(r.Context(), "/v1/update", body)
+	var success, reject, miss *shardReply
+	successes := 0
+	for i := range replies {
+		rep := &replies[i]
+		switch {
+		case !rep.failed():
+			success = rep
+			successes++
+		case rep.err == nil && rep.status == http.StatusNotFound:
+			if miss == nil {
+				miss = rep
+			}
+		case rep.deterministic():
+			if reject == nil {
+				reject = rep
+			}
+		}
+	}
+	if successes > 1 {
+		writeJSON(w, http.StatusBadGateway, wireError{
+			Error: fmt.Sprintf("update succeeded on %d shards: shard node-ID ranges overlap (check -node-id-base)", successes),
+			Kind:  "internal",
+		})
+		return
+	}
+	switch {
+	case success != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(success.body)
+	case reject != nil:
+		rt.forwardError(w, reject, nil)
+	case miss != nil:
+		rt.forwardError(w, miss, nil)
+	default:
+		failed := make([]string, 0, len(replies))
+		for i := range replies {
+			failed = append(failed, fmt.Sprintf("shard%d", replies[i].shard))
+		}
+		rt.forwardError(w, &replies[0], failed)
+	}
+}
+
+func (rt *HTTPRouter) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz probes every shard; readiness follows the read mode (strict:
+// all shards, quorum: a majority, best-effort: any).
+func (rt *HTTPRouter) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	var downNames []string
+	for i, base := range rt.cfg.Shards {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err == nil {
+			resp, derr := rt.client.Do(req)
+			if derr == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					up++
+					cancel()
+					continue
+				}
+			}
+		}
+		cancel()
+		downNames = append(downNames, fmt.Sprintf("shard%d", i))
+	}
+	need := len(rt.cfg.Shards)
+	switch rt.cfg.Mode {
+	case ReadQuorum:
+		need = len(rt.cfg.Shards)/2 + 1
+	case ReadBestEffort:
+		need = 1
+	}
+	if up >= need {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "ok (%d/%d shards up)\n", up, len(rt.cfg.Shards))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "not ready: %d/%d shards up, need %d (down: %s)\n", up, len(rt.cfg.Shards), need, joinNames(downNames))
+}
+
+func (rt *HTTPRouter) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := &obs.ClusterStats{
+		ShardCount: len(rt.cfg.Shards),
+		Mode:       rt.cfg.Mode.String(),
+		Placement:  "external",
+		Scatters:   rt.scatters.Load(),
+		Updates:    rt.updates.Load(),
+		Degraded:   rt.degraded.Load(),
+		Failures:   rt.failures.Load(),
+	}
+	for i := range rt.cfg.Shards {
+		cs.Shards = append(cs.Shards, obs.ClusterShardStats{
+			Name:     fmt.Sprintf("shard%d", i),
+			Queries:  rt.shardQueries[i].Load(),
+			Failures: rt.shardFailures[i].Load(),
+			Hedges:   rt.shardHedges[i].Load(),
+		})
+	}
+	snap := &obs.MetricsSnapshot{Service: rt.cfg.Service, Uptime: time.Since(rt.start), Cluster: cs}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+// --- small HTTP helpers --------------------------------------------------
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, wireError{Error: "POST required", Kind: "bad_request"})
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: err.Error(), Kind: "bad_request"})
+		return nil, false
+	}
+	return body, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

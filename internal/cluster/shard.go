@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"xpath2sql/internal/backend"
+	"xpath2sql/internal/dtd"
+	"xpath2sql/internal/ra"
+	"xpath2sql/internal/rdb"
+	"xpath2sql/internal/store"
+)
+
+// ErrShardDown reports that a shard could answer neither from its primary
+// nor from any replica (reads), or that its primary is unavailable (writes —
+// replicas are read-only and never accept writes).
+var ErrShardDown = errors.New("cluster: shard down: primary unavailable and no usable replica")
+
+// replicaFeedDepth is the per-replica ship-record buffer. A replica that
+// falls further behind than the buffer absorbs has lost WAL continuity and is
+// marked broken (it would need a full resync); reads stop being routed to it.
+const replicaFeedDepth = 1024
+
+// Shard is one store/engine pair owning a document subset: a primary store
+// (the only write target), its read replicas, and a per-shard admission
+// semaphore bounding concurrent executions — the per-shard form of the
+// server's admission control.
+type Shard struct {
+	id      int
+	name    string
+	primary *store.Store
+	reps    []*replica
+	sem     chan struct{}
+	down    atomic.Bool   // primary considered failed (KillPrimary)
+	rr      atomic.Uint32 // read-target round-robin cursor
+
+	queries      atomic.Int64
+	failures     atomic.Int64
+	replicaReads atomic.Int64
+	failovers    atomic.Int64
+	hedges       atomic.Int64
+}
+
+// replica is one in-process read replica: an ephemeral store seeded from the
+// primary's boot epoch, applying shipped WAL records in its own goroutine.
+type replica struct {
+	st      *store.Store
+	feed    chan store.ShipRecord
+	broken  atomic.Bool
+	applied atomic.Int64 // ship records applied
+	done    chan struct{}
+}
+
+// newShard opens the primary store over the shard's database slice, spins up
+// nReplicas read replicas and wires the WAL shipping feed. maxConcurrent
+// bounds concurrent executions on the shard (0 = 4).
+func newShard(id int, d *dtd.DTD, db *rdb.DB, nReplicas, maxConcurrent, minNextID int) (*Shard, error) {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	primary, err := store.Open(store.Config{DTD: d, Seed: db, MinNextID: minNextID})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d primary: %w", id, err)
+	}
+	sh := &Shard{
+		id:      id,
+		name:    fmt.Sprintf("shard%d", id),
+		primary: primary,
+		sem:     make(chan struct{}, maxConcurrent),
+	}
+	// Replicas boot from the primary's current epoch — shared immutable DB
+	// pointer, copy-on-write from there — before any update can ship, so the
+	// first shipped LSN is exactly the one both sides expect next.
+	for i := 0; i < nReplicas; i++ {
+		rst, err := store.Open(store.Config{DTD: d, Seed: primary.View().DB, MinNextID: minNextID})
+		if err != nil {
+			sh.close()
+			return nil, fmt.Errorf("cluster: shard %d replica %d: %w", id, i, err)
+		}
+		r := &replica{st: rst, feed: make(chan store.ShipRecord, replicaFeedDepth), done: make(chan struct{})}
+		go r.run()
+		sh.reps = append(sh.reps, r)
+	}
+	if len(sh.reps) > 0 {
+		primary.SetOnShip(sh.ship)
+	}
+	return sh, nil
+}
+
+// ship fans one applied record out to every replica feed without blocking
+// the writer: a replica whose buffer is full has lost continuity and is
+// marked broken instead of stalling the primary.
+func (sh *Shard) ship(rec store.ShipRecord) {
+	for _, r := range sh.reps {
+		if r.broken.Load() {
+			continue
+		}
+		select {
+		case r.feed <- rec:
+		default:
+			r.broken.Store(true)
+		}
+	}
+}
+
+// run is the replica apply loop.
+func (r *replica) run() {
+	defer close(r.done)
+	for rec := range r.feed {
+		if r.broken.Load() {
+			continue
+		}
+		if _, err := r.st.ApplyShipped(rec); err != nil {
+			r.broken.Store(true)
+			continue
+		}
+		r.applied.Add(1)
+	}
+}
+
+// KillPrimary simulates a primary that stopped acking: its store is closed
+// (writes fail with store.ErrClosed at the source) and reads fail over to
+// replicas, serving their last applied epoch. The failover and shard-kill
+// tests drive this.
+func (sh *Shard) KillPrimary() {
+	if sh.down.CompareAndSwap(false, true) {
+		sh.primary.Close()
+	}
+}
+
+// Down reports whether the primary has been killed.
+func (sh *Shard) Down() bool { return sh.down.Load() }
+
+// Watermark returns the primary's current epoch sequence and the freshest
+// usable replica's (0 when there is none).
+func (sh *Shard) Watermark() (primary, replica uint64) {
+	primary = sh.primary.View().Seq
+	for _, r := range sh.reps {
+		if r.broken.Load() {
+			continue
+		}
+		if seq := r.st.View().Seq; seq > replica {
+			replica = seq
+		}
+	}
+	return primary, replica
+}
+
+// readTarget picks the epoch one read should execute against. A healthy
+// shard round-robins across the primary and every replica within maxLag
+// epochs of it; attempt > 0 (a hedged retry) advances the cursor so the
+// second attempt lands elsewhere. A downed shard serves the freshest usable
+// replica and reports the failover.
+func (sh *Shard) readTarget(maxLag uint64, attempt int) (*store.Epoch, bool, error) {
+	if sh.down.Load() {
+		var best *store.Epoch
+		for _, r := range sh.reps {
+			if r.broken.Load() {
+				continue
+			}
+			if ep := r.st.View(); best == nil || ep.Seq > best.Seq {
+				best = ep
+			}
+		}
+		if best == nil {
+			return nil, false, fmt.Errorf("%w (%s)", ErrShardDown, sh.name)
+		}
+		sh.failovers.Add(1)
+		return best, true, nil
+	}
+	pep := sh.primary.View()
+	candidates := []*store.Epoch{pep}
+	fromReplica := []bool{false}
+	for _, r := range sh.reps {
+		if r.broken.Load() {
+			continue
+		}
+		if ep := r.st.View(); pep.Seq-ep.Seq <= maxLag {
+			candidates = append(candidates, ep)
+			fromReplica = append(fromReplica, true)
+		}
+	}
+	i := int(sh.rr.Add(uint32(1+attempt))) % len(candidates)
+	return candidates[i], fromReplica[i], nil
+}
+
+// exec runs one program against the shard under its admission semaphore.
+func (sh *Shard) exec(ctx context.Context, prog *ra.Program, maxLag uint64, attempt int, opts backend.ExecOptions) (*backend.Result, *store.Epoch, bool, error) {
+	ep, fromReplica, err := sh.readTarget(maxLag, attempt)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	select {
+	case sh.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, false, ctx.Err()
+	}
+	defer func() { <-sh.sem }()
+	snap := backend.AdoptDB(ep.DB, ep.Seq)
+	res, err := snap.Execute(ctx, prog, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if fromReplica {
+		sh.replicaReads.Add(1)
+	}
+	return res, ep, fromReplica, nil
+}
+
+// close releases the primary and every replica.
+func (sh *Shard) close() {
+	sh.primary.SetOnShip(nil)
+	sh.primary.Close()
+	for _, r := range sh.reps {
+		close(r.feed)
+		<-r.done
+		r.st.Close()
+	}
+	sh.reps = nil
+}

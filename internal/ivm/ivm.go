@@ -56,9 +56,13 @@ const (
 type Config struct {
 	// Store is the live document store to watch. Required.
 	Store *store.Store
-	// Compile translates a query into an executable program; the engine
-	// supplies its plan-cached translation here. Required.
-	Compile func(ctx context.Context, query string) (*ra.Program, error)
+	// Compile translates a query into an executable program plus a stable
+	// plan key; the engine supplies its plan-cached translation here.
+	// Queries with equal keys are guaranteed to have identical programs, so
+	// the hub maintains one shared view for all of them (an empty key falls
+	// back to the query string — no sharing beyond identical text).
+	// Required.
+	Compile func(ctx context.Context, query string) (*ra.Program, string, error)
 	// MaxSubscriptions caps concurrently active subscriptions (admission
 	// control). 0 selects DefaultMaxSubscriptions; negative is unlimited.
 	MaxSubscriptions int
@@ -95,8 +99,13 @@ type Event struct {
 	Resync bool `json:"resync,omitempty"`
 }
 
-// view is one standing query: its maintained state and its subscribers.
+// view is one standing query plan: its maintained state and its
+// subscribers. Views are keyed by plan key, so queries that translate to the
+// same program — however their text differs — share one materialization and
+// one maintenance pass per epoch; query records the first registered text,
+// for diagnostics.
 type view struct {
+	key   string
 	query string
 	vs    *rdb.ViewState
 	epoch uint64
@@ -124,20 +133,21 @@ type Subscription struct {
 // concurrent use.
 type Hub struct {
 	st      *store.Store
-	compile func(ctx context.Context, query string) (*ra.Program, error)
+	compile func(ctx context.Context, query string) (*ra.Program, string, error)
 	maxSubs int
 	bufSize int
 
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes the maintainer: queue non-empty or closing
 	queue  []queued
-	views  map[string]*view
+	views  map[string]*view // by plan key
 	nSubs  int
 	closed bool
 
 	done chan struct{}
 
 	deltasPublished  atomic.Int64
+	sharedPlans      atomic.Int64
 	resyncs          atomic.Int64
 	maintained       atomic.Int64
 	reruns           atomic.Int64
@@ -298,7 +308,7 @@ func (h *Hub) dropView(v *view, err error) {
 		s.poke()
 	}
 	v.subs = map[*Subscription]struct{}{}
-	delete(h.views, v.query)
+	delete(h.views, v.key)
 }
 
 // BaseDeltaOf converts a store transaction delta into the rdb exchange
@@ -318,9 +328,20 @@ func BaseDeltaOf(td store.TxnDelta) rdb.BaseDelta {
 
 // Watch registers a standing query and returns its subscription. The first
 // event is a snapshot of the answer on the subscription's starting epoch;
-// every later event is one epoch's delta, in order. Two subscriptions for
-// the same query string share one maintained view.
+// every later event is one epoch's delta, in order. Subscriptions whose
+// queries translate to the same plan share one maintained view (and so one
+// materialization and one maintenance pass per epoch), however their query
+// text differs.
 func (h *Hub) Watch(ctx context.Context, query string) (*Subscription, error) {
+	// Compile outside hub.mu: it is plan-cached upstream but may translate
+	// on first sight, and the key decides which view (if any) we join.
+	prog, key, err := h.compile(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	if key == "" {
+		key = query
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -329,12 +350,10 @@ func (h *Hub) Watch(ctx context.Context, query string) (*Subscription, error) {
 	if h.maxSubs > 0 && h.nSubs >= h.maxSubs {
 		return nil, ErrSubscriptionLimit
 	}
-	v := h.views[query]
-	if v == nil {
-		prog, err := h.compile(ctx, query)
-		if err != nil {
-			return nil, err
-		}
+	v := h.views[key]
+	if v != nil {
+		h.sharedPlans.Add(1)
+	} else {
 		ep := h.st.View()
 		vs, err := rdb.BuildViewState(ep.DB, prog)
 		if err != nil {
@@ -342,8 +361,8 @@ func (h *Hub) Watch(ctx context.Context, query string) (*Subscription, error) {
 		}
 		// Updates applied between reading the epoch and this registration
 		// are handled by the epoch-gap fallback in maintainView.
-		v = &view{query: query, vs: vs, epoch: ep.Seq, subs: map[*Subscription]struct{}{}}
-		h.views[query] = v
+		v = &view{key: key, query: query, vs: vs, epoch: ep.Seq, subs: map[*Subscription]struct{}{}}
+		h.views[key] = v
 	}
 	s := &Subscription{
 		hub:    h,
@@ -402,7 +421,7 @@ func (s *Subscription) Close() {
 		delete(s.view.subs, s)
 		h.nSubs--
 		if len(s.view.subs) == 0 {
-			delete(h.views, s.view.query)
+			delete(h.views, s.view.key)
 		}
 	}
 	h.mu.Unlock()
@@ -418,6 +437,7 @@ func (h *Hub) Stats() obs.WatchStats {
 		ActiveSubscriptions: int64(subs),
 		ActiveViews:         int64(views),
 		DeltasPublished:     h.deltasPublished.Load(),
+		SharedPlans:         h.sharedPlans.Load(),
 		Resyncs:             h.resyncs.Load(),
 		Maintained:          h.maintained.Load(),
 		Reruns:              h.reruns.Load(),

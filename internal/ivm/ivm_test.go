@@ -223,6 +223,9 @@ func TestWatchSharedView(t *testing.T) {
 	if got := h.Stats(); got.ActiveViews != 1 || got.ActiveSubscriptions != 2 {
 		t.Fatalf("views=%d subs=%d, want 1 view, 2 subs", got.ActiveViews, got.ActiveSubscriptions)
 	}
+	if got := h.Stats(); got.SharedPlans != 1 {
+		t.Fatalf("SharedPlans = %d, want 1 (second Watch reuses the first plan's view)", got.SharedPlans)
+	}
 
 	nextEvent(t, s1)
 	nextEvent(t, s2)
@@ -237,8 +240,20 @@ func TestWatchSharedView(t *testing.T) {
 		}
 	}
 
-	// Releasing both subscriptions retires the shared view.
+	// Closing one subscription leaves the shared view maintained for the other.
 	s1.Close()
+	if got := h.Stats(); got.ActiveViews != 1 || got.ActiveSubscriptions != 1 {
+		t.Fatalf("after one close: views=%d subs=%d, want 1/1", got.ActiveViews, got.ActiveSubscriptions)
+	}
+	ur2, err := st.InsertSubtree(1, courseFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := nextEvent(t, s2); ev.Epoch != ur2.Epoch || !slices.Contains(ev.Added, ur2.NodeID) {
+		t.Fatalf("survivor event = %+v, want epoch %d adding %d", ev, ur2.Epoch, ur2.NodeID)
+	}
+
+	// Releasing the last subscription retires the shared view.
 	s2.Close()
 	if got := h.Stats(); got.ActiveViews != 0 || got.ActiveSubscriptions != 0 {
 		t.Fatalf("after close: views=%d subs=%d, want 0/0", got.ActiveViews, got.ActiveSubscriptions)

@@ -170,6 +170,10 @@ type MetricsSnapshot struct {
 	// Watch, when non-nil, carries the continuous-query subsystem's
 	// counters.
 	Watch *WatchStats
+
+	// Cluster, when non-nil, carries the scatter-gather router's counters
+	// (internal/cluster).
+	Cluster *ClusterStats
 }
 
 // WatchStats snapshots the continuous-query subsystem (internal/ivm):
@@ -191,6 +195,40 @@ type WatchStats struct {
 	RerunTuples      int64
 	// Propagation is the update-applied → delta-published latency.
 	Propagation HistogramSnapshot
+	// SharedPlans counts Watch registrations that attached to an existing
+	// view instead of materializing a new one — identical standing queries
+	// (same plan key) share one ViewState and one maintenance pass.
+	SharedPlans int64
+}
+
+// ClusterStats snapshots the scale-out router (internal/cluster): deployment
+// shape, routing counters, degraded-read accounting and the per-shard health
+// rows the smoke tests and dashboards read.
+type ClusterStats struct {
+	ShardCount   int
+	ReplicaCount int    // read replicas per shard
+	Mode         string // partial-failure policy: strict, quorum or best-effort
+	Placement    string // document placement function
+	Scatters     int64  // queries fanned to every shard
+	DocQueries   int64  // document-scoped queries routed to one owner shard
+	Updates      int64  // writes routed to owning primaries
+	Degraded     int64  // answers served with shards missing
+	Failures     int64  // per-shard execution failures observed by the router
+	Shards       []ClusterShardStats
+}
+
+// ClusterShardStats is one shard's row in the cluster snapshot.
+type ClusterShardStats struct {
+	Name         string
+	Down         bool   // primary killed; reads fail over to replicas
+	PrimaryEpoch uint64 // primary's published epoch sequence
+	ReplicaEpoch uint64 // freshest usable replica's epoch sequence
+	Queries      int64
+	Failures     int64
+	ReplicaReads int64 // reads served by a replica instead of the primary
+	Failovers    int64 // reads redirected to a replica because the primary is down
+	Hedges       int64 // hedged or retried attempts launched
+	Nodes        int64 // nodes in the primary's published catalog
 }
 
 // StoreStats snapshots the document store: the published epoch, WAL volume,
@@ -322,6 +360,7 @@ func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
 		counter("watch_reruns_total", "Updates applied to views by full re-evaluation.", ws.Reruns)
 		counter("watch_maintained_tuples_total", "Operator tuples produced by incremental maintenance.", ws.MaintainedTuples)
 		counter("watch_rerun_tuples_total", "Operator tuples produced by full re-evaluation fallbacks.", ws.RerunTuples)
+		counter("watch_shared_plans_total", "Watch registrations deduplicated onto an existing view with the same plan.", ws.SharedPlans)
 		fmt.Fprintf(w, "# HELP %s_watch_propagation_seconds Update-applied to delta-published latency.\n", p)
 		fmt.Fprintf(w, "# TYPE %s_watch_propagation_seconds histogram\n", p)
 		var cum int64
@@ -335,6 +374,48 @@ func (m *MetricsSnapshot) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%s_watch_propagation_seconds_sum %g\n", p, ws.Propagation.Sum)
 		fmt.Fprintf(w, "%s_watch_propagation_seconds_count %d\n", p, ws.Propagation.Count)
+	}
+
+	if cs := m.Cluster; cs != nil {
+		gauge("cluster_shards", "Primary shards in the cluster.", int64(cs.ShardCount))
+		gauge("cluster_replicas_per_shard", "Read replicas per shard.", int64(cs.ReplicaCount))
+		fmt.Fprintf(w, "# HELP %s_cluster_mode Partial-failure read mode, as an info-style gauge.\n", p)
+		fmt.Fprintf(w, "# TYPE %s_cluster_mode gauge\n", p)
+		fmt.Fprintf(w, "%s_cluster_mode{mode=%q,placement=%q} 1\n", p, cs.Mode, cs.Placement)
+		counter("cluster_scatter_queries_total", "Queries fanned to every shard.", cs.Scatters)
+		counter("cluster_doc_queries_total", "Document-scoped queries routed to one owner shard.", cs.DocQueries)
+		counter("cluster_updates_total", "Writes routed to owning primaries.", cs.Updates)
+		counter("cluster_degraded_answers_total", "Answers served with one or more shards missing.", cs.Degraded)
+		counter("cluster_shard_failures_total", "Per-shard execution failures observed by the router.", cs.Failures)
+		perShard := func(name, help, typ string, value func(ClusterShardStats) int64) {
+			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s %s\n", p, name, help, p, name, typ)
+			for _, sh := range cs.Shards {
+				fmt.Fprintf(w, "%s_%s{shard=%q} %d\n", p, name, sh.Name, value(sh))
+			}
+		}
+		perShard("cluster_shard_up", "Whether the shard's primary is serving (1) or failed over (0).", "gauge",
+			func(sh ClusterShardStats) int64 {
+				if sh.Down {
+					return 0
+				}
+				return 1
+			})
+		perShard("cluster_shard_primary_epoch", "Primary's published epoch sequence.", "gauge",
+			func(sh ClusterShardStats) int64 { return int64(sh.PrimaryEpoch) })
+		perShard("cluster_shard_replica_epoch", "Freshest usable replica's epoch sequence.", "gauge",
+			func(sh ClusterShardStats) int64 { return int64(sh.ReplicaEpoch) })
+		perShard("cluster_shard_nodes", "Nodes in the primary's published catalog.", "gauge",
+			func(sh ClusterShardStats) int64 { return sh.Nodes })
+		perShard("cluster_shard_queries_total", "Executions routed to the shard.", "counter",
+			func(sh ClusterShardStats) int64 { return sh.Queries })
+		perShard("cluster_shard_failures_total", "Executions the shard failed.", "counter",
+			func(sh ClusterShardStats) int64 { return sh.Failures })
+		perShard("cluster_shard_replica_reads_total", "Reads served by a replica instead of the primary.", "counter",
+			func(sh ClusterShardStats) int64 { return sh.ReplicaReads })
+		perShard("cluster_shard_failovers_total", "Reads redirected to a replica because the primary is down.", "counter",
+			func(sh ClusterShardStats) int64 { return sh.Failovers })
+		perShard("cluster_shard_hedges_total", "Hedged or retried attempts launched against the shard.", "counter",
+			func(sh ClusterShardStats) int64 { return sh.Hedges })
 	}
 
 	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", p)

@@ -110,6 +110,53 @@ func TestSQLRenderFixDialects(t *testing.T) {
 	}
 }
 
+// TestSQLRenderMaxRecIters: the engine's MaxLFPIters limit is pushed into
+// the rendering — DB2 as a session statement, Oracle as an inline LEVEL
+// guard — and omitted entirely when the limit is zero.
+func TestSQLRenderMaxRecIters(t *testing.T) {
+	p := &Program{
+		Stmts: []Stmt{{Name: "result", Plan: Fix{
+			Seed:  Base{Rel: "R_e"},
+			Start: Base{Rel: "R_s"},
+			End:   Base{Rel: "R_t"},
+		}}},
+		Result: "result",
+	}
+
+	db2, err := p.RenderSQL(SQLRenderOptions{Dialect: DialectDB2, MaxRecIters: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Session) != 1 || db2.Session[0] != "SET MAX_RECURSIVE_ITERATIONS = 7" {
+		t.Fatalf("DB2 session statements = %q, want the recursion guard", db2.Session)
+	}
+	if len(db2.SessionReset) != 1 || db2.SessionReset[0] != "SET MAX_RECURSIVE_ITERATIONS = 0" {
+		t.Fatalf("DB2 session reset = %q, want the guard restored to unbounded", db2.SessionReset)
+	}
+
+	ora, err := p.RenderSQL(SQLRenderOptions{Dialect: DialectOracle, MaxRecIters: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ora.Session) != 0 {
+		t.Fatalf("Oracle session statements = %q, want none (guard is inline)", ora.Session)
+	}
+	if sql := p.SQL(SQLRenderOptions{Dialect: DialectOracle, MaxRecIters: 7}); !strings.Contains(sql, "AND LEVEL <= 7") {
+		t.Fatalf("Oracle rendering missing inline LEVEL guard:\n%s", sql)
+	}
+
+	unlimited, err := p.RenderSQL(SQLRenderOptions{Dialect: DialectDB2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unlimited.Session) != 0 {
+		t.Fatalf("unlimited DB2 rendering produced session statements %q", unlimited.Session)
+	}
+	if sql := p.SQL(SQLRenderOptions{Dialect: DialectOracle}); strings.Contains(sql, "LEVEL <=") {
+		t.Fatalf("unlimited Oracle rendering carries a LEVEL guard:\n%s", sql)
+	}
+}
+
 func TestSQLRenderRecUnionFig2(t *testing.T) {
 	p := &Program{
 		Stmts: []Stmt{{Name: "result", Plan: RecUnion{

@@ -29,6 +29,13 @@ type SQLRenderOptions struct {
 	// database across concurrent executions use it to keep each run's
 	// temporaries disjoint. Stored base relations are never prefixed.
 	TempPrefix string
+	// MaxRecIters > 0 caps iterations per recursive construct in the
+	// rendered SQL, pushing the engine's MaxLFPIters limit into the
+	// database: Oracle renderings guard CONNECT BY with AND LEVEL <= n,
+	// DB2 renderings emit a SET MAX_RECURSIVE_ITERATIONS session statement
+	// (RenderedSQL.Session) for the executing backend to install. 0 leaves
+	// recursion unbounded.
+	MaxRecIters int
 }
 
 // SQL renders the program as a sequence of SQL statements: one CREATE
@@ -63,9 +70,17 @@ type SQLStmt struct {
 // in dependency order and the final answer query. Executing every statement
 // in order and then ResultQuery yields the answer node IDs in column T.
 type RenderedSQL struct {
-	Stmts       []SQLStmt
-	ResultTable string
-	ResultQuery string
+	// Session holds statements the backend must execute on its pinned
+	// connection before the program's statements — session configuration
+	// like the recursion-depth guard, not part of the program itself.
+	Session []string
+	// SessionReset undoes Session: the backend must execute these when the
+	// run finishes so a pooled connection does not carry this run's session
+	// configuration into later runs.
+	SessionReset []string
+	Stmts        []SQLStmt
+	ResultTable  string
+	ResultQuery  string
 }
 
 // RenderSQL renders the program for execution: the same statement sequence
@@ -92,6 +107,14 @@ func (p *Program) renderSQL(opts SQLRenderOptions) (*RenderedSQL, error) {
 	// temps after their uses).
 	ordered := topoStmts(p)
 	rs := &RenderedSQL{}
+	if opts.MaxRecIters > 0 && opts.Dialect == DialectDB2 {
+		// DB2 bounds WITH RECURSIVE depth per session; Oracle renderings
+		// carry the equivalent guard inline (AND LEVEL <= n in renderFix).
+		rs.Session = append(rs.Session,
+			fmt.Sprintf("SET MAX_RECURSIVE_ITERATIONS = %d", opts.MaxRecIters))
+		rs.SessionReset = append(rs.SessionReset,
+			"SET MAX_RECURSIVE_ITERATIONS = 0")
+	}
 	for _, s := range ordered {
 		for _, pre := range r.lift(s.Plan) {
 			rs.Stmts = append(rs.Stmts, SQLStmt{
@@ -495,13 +518,19 @@ func (r *sqlRenderer) renderFix(p Fix) string {
 		if p.Start != nil {
 			start = fmt.Sprintf("s.F IN (SELECT T FROM (\n%s\n) st)", indent(r.render(p.Start, 2), 1))
 		}
+		connectBy := "CONNECT BY NOCYCLE PRIOR s.T = s.F"
+		if r.opts.MaxRecIters > 0 {
+			// LEVEL n reaches paths of n edges — the same frontier the
+			// engine's n-th fixpoint iteration produces.
+			connectBy += fmt.Sprintf(" AND LEVEL <= %d", r.opts.MaxRecIters)
+		}
 		sql := fmt.Sprintf(`WITH seed (F, T, V) AS (
 %s
 )
 SELECT DISTINCT CONNECT_BY_ROOT s.F AS F, s.T AS T, s.V AS V
 FROM seed s
 START WITH %s
-CONNECT BY NOCYCLE PRIOR s.T = s.F`, indent(seed, 1), start)
+%s`, indent(seed, 1), start, connectBy)
 		if p.End != nil {
 			sql = fmt.Sprintf("SELECT * FROM (\n%s\n) cb WHERE cb.T IN (SELECT F FROM (\n%s\n) en)",
 				indent(sql, 1), indent(r.render(p.End, 2), 1))

@@ -77,6 +77,22 @@ func writeQueryResponse(w http.ResponseWriter, resp *queryResponse) {
 			b = append(b, eb...)
 		}
 	}
+	if resp.Degraded {
+		b = append(b, `,"degraded":true`...)
+	}
+	if len(resp.FailedShards) > 0 {
+		// Shard names are fixed-format ("shardN"), but escape for safety;
+		// degraded answers are off the hot path.
+		fb, err := json.Marshal(resp.FailedShards)
+		if err == nil {
+			b = append(b, `,"failed_shards":`...)
+			b = append(b, fb...)
+		}
+	}
+	if resp.Watermark != 0 {
+		b = append(b, `,"watermark":`...)
+		b = strconv.AppendUint(b, resp.Watermark, 10)
+	}
 	b = append(b, '}', '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

@@ -59,7 +59,9 @@ import (
 	"time"
 
 	"xpath2sql"
+	"xpath2sql/internal/cluster"
 	"xpath2sql/internal/ivm"
+	"xpath2sql/internal/obs"
 	"xpath2sql/internal/store"
 )
 
@@ -174,6 +176,7 @@ type Server struct {
 	execBe  xpath2sql.Backend
 	dbFn    func() *xpath2sql.DB
 	store   *store.Store
+	cluster *cluster.Cluster // non-nil for FromCluster sources
 	hub     *xpath2sql.WatchHub // nil when read-only (no live store)
 	adm     *admission
 	batcher *batcher // nil when micro-batching is disabled
@@ -233,16 +236,19 @@ func New(cfg Config) (*Server, error) {
 	endpoints := []string{epQuery, epBatch, epTranslate}
 	if src.liveStore() != nil {
 		endpoints = append(endpoints, epUpdate, epWatch, epSnapshot)
+	} else if src.clusterRouter() != nil {
+		endpoints = append(endpoints, epUpdate)
 	}
 	s := &Server{
-		cfg:    cfg,
-		eng:    cfg.Engine,
-		source: src,
-		execBe: src.execBackend(),
-		dbFn:   src.liveDB(),
-		store:  src.liveStore(),
-		adm:    newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		m:      newMetrics(endpoints),
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		source:  src,
+		execBe:  src.execBackend(),
+		dbFn:    src.liveDB(),
+		store:   src.liveStore(),
+		cluster: src.clusterRouter(),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		m:       newMetrics(endpoints),
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s.eng, s.database, cfg.BatchWindow, cfg.MaxBatch, cfg.RequestTimeout, s.m)
@@ -261,8 +267,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
 	mux.HandleFunc("POST /v1/translate", s.instrument(epTranslate, s.handleTranslate))
-	if s.store != nil {
+	if s.store != nil || s.cluster != nil {
 		mux.HandleFunc("POST /v1/update", s.instrument(epUpdate, s.handleUpdate))
+	}
+	if s.store != nil {
 		mux.HandleFunc("POST /v1/watch", s.instrument(epWatch, s.handleWatch))
 		mux.HandleFunc("POST /admin/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
 	}
@@ -364,6 +372,10 @@ type queryRequest struct {
 	// TimeoutMS shortens (never extends) the server's request timeout.
 	TimeoutMS int  `json:"timeout_ms,omitempty"`
 	Explain   bool `json:"explain,omitempty"`
+	// Doc, on a cluster source, scopes the query to one document root: it
+	// routes to the single shard owning that document instead of scattering
+	// to all of them, and the answer is restricted to the document.
+	Doc int `json:"doc,omitempty"`
 }
 
 type execStatsJSON struct {
@@ -413,6 +425,11 @@ type queryResponse struct {
 	Stats     execStatsJSON `json:"stats"`
 	Batched   bool          `json:"batched,omitempty"`
 	Explain   string        `json:"explain,omitempty"`
+	// Cluster sources only: the partial-failure and staleness metadata of
+	// the scatter (field order here must match writeQueryResponse).
+	Degraded     bool     `json:"degraded,omitempty"`
+	FailedShards []string `json:"failed_shards,omitempty"`
+	Watermark    uint64   `json:"watermark,omitempty"`
 }
 
 type batchRequest struct {
@@ -549,6 +566,10 @@ func mapError(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "no_durability"
 	case errors.Is(err, store.ErrClosed):
 		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, cluster.ErrDegraded):
+		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, cluster.ErrShardDown):
+		return http.StatusServiceUnavailable, "shard_down"
 	case errors.Is(err, xpath2sql.ErrUnsupportedQuery):
 		return http.StatusUnprocessableEntity, "unsupported"
 	case errors.As(err, &le), errors.Is(err, xpath2sql.ErrLimit):
@@ -631,6 +652,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", `missing "query"`)
 		return
 	}
+	if req.Doc != 0 && s.cluster == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", `"doc" requires a cluster source`)
+		return
+	}
+	if req.Doc < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", `"doc" must be a document root node ID`)
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	if err := s.adm.acquire(ctx); err != nil {
@@ -643,6 +672,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
+	// Cluster sources execute through the router directly: the scatter's
+	// degraded-answer metadata and the document-scoped fast path exist only
+	// on Cluster.Exec, not behind the Backend seam.
+	if s.cluster != nil {
+		p, err := s.eng.PrepareString(ctx, req.Query)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		copts := cluster.ExecOptions{Workers: s.effectiveWorkers(), Doc: req.Doc}
+		var trace *obs.Trace
+		if req.Explain {
+			trace = &obs.Trace{}
+			copts.Trace = trace
+		}
+		ans, err := s.cluster.Exec(ctx, p.Program(), copts)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.m.recordExec(ans.Stats)
+		resp := queryResponse{
+			IDs:          ans.IDs,
+			Count:        len(ans.IDs),
+			ElapsedMS:    time.Since(t0).Seconds() * 1000,
+			Stats:        statsJSON(ans.Stats),
+			Degraded:     ans.Degraded,
+			FailedShards: ans.Failed,
+			Watermark:    ans.Watermark,
+		}
+		if req.Explain {
+			resp.Explain = obs.Explain(p.Program(), trace, nil)
+		}
+		writeQueryResponse(w, &resp)
+		return
+	}
 	// Explain needs the Answer (trace + plan), so it always takes the
 	// direct path; plain queries go through the micro-batcher when enabled.
 	// Solo bypass: a request executing alone (admission says nobody else
@@ -864,11 +929,25 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_request", `missing "fragment"`)
 			return
 		}
-		res, err = s.store.InsertSubtree(req.Parent, req.Fragment)
+		if s.cluster != nil {
+			res, err = s.cluster.Update(ctx, cluster.UpdateRequest{
+				Op: store.OpInsert, Parent: req.Parent, Fragment: req.Fragment})
+		} else {
+			res, err = s.store.InsertSubtree(req.Parent, req.Fragment)
+		}
 	case "delete_subtree":
-		res, err = s.store.DeleteSubtree(req.Node)
+		if s.cluster != nil {
+			res, err = s.cluster.Update(ctx, cluster.UpdateRequest{Op: store.OpDelete, Node: req.Node})
+		} else {
+			res, err = s.store.DeleteSubtree(req.Node)
+		}
 	case "update_text":
-		res, err = s.store.UpdateText(req.Node, req.Value)
+		if s.cluster != nil {
+			res, err = s.cluster.Update(ctx, cluster.UpdateRequest{
+				Op: store.OpUpdateText, Node: req.Node, Value: req.Value})
+		} else {
+			res, err = s.store.UpdateText(req.Node, req.Value)
+		}
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("unknown op %q (want \"insert_subtree\", \"delete_subtree\" or \"update_text\")", req.Op))
@@ -928,6 +1007,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		snap.Store = &st
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		snap.Cluster = &cs
 	}
 	if s.hub != nil {
 		ws := s.hub.Stats()

@@ -6,6 +6,7 @@ import (
 
 	"xpath2sql"
 	"xpath2sql/internal/backend"
+	"xpath2sql/internal/cluster"
 	"xpath2sql/internal/store"
 )
 
@@ -29,6 +30,11 @@ type Source interface {
 	// liveStore returns the live document store behind the source, enabling
 	// the update/snapshot endpoints; nil for read-only sources.
 	liveStore() *store.Store
+	// clusterRouter returns the scatter-gather cluster behind the source;
+	// nil for single-node sources. Cluster sources enable the update
+	// endpoint (writes route to owning primaries) and the degraded-answer
+	// and document-scoped query fields.
+	clusterRouter() *cluster.Cluster
 }
 
 // FromDB serves a static shredded database through the bundled in-process
@@ -53,14 +59,25 @@ func FromBackend(b xpath2sql.Backend) Source {
 	return backendSource{be: b}
 }
 
+// FromCluster serves an N-shard scatter-gather cluster: queries fan out to
+// every shard (or to the single owner when the request is document-scoped)
+// and merge by sorted union, updates route to the owning primary with
+// router-allocated node IDs, and answers carry the cluster's degraded-read
+// metadata. No micro-batching (there is no single in-process database to
+// merge against); /v1/batch runs query by query through the cluster.
+func FromCluster(c *cluster.Cluster) Source {
+	return clusterSource{c: c, be: c.Backend()}
+}
+
 type dbSource struct {
 	db *xpath2sql.DB
 	be xpath2sql.Backend
 }
 
-func (s dbSource) execBackend() xpath2sql.Backend { return s.be }
-func (s dbSource) liveDB() func() *xpath2sql.DB   { return func() *xpath2sql.DB { return s.db } }
-func (s dbSource) liveStore() *store.Store        { return nil }
+func (s dbSource) execBackend() xpath2sql.Backend   { return s.be }
+func (s dbSource) liveDB() func() *xpath2sql.DB     { return func() *xpath2sql.DB { return s.db } }
+func (s dbSource) liveStore() *store.Store          { return nil }
+func (s dbSource) clusterRouter() *cluster.Cluster  { return nil }
 
 type storeSource struct {
 	st *store.Store
@@ -71,15 +88,27 @@ func (s storeSource) execBackend() xpath2sql.Backend { return s.be }
 func (s storeSource) liveDB() func() *xpath2sql.DB {
 	return func() *xpath2sql.DB { return s.st.View().DB }
 }
-func (s storeSource) liveStore() *store.Store { return s.st }
+func (s storeSource) liveStore() *store.Store         { return s.st }
+func (s storeSource) clusterRouter() *cluster.Cluster { return nil }
 
 type backendSource struct {
 	be xpath2sql.Backend
 }
 
-func (s backendSource) execBackend() xpath2sql.Backend { return s.be }
-func (s backendSource) liveDB() func() *xpath2sql.DB   { return nil }
-func (s backendSource) liveStore() *store.Store        { return nil }
+func (s backendSource) execBackend() xpath2sql.Backend  { return s.be }
+func (s backendSource) liveDB() func() *xpath2sql.DB    { return nil }
+func (s backendSource) liveStore() *store.Store         { return nil }
+func (s backendSource) clusterRouter() *cluster.Cluster { return nil }
+
+type clusterSource struct {
+	c  *cluster.Cluster
+	be xpath2sql.Backend
+}
+
+func (s clusterSource) execBackend() xpath2sql.Backend  { return s.be }
+func (s clusterSource) liveDB() func() *xpath2sql.DB    { return nil }
+func (s clusterSource) liveStore() *store.Store         { return nil }
+func (s clusterSource) clusterRouter() *cluster.Cluster { return s.c }
 
 // storeBackend adapts a live store to the Backend interface: Snapshot pins
 // the store's current epoch, so one request's whole execution sees one

@@ -68,6 +68,11 @@ type Config struct {
 	// CheckpointEvery triggers an automatic background checkpoint after this
 	// many applied updates. 0 disables automatic checkpoints.
 	CheckpointEvery int
+	// MinNextID raises the floor of the node-ID allocator: the first inserted
+	// subtree gets max(MinNextID, maxNodeID+1). Shard processes serving a
+	// slice of a larger collection set disjoint floors so node IDs never
+	// collide across shards (cmd/xpathd -node-id-base).
+	MinNextID int
 }
 
 // Epoch is one immutable published database version. Readers obtain one with
@@ -137,6 +142,51 @@ func (s *Store) SetOnApply(fn func(TxnDelta)) {
 	s.onApply = fn
 }
 
+// ShipRecord is one logical update in shippable form: the WAL record a
+// primary applied, complete with its assigned LSN and (for inserts) base node
+// ID. Replicas replay ShipRecords through ApplyShipped and converge on the
+// primary's exact epochs — same node IDs, same relation contents.
+type ShipRecord struct {
+	LSN      uint64
+	Op       string // OpInsert, OpDelete or OpUpdateText
+	Parent   int    // insert: parent of the new subtree
+	Node     int    // delete/update_text: the target node
+	Base     int    // insert: first assigned node ID
+	Fragment string // insert: the XML fragment
+	Value    string // update_text: the new text value
+}
+
+// SetOnShip registers fn to be called after every live applied update, in LSN
+// order, under the writer lock — the replication feed. fn must not block
+// (hand off to a queue) and must not call back into the store's write path.
+// A nil fn unregisters. WAL replay during Open does not invoke the hook;
+// replicas attaching after Open start from the then-current epoch.
+func (s *Store) SetOnShip(fn func(ShipRecord)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onShip = fn
+}
+
+// ApplyShipped applies a primary's ShipRecord to this store (the replica
+// side of SetOnShip). Records must arrive in LSN order with no gaps; a gap
+// returns ErrCorrupt and the replica must resync from a fresh primary epoch.
+// The update is re-validated and applied through the ordinary copy-on-write
+// path, so replica epochs are bit-identical to the primary's.
+func (s *Store) ApplyShipped(rec ShipRecord) (UpdateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return UpdateResult{}, ErrClosed
+	}
+	if rec.LSN != s.lsn+1 {
+		return UpdateResult{}, fmt.Errorf("%w: shipped record LSN %d, want %d", ErrCorrupt, rec.LSN, s.lsn+1)
+	}
+	return s.applyRecord(walRecord{
+		LSN: rec.LSN, Op: rec.Op, Parent: rec.Parent, Node: rec.Node,
+		Base: rec.Base, Fragment: rec.Fragment, Value: rec.Value,
+	}, false)
+}
+
 // CheckpointInfo describes one written snapshot.
 type CheckpointInfo struct {
 	Path    string
@@ -161,6 +211,7 @@ type Store struct {
 	sinceCkpt int
 	closed    bool
 	onApply   func(TxnDelta)
+	onShip    func(ShipRecord)
 
 	ckptMu sync.Mutex // serializes snapshot file writes
 
@@ -231,6 +282,9 @@ func Open(cfg Config) (*Store, error) {
 	if next <= 0 {
 		next = maxNodeID(db) + 1
 	}
+	if next < cfg.MinNextID {
+		next = cfg.MinNextID
+	}
 	// Every DTD type gets a relation now, while we are single-threaded:
 	// executors call DB.Rel, which must not mutate the shared map later.
 	for _, t := range cfg.DTD.Types() {
@@ -297,6 +351,17 @@ func (s *Store) InsertSubtree(parentID int, fragment string) (UpdateResult, erro
 	return s.apply(walRecord{Op: opInsert, Parent: parentID, Fragment: fragment})
 }
 
+// InsertSubtreeAt is InsertSubtree with a caller-chosen base node ID, used by
+// a cluster router that allocates IDs globally so every shard assigns from
+// one disjoint sequence. base must be at least the store's next free ID;
+// after the insert the allocator continues past the new subtree.
+func (s *Store) InsertSubtreeAt(parentID int, fragment string, base int) (UpdateResult, error) {
+	if base <= 0 {
+		return UpdateResult{}, fmt.Errorf("%w: insert base %d must be positive", ErrInvalid, base)
+	}
+	return s.apply(walRecord{Op: opInsert, Parent: parentID, Fragment: fragment, Base: base})
+}
+
 // DeleteSubtree removes the subtree rooted at nodeID. The root element
 // cannot be deleted, and the parent's production must admit the remaining
 // children.
@@ -347,10 +412,16 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 		if err := s.validateInsert(ep.DB, rec.Parent, frag); err != nil {
 			return UpdateResult{}, err
 		}
-		if log {
+		if log && rec.Base == 0 {
 			rec.Base = s.nextID
-		} else if rec.Base != s.nextID {
-			return UpdateResult{}, fmt.Errorf("%w: insert record base %d, want %d", ErrCorrupt, rec.Base, s.nextID)
+		} else if log && rec.Base < s.nextID {
+			// A pinned base (InsertSubtreeAt) below the allocator would
+			// reassign live IDs.
+			return UpdateResult{}, fmt.Errorf("%w: insert base %d below next free node ID %d", ErrInvalid, rec.Base, s.nextID)
+		} else if !log && rec.Base < s.nextID {
+			// Replay and shipped records may leave allocator gaps (bases are
+			// assigned globally across shards) but can never go backwards.
+			return UpdateResult{}, fmt.Errorf("%w: insert record base %d below next node ID %d", ErrCorrupt, rec.Base, s.nextID)
 		}
 	case opDelete:
 		if err := s.validateDelete(ep.DB, rec.Node); err != nil {
@@ -421,6 +492,12 @@ func (s *Store) applyRecord(rec walRecord, log bool) (UpdateResult, error) {
 	if s.onApply != nil {
 		td.Epoch, td.LSN, td.DB = next.Seq, next.LSN, t.db
 		s.onApply(td)
+	}
+	if log && s.onShip != nil {
+		s.onShip(ShipRecord{
+			LSN: rec.LSN, Op: rec.Op, Parent: rec.Parent, Node: rec.Node,
+			Base: rec.Base, Fragment: rec.Fragment, Value: rec.Value,
+		})
 	}
 	s.applyHist.Observe(time.Since(t0))
 	return res, nil

@@ -3,6 +3,7 @@ package xpath2sql
 import (
 	"context"
 
+	"xpath2sql/internal/core"
 	"xpath2sql/internal/ivm"
 	"xpath2sql/internal/ra"
 	"xpath2sql/internal/store"
@@ -55,16 +56,18 @@ var ErrSubscriptionLimit = ivm.ErrSubscriptionLimit
 func (e *Engine) NewWatchHub(st *store.Store, cfg WatchConfig) (*WatchHub, error) {
 	return ivm.NewHub(ivm.Config{
 		Store: st,
-		Compile: func(ctx context.Context, query string) (*ra.Program, error) {
+		Compile: func(ctx context.Context, query string) (*ra.Program, string, error) {
 			q, err := ParseQuery(query)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			res, err := e.translate(ctx, q)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
-			return res.Program, nil
+			// The plan-cache key doubles as the view-sharing key: queries
+			// that canonicalize to the same plan share one standing view.
+			return res.Program, core.PlanKey(e.dtdFP, q, e.opts), nil
 		},
 		MaxSubscriptions:   cfg.MaxSubscriptions,
 		SubscriptionBuffer: cfg.SubscriptionBuffer,
